@@ -1,0 +1,76 @@
+"""Ablation 2: batch-size and SRAM-capacity sweeps.
+
+Extends Fig. 13a to batches 1..32 and sweeps the global-buffer capacity
+to map which training topologies each SRAM design point admits — the
+trade the paper's three embedded architectures (4/11/26 % of weights)
+navigate.
+"""
+
+from conftest import save_artifact
+from repro.analysis import format_table
+from repro.core import CoDesign, paper_platform
+from repro.perf import TrainingIterationModel
+
+BATCHES = (1, 2, 4, 8, 16, 32)
+BUFFER_SIZES_MB = (8, 15, 30, 65)
+
+
+def run_batch_sweep(cost_models):
+    table = {}
+    for name, model in cost_models.items():
+        trainer = TrainingIterationModel(model)
+        table[name] = [trainer.iteration_cost(b).fps for b in BATCHES]
+    return table
+
+
+def run_sram_sweep():
+    feasible = {}
+    for buffer_mb in BUFFER_SIZES_MB:
+        fits = []
+        for name in ("L2", "L3", "L4", "E2E"):
+            try:
+                CoDesign(name, platform=paper_platform(buffer_mb=buffer_mb))
+                fits.append(name)
+            except ValueError:
+                pass
+        feasible[buffer_mb] = fits
+    return feasible
+
+
+def test_ablation_batch_sweep(benchmark, cost_models, results_dir):
+    table = benchmark(run_batch_sweep, cost_models)
+
+    for name, fps in table.items():
+        # fps falls monotonically with batch size...
+        assert fps == sorted(fps, reverse=True), name
+        # ...and roughly halves per batch doubling (batch 4 -> 8) once
+        # forward+backward dominate the update step.
+        assert 1.7 < fps[2] / fps[3] < 2.3, name
+
+    rows = [
+        [name] + [round(v, 2) for v in fps] for name, fps in table.items()
+    ]
+    save_artifact(
+        results_dir,
+        "ablation_batch_sweep.txt",
+        format_table(["Config"] + [f"batch {b}" for b in BATCHES], rows),
+    )
+
+
+def test_ablation_sram_sweep(benchmark, results_dir):
+    feasible = benchmark(run_sram_sweep)
+
+    # Feasibility grows monotonically with capacity.
+    assert feasible[8] == []
+    assert feasible[15] == ["L2"]
+    assert set(feasible[30]) == {"L2", "L3", "E2E"}
+    assert set(feasible[65]) == {"L2", "L3", "L4", "E2E"}
+
+    rows = [
+        [mb, ", ".join(fits) or "(none)"] for mb, fits in feasible.items()
+    ]
+    save_artifact(
+        results_dir,
+        "ablation_sram_sweep.txt",
+        format_table(["SRAM (MB)", "Feasible topologies"], rows),
+    )

@@ -1,0 +1,58 @@
+"""Real-time feasibility artifact: frame-queue simulation per topology.
+
+Connects Fig. 13a's supply (iteration rate) to Fig. 1's demand (fps at
+velocity) through an explicit bounded-buffer queue.  Asserted shape: the
+TL topologies service a 10 fps camera with an empty queue; E2E drops
+frames and multiplies control latency.
+"""
+
+from conftest import save_artifact
+from repro.analysis import format_table
+from repro.env import simulate_frame_queue
+from repro.perf import TrainingIterationModel
+
+CAMERA_FPS = 10.0
+
+
+def run_all(cost_models):
+    results = {}
+    for name, model in cost_models.items():
+        t_iter = TrainingIterationModel(model).iteration_cost(1).iteration_latency_s
+        results[name] = simulate_frame_queue(
+            frame_rate_hz=CAMERA_FPS,
+            iteration_time_s=t_iter,
+            duration_s=10.0,
+            buffer_frames=4,
+        )
+    return results
+
+
+def test_analysis_realtime(benchmark, cost_models, results_dir):
+    reports = benchmark(run_all, cost_models)
+
+    for name in ("L2", "L3", "L4"):
+        assert reports[name].realtime, name
+        assert reports[name].max_queue_depth <= 1, name
+    assert not reports["E2E"].realtime
+    assert reports["E2E"].drop_fraction > 0.1
+    assert reports["E2E"].max_latency_s > 5 * reports["L3"].max_latency_s
+
+    rows = [
+        [
+            name,
+            "yes" if r.realtime else "NO",
+            f"{100 * r.drop_fraction:.0f}%",
+            r.max_queue_depth,
+            round(r.max_latency_s * 1e3, 1),
+        ]
+        for name, r in reports.items()
+    ]
+    save_artifact(
+        results_dir,
+        "realtime_queue.txt",
+        f"camera at {CAMERA_FPS:.0f} fps, 4-frame buffer, batch-1 training\n"
+        + format_table(
+            ["Config", "Real-time?", "Dropped", "Max queue", "Max latency (ms)"],
+            rows,
+        ),
+    )

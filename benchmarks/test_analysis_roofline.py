@@ -1,0 +1,40 @@
+"""Roofline analysis artifact.
+
+Not a paper figure, but the quantitative explanation of Fig. 12a's two
+regimes: every FC layer sits on the 128-bit streaming bandwidth roof at
+~8 GMAC/s while every CONV layer is compute-bound — the structural fact
+the whole cost model (and the co-design's SRAM/NVM split) rests on.
+"""
+
+from conftest import save_artifact
+from repro.analysis import format_table
+from repro.perf import RooflineModel
+
+
+def test_roofline_analysis(benchmark, spec, results_dir):
+    model = RooflineModel()
+    points = benchmark(model.analyze_network, spec)
+
+    for point in points:
+        if point.layer.startswith("FC"):
+            assert not point.compute_bound, point.layer
+        else:
+            assert point.compute_bound, point.layer
+
+    rows = [
+        [
+            p.layer,
+            round(p.operational_intensity, 2),
+            round(p.attainable_gmacs, 1),
+            "compute" if p.compute_bound else "bandwidth",
+        ]
+        for p in points
+    ]
+    header = (
+        f"peak = {model.peak_gmacs:.0f} GMAC/s, stream = "
+        f"{model.stream_gbytes:.0f} GB/s, ridge = {model.ridge_intensity:.0f} MAC/B"
+    )
+    table = format_table(
+        ["Layer", "Intensity (MAC/B)", "Attainable (GMAC/s)", "Bound"], rows
+    )
+    save_artifact(results_dir, "roofline.txt", header + "\n" + table)

@@ -1,0 +1,46 @@
+"""Calibration-sensitivity artifact.
+
+Perturbs every fitted efficiency factor by up to ±25 % and re-derives
+the paper's headline conclusions.  The assertion: the conclusions —
+~80 % latency/energy savings and a >3x frame-rate (velocity) advantage
+for the TL topologies — are properties of the co-design's *structure*
+(what is trained, where weights live), not of the calibration fit.
+"""
+
+from conftest import save_artifact
+from repro.analysis import format_table
+from repro.perf import sensitivity_sweep
+
+SCALES = (0.75, 0.9, 1.0, 1.1, 1.25)
+
+
+def test_calibration_sensitivity(benchmark, spec, results_dir):
+    points = benchmark(sensitivity_sweep, spec, SCALES)
+
+    for point in points:
+        assert 70.0 < point.latency_saving_pct < 95.0, point
+        assert 70.0 < point.energy_saving_pct < 95.0, point
+        assert point.fps_ratio > 3.0, point
+
+    # The savings move by only a few points across the whole range.
+    latencies = [p.latency_saving_pct for p in points]
+    assert max(latencies) - min(latencies) < 10.0
+
+    rows = [
+        [
+            f"x{p.scale:.2f}",
+            round(p.latency_saving_pct, 1),
+            round(p.energy_saving_pct, 1),
+            round(p.fps_ratio, 2),
+        ]
+        for p in points
+    ]
+    save_artifact(
+        results_dir,
+        "sensitivity.txt",
+        format_table(
+            ["Calibration scale", "L4 latency saving %", "L4 energy saving %",
+             "L4/E2E fps ratio"],
+            rows,
+        ),
+    )

@@ -1,0 +1,40 @@
+"""Fig. 1(b,c): minimum fps vs drone speed for the six environments."""
+
+import numpy as np
+
+from conftest import save_artifact
+from repro.analysis import format_table
+from repro.env.fps import DMIN_TABLE, PAPER_SPEEDS, fps_requirement_table
+
+# Fig. 1c as printed in the paper (truncated decimals).
+PAPER_FIG1C = {
+    "Indoor 1": [3.571, 7.142, 10.71, 14.28],
+    "Indoor 2": [2.5, 5.0, 7.5, 10.0],
+    "Indoor 3": [1.923, 3.846, 5.769, 7.692],
+    "Outdoor 1": [0.833, 1.666, 2.5, 3.333],
+    "Outdoor 2": [0.625, 1.25, 1.875, 2.5],
+    "Outdoor 3": [0.5, 1.0, 1.5, 2.0],
+}
+
+
+def test_fig01_fps_requirements(benchmark, results_dir):
+    table = benchmark(fps_requirement_table)
+
+    # Every cell of Fig. 1c reproduces (to the paper's printed precision).
+    for env, paper_row in PAPER_FIG1C.items():
+        assert np.allclose(table[env], paper_row, atol=6e-3), env
+
+    # Shape: indoor environments always demand more fps than outdoor.
+    for v_idx in range(len(PAPER_SPEEDS)):
+        assert min(table[e][v_idx] for e in ("Indoor 1", "Indoor 2", "Indoor 3")) > max(
+            table[e][v_idx] for e in ("Outdoor 1", "Outdoor 2", "Outdoor 3")
+        )
+
+    rows = [
+        [env, DMIN_TABLE[env]] + [round(float(x), 3) for x in table[env]]
+        for env in sorted(table)
+    ]
+    artifact = format_table(
+        ["Environment", "d_min (m)"] + [f"{v} m/s" for v in PAPER_SPEEDS], rows
+    )
+    save_artifact(results_dir, "fig01_fps_requirements.txt", artifact)

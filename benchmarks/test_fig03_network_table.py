@@ -1,0 +1,56 @@
+"""Fig. 3a (layer/weight table) and Fig. 3b (TL weight fractions)."""
+
+import pytest
+
+from conftest import save_artifact
+from repro.analysis import format_table
+from repro.nn import modified_alexnet_spec, parameter_table
+from repro.rl import TRANSFER_CONFIGS
+
+FIG3A = {
+    "FC1": (9216, 37_752_832, 67.18, 93.33),
+    "FC2": (4096, 8_390_656, 14.93, 26.14),
+    "FC3": (2048, 4_196_352, 7.468, 11.21),
+    "FC4": (2048, 2_098_176, 3.734, 3.743),
+    "FC5": (1024, 5_125, 0.009, 0.009),
+}
+
+FIG3B_FRACTIONS = {"L2": 4.0, "L3": 11.0, "L4": 26.0}
+
+
+def test_fig03_network_table(benchmark, spec, results_dir):
+    rows = benchmark(parameter_table, spec)
+
+    by_layer = {r["layer"]: r for r in rows}
+    for layer, (neurons, weights, pct, cum) in FIG3A.items():
+        row = by_layer[layer]
+        assert row["neurons"] == neurons
+        assert row["weights"] == weights
+        assert row["pct_total"] == pytest.approx(pct, abs=0.01)
+        assert row["pct_cumulative"] == pytest.approx(cum, abs=0.01)
+
+    # Fig. 3b: the three SRAM design points store ~4/11/26 % of weights.
+    for config in TRANSFER_CONFIGS:
+        if config.name in FIG3B_FRACTIONS:
+            frac = 100 * config.trainable_fraction(spec)
+            assert frac == pytest.approx(FIG3B_FRACTIONS[config.name], abs=0.3)
+
+    artifact_rows = [
+        [
+            r["layer"],
+            r["neurons"],
+            r["weights"],
+            round(r["pct_total"], 3),
+            round(r["pct_cumulative"], 3),
+        ]
+        for r in rows
+    ]
+    artifact_rows.append(["total", "", spec.total_weights, 100.0, ""])
+    save_artifact(
+        results_dir,
+        "fig03a_network_table.txt",
+        format_table(
+            ["Layer", "# neurons", "# weights", "% total", "% cumulative"],
+            artifact_rows,
+        ),
+    )

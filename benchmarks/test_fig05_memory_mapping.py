@@ -1,0 +1,66 @@
+"""Fig. 5: mapping the CNN weights onto STT-MRAM and on-die SRAM."""
+
+import pytest
+
+from conftest import save_artifact
+from repro.analysis import format_table
+from repro.memory import WeightMapper
+from repro.rl import config_by_name
+
+
+def test_fig05_memory_mapping(benchmark, spec, results_dir):
+    def build_all():
+        return {
+            name: WeightMapper(spec, config_by_name(name)).build()
+            for name in ("L2", "L3", "L4", "E2E")
+        }
+
+    reports = benchmark(build_all)
+
+    # The paper's proposed design point (L3): 12.6 MB weights + 12.6 MB
+    # gradient accumulators + 4.2 MB scratchpad = 29.4 MB SRAM; the
+    # frozen CONV+FC1+FC2 (~100 MB) in the stack.
+    l3 = reports["L3"]
+    assert l3.sram_weight_bytes / 1e6 == pytest.approx(12.6, abs=0.05)
+    assert l3.sram_gradient_bytes / 1e6 == pytest.approx(12.6, abs=0.05)
+    assert l3.sram_scratchpad_bytes / 1e6 == pytest.approx(4.2, abs=0.01)
+    assert l3.sram_total_mb == pytest.approx(29.4, abs=0.1)
+    assert l3.nvm_mb == pytest.approx(99.8, abs=0.5)
+
+    # Capacity ordering follows the trainable-tail size.
+    assert (
+        reports["L2"].sram_total_bytes
+        < reports["L3"].sram_total_bytes
+        < reports["L4"].sram_total_bytes
+    )
+
+    rows = []
+    for name, report in reports.items():
+        rows.append(
+            [
+                name,
+                round(report.nvm_mb, 1),
+                round(report.sram_weight_bytes / 1e6, 1),
+                round(report.sram_gradient_bytes / 1e6, 1),
+                round(report.sram_scratchpad_bytes / 1e6, 1),
+                round(report.sram_total_mb, 1),
+            ]
+        )
+    save_artifact(
+        results_dir,
+        "fig05_memory_mapping.txt",
+        format_table(
+            ["Config", "NVM (MB)", "SRAM wts", "SRAM grads", "Scratch", "SRAM total"],
+            rows,
+        ),
+    )
+
+    placements = [
+        [p.layer, p.weights, round(p.bytes / 1e6, 2), p.device, p.trainable]
+        for p in reports["L3"].placements
+    ]
+    save_artifact(
+        results_dir,
+        "fig05_l3_placements.txt",
+        format_table(["Layer", "Weights", "MB", "Device", "Trainable"], placements),
+    )

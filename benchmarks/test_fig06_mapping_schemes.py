@@ -1,0 +1,40 @@
+"""Fig. 6: the Type I/II/III convolution mapping geometry."""
+
+from conftest import save_artifact
+from repro.analysis import format_mapping_table
+from repro.systolic import MappingType, map_conv_layer
+
+
+def test_fig06_mapping_schemes(benchmark, spec, results_dir):
+    mappings = benchmark(
+        lambda: {c.name: map_conv_layer(c) for c in spec.conv_layers}
+    )
+
+    # Fig. 6a: CONV1 -> Type I, 2 segments of 11 rows, 24 filters each.
+    conv1 = mappings["CONV1"]
+    assert conv1.mapping_type is MappingType.TYPE_I
+    assert conv1.segments == 2 and conv1.segment_rows == 11
+    assert conv1.filters_per_segment == 24
+    assert conv1.active_pes == 704
+
+    # Fig. 6b: CONV2 -> Type II, 6 segments of 5x27, 2 channel splits.
+    conv2 = mappings["CONV2"]
+    assert conv2.mapping_type is MappingType.TYPE_II
+    assert conv2.segments == 6 and conv2.segment_rows == 5
+    assert conv2.cols_used == 27
+    assert conv2.channel_split == 2
+    assert conv2.active_pes == 960
+
+    # Fig. 6c: CONV3-5 -> Type III, 2 sets of 10 segments of 3x13.
+    for name in ("CONV3", "CONV4", "CONV5"):
+        m = mappings[name]
+        assert m.mapping_type is MappingType.TYPE_III
+        assert m.sets == 2 and m.segments == 10 and m.segment_rows == 3
+        assert m.cols_used == 13
+        assert m.active_pes == 960
+
+    save_artifact(
+        results_dir,
+        "fig06_mapping_schemes.txt",
+        format_mapping_table(list(mappings.values())),
+    )

@@ -1,0 +1,79 @@
+"""Fig. 10: cumulative reward and return curves per topology.
+
+Runs the scaled TL + online-RL protocol in one indoor and one outdoor
+test environment and regenerates the four learning curves per
+environment.  Shape criteria: every topology learns (curves are finite,
+rewards clearly above the crash floor) and the TL topologies are
+comparable to E2E — the paper's qualitative claim.
+"""
+
+import numpy as np
+
+from conftest import save_artifact
+from repro.analysis import ascii_curve, format_table
+from repro.rl import run_transfer_experiment
+
+ENVS = ("indoor-apartment", "outdoor-forest")
+ITERATIONS = 1200
+
+
+def run_all():
+    return {
+        env: run_transfer_experiment(
+            env,
+            meta_iterations=ITERATIONS,
+            adapt_iterations=ITERATIONS,
+            seed=0,
+            image_side=16,
+        )
+        for env in ENVS
+    }
+
+
+def test_fig10_learning_curves(benchmark, results_dir):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    summary_rows = []
+    for env, by_config in results.items():
+        rewards = {}
+        for name, result in by_config.items():
+            curve = np.asarray(result.curves.reward_curve, dtype=float)
+            assert np.isfinite(curve[~np.isnan(curve)]).all()
+            final = result.final_reward
+            rewards[name] = final
+            # Learning happened: the tail average sits well above the
+            # crash reward and above zero.
+            assert final > 0.0, (env, name)
+            summary_rows.append(
+                [env, name, round(final, 3), round(result.curves.returns.value, 3),
+                 round(result.safe_flight_distance, 2)]
+            )
+        # Comparability (Fig. 10's message): every TL topology reaches a
+        # final reward within a factor-2 band of E2E.
+        for name in ("L2", "L3", "L4"):
+            assert rewards[name] > 0.5 * rewards["E2E"], (env, name)
+
+    artifact = [
+        format_table(
+            ["Environment", "Config", "Final reward", "Return", "SFD (m)"],
+            summary_rows,
+        )
+    ]
+    for env, by_config in results.items():
+        for name, result in by_config.items():
+            artifact.append("")
+            artifact.append(
+                ascii_curve(
+                    result.curves.reward_curve,
+                    height=8,
+                    title=f"{env} / {name}: cumulative reward",
+                )
+            )
+            artifact.append(
+                ascii_curve(
+                    result.curves.return_curve,
+                    height=6,
+                    title=f"{env} / {name}: return",
+                )
+            )
+    save_artifact(results_dir, "fig10_learning_curves.txt", "\n".join(artifact))

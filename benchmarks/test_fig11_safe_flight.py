@@ -1,0 +1,91 @@
+"""Fig. 11: normalised safe flight distance across all four test
+environments.
+
+The paper reports that TL topologies degrade SFD by only 3-8.1 %
+relative to E2E.  At our scaled network/iteration budget the seed
+variance is wider, so the shape criterion is *comparability*: every
+topology's SFD must land within a factor band of E2E in every
+environment, and every trained agent must beat a random policy.
+"""
+
+import numpy as np
+
+from conftest import save_artifact
+from repro.analysis import format_table
+from repro.env import DepthCamera, NavigationEnv, make_environment
+from repro.rl import run_transfer_experiment
+
+ENVS = (
+    "indoor-apartment",
+    "indoor-house",
+    "outdoor-forest",
+    "outdoor-town",
+)
+ITERATIONS = 1000
+
+
+def random_policy_sfd(env_name: str, steps: int = 1000, seed: int = 7) -> float:
+    world = make_environment(env_name, seed=seed)
+    env = NavigationEnv(world, camera=DepthCamera(width=16, height=16), seed=seed)
+    rng = np.random.default_rng(seed)
+    env.reset()
+    for _ in range(steps):
+        _, _, done, _ = env.step(int(rng.integers(5)))
+        if done:
+            env.reset()
+    return env.tracker.safe_flight_distance
+
+
+def run_all():
+    trained = {
+        env: run_transfer_experiment(
+            env,
+            meta_iterations=ITERATIONS,
+            adapt_iterations=ITERATIONS,
+            seed=0,
+            image_side=16,
+        )
+        for env in ENVS
+    }
+    random_baseline = {env: random_policy_sfd(env) for env in ENVS}
+    return trained, random_baseline
+
+
+def test_fig11_safe_flight_distance(benchmark, results_dir):
+    trained, random_baseline = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    all_normalised = []
+    for env, by_config in trained.items():
+        sfd = {name: r.safe_flight_distance for name, r in by_config.items()}
+        e2e = sfd["E2E"]
+        assert e2e > 0.0, env
+        for name in ("L2", "L3", "L4"):
+            normalised = sfd[name] / e2e
+            all_normalised.append(normalised)
+            # Per-environment comparability band.  The paper reports
+            # 0.92-0.97 at full scale (60 k Unreal iterations); at our
+            # scaled budget the per-environment estimate is noisy —
+            # especially outdoors, where crashes are rare events — so
+            # the band is wide and the tight check is on the mean below.
+            assert 0.15 < normalised < 6.0, (env, name, normalised)
+            rows.append([env, name, round(sfd[name], 2), round(normalised, 2)])
+        rows.append([env, "E2E", round(e2e, 2), 1.0])
+        # Trained agents must out-fly the random policy on average.
+        mean_trained = float(np.mean(list(sfd.values())))
+        assert mean_trained > random_baseline[env], (
+            env,
+            mean_trained,
+            random_baseline[env],
+        )
+        rows.append([env, "random", round(random_baseline[env], 2), ""])
+
+    # Aggregate comparability: TL topologies match E2E on average.
+    mean_normalised = float(np.mean(all_normalised))
+    assert 0.5 < mean_normalised < 2.0, mean_normalised
+
+    save_artifact(
+        results_dir,
+        "fig11_safe_flight.txt",
+        format_table(["Environment", "Config", "SFD (m)", "Normalised"], rows),
+    )

@@ -1,0 +1,66 @@
+"""Fig. 12: per-layer latency/active-PEs/power/energy, fwd and bwd."""
+
+import pytest
+
+from conftest import save_artifact
+from repro.analysis import format_fig12_table
+from repro.perf import PAPER_FIG12_BACKWARD, PAPER_FIG12_FORWARD
+
+PAPER_FWD = {r.layer: r for r in PAPER_FIG12_FORWARD}
+PAPER_BWD = {r.layer: r for r in PAPER_FIG12_BACKWARD}
+
+
+def test_fig12a_forward(benchmark, cost_models, results_dir):
+    model = cost_models["E2E"]
+    costs = benchmark(model.forward_costs)
+
+    for cost in costs:
+        paper = PAPER_FWD[cost.layer]
+        assert cost.active_pes == paper.active_pes, cost.layer
+        if paper.latency_ms > 0.01:
+            assert cost.latency_ms == pytest.approx(
+                paper.latency_ms, rel=0.30
+            ), cost.layer
+
+    total_lat = sum(c.latency_ms for c in costs)
+    total_energy = sum(c.energy_mj for c in costs)
+    assert total_lat == pytest.approx(11.9285, rel=0.05)
+    assert total_energy == pytest.approx(75.2259, rel=0.10)
+
+    save_artifact(
+        results_dir,
+        "fig12a_forward.txt",
+        format_fig12_table(costs, PAPER_FIG12_FORWARD),
+    )
+
+
+def test_fig12b_backward(benchmark, cost_models, results_dir):
+    model = cost_models["E2E"]
+    costs = benchmark(model.backward_costs)
+
+    # Execution order and the NVM-write column.
+    assert [c.layer for c in costs] == [r.layer for r in PAPER_FIG12_BACKWARD]
+    for cost in costs:
+        paper = PAPER_BWD[cost.layer]
+        assert cost.nvm_write == paper.nvm_write, cost.layer
+        if paper.latency_ms > 0.01:
+            assert cost.latency_ms == pytest.approx(
+                paper.latency_ms, rel=0.30
+            ), cost.layer
+
+    total_lat = sum(c.latency_ms for c in costs)
+    total_energy = sum(c.energy_mj for c in costs)
+    assert total_lat == pytest.approx(94.2257, rel=0.05)
+    assert total_energy == pytest.approx(445.331, rel=0.10)
+
+    # Structural shape: CONV1 and FC1 dominate the backward pass.
+    by_layer = {c.layer: c for c in costs}
+    assert by_layer["CONV1"].latency_ms == max(c.latency_ms for c in costs)
+    fc_costs = [c for c in costs if c.layer.startswith("FC")]
+    assert by_layer["FC1"].latency_ms == max(c.latency_ms for c in fc_costs)
+
+    save_artifact(
+        results_dir,
+        "fig12b_backward.txt",
+        format_fig12_table(costs, PAPER_FIG12_BACKWARD),
+    )

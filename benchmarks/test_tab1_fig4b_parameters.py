@@ -1,0 +1,66 @@
+"""Table 1 (STT-MRAM parameters) and Fig. 4b (system parameters)."""
+
+import pytest
+
+from conftest import save_artifact
+from repro.analysis import format_table
+from repro.core import paper_system_parameters
+from repro.memory import STT_MRAM
+
+
+def test_tab1_stt_mram_parameters(benchmark, results_dir):
+    tech = benchmark(lambda: STT_MRAM)
+
+    # Table 1, verbatim.
+    assert tech.write_latency_s == 30e-9
+    assert tech.read_latency_s == 10e-9
+    assert tech.write_energy_per_bit_j == 4.5e-12
+    assert tech.read_energy_per_bit_j == 0.7e-12
+    # The asymmetry that motivates the whole co-design.
+    assert tech.write_read_latency_ratio == pytest.approx(3.0)
+    assert tech.write_read_energy_ratio > 6.0
+
+    save_artifact(
+        results_dir,
+        "tab1_stt_mram.txt",
+        format_table(
+            ["Parameter", "Value"],
+            [
+                ["Write latency", "30 ns"],
+                ["Read latency", "10 ns"],
+                ["Write energy", "4.5 pJ/bit"],
+                ["Read energy", "0.7 pJ/bit"],
+            ],
+        ),
+    )
+
+
+def test_fig4b_system_parameters(benchmark, results_dir):
+    params = benchmark(paper_system_parameters)
+
+    assert params.num_pes == 1024
+    assert params.pe_grid == (32, 32)
+    assert params.global_buffer_mb == 30.0
+    assert params.scratchpad_mb == 4.2
+    assert params.register_file_per_pe_kb == 4.5
+    assert params.operating_voltage_v == 0.8
+    assert params.clock_hz == 1e9
+    assert params.peak_throughput_tops_per_w == 1.5
+    assert params.arithmetic_precision_bits == 16
+    assert params.pe_link_bits == 128
+
+    rows = [
+        ["Technology", params.technology],
+        ["Number of PEs", f"{params.num_pes} ({params.pe_grid[0]} x {params.pe_grid[1]})"],
+        ["Global buffer / scratchpad", f"{params.global_buffer_mb} MB / {params.scratchpad_mb} MB"],
+        ["Register file per PE", f"{params.register_file_per_pe_kb} KB"],
+        ["Operating voltage", f"{params.operating_voltage_v} V"],
+        ["Clock speed", f"{params.clock_hz / 1e9:.0f} GHz"],
+        ["Peak throughput", f"{params.peak_throughput_tops_per_w} TOPS/W"],
+        ["Arithmetic precision", f"{params.arithmetic_precision_bits}-bit fixed point"],
+        ["Bandwidth between PEs", f"{params.pe_link_bits} bit"],
+        ["NVM I/Os", f"{params.nvm_ios} x {params.nvm_io_gbps} Gb/s"],
+    ]
+    save_artifact(
+        results_dir, "fig4b_system_parameters.txt", format_table(["Parameter", "Value"], rows)
+    )

@@ -1,0 +1,72 @@
+"""Quickstart: evaluate the paper's co-design in a few lines.
+
+Builds the paper's platform (32x32 PE array, 30 MB SRAM buffer, stacked
+STT-MRAM), attaches the L3 transfer topology (train the last 3 FC layers
+online, the paper's proposed design point), and prints the headline
+hardware numbers next to the E2E baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CoDesign, paper_platform
+from repro.analysis import ascii_bars
+
+def main() -> None:
+    platform = paper_platform()
+
+    print("=== Platform ===")
+    for key, value in platform.memory_summary().items():
+        print(f"  {key}: {value:.1f}")
+    print()
+
+    designs = {}
+    for name in ("L2", "L3", "E2E"):
+        designs[name] = CoDesign(name, platform=platform)
+    # L4 needs the larger-SRAM design point the paper also studies.
+    designs["L4"] = CoDesign("L4", platform=paper_platform(buffer_mb=65.0))
+
+    print("=== Memory mapping (Fig. 5) ===")
+    for name, cd in designs.items():
+        r = cd.mapping
+        print(
+            f"  {name:>3}: NVM {r.nvm_mb:6.1f} MB | SRAM "
+            f"{r.sram_weight_bytes / 1e6:.1f} + {r.sram_gradient_bytes / 1e6:.1f} "
+            f"+ {r.sram_scratchpad_bytes / 1e6:.1f} = {r.sram_total_mb:.1f} MB"
+        )
+    print()
+
+    print("=== Training iteration at batch 4 (Figs. 13a/13b) ===")
+    rows = {}
+    for name, cd in designs.items():
+        hw = cd.evaluate_hardware(batch_size=4)
+        rows[name] = hw
+        it = hw.iteration
+        print(
+            f"  {name:>3}: {hw.fps:5.1f} fps | per-image "
+            f"{it.per_image_latency_s * 1e3:6.2f} ms / "
+            f"{it.per_image_energy_j * 1e3:6.1f} mJ | "
+            f"max indoor velocity {hw.max_velocities['Indoor 1']:.1f} m/s"
+        )
+    print()
+    print(
+        ascii_bars(
+            list(rows),
+            [rows[n].fps for n in rows],
+            title="Sustainable fps (batch 4)",
+            unit=" fps",
+        )
+    )
+    print()
+
+    l3, e2e = rows["L3"].iteration, rows["E2E"].iteration
+    lat_saving = 100 * (1 - l3.per_image_latency_s / e2e.per_image_latency_s)
+    energy_saving = 100 * (1 - l3.per_image_energy_j / e2e.per_image_energy_j)
+    print(
+        f"L3 vs E2E: {lat_saving:.1f}% lower latency, "
+        f"{energy_saving:.1f}% lower energy per frame"
+    )
+    print("(paper headline: 79.4% / 83.45% for the proposed design)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Offline editable install.
+
+``pip install -e .`` needs the ``wheel`` package (even with
+``--no-use-pep517``); fully-offline environments may not have it.  This
+script provides the equivalent of an editable install without any
+network access: it writes a ``.pth`` file pointing at ``src/`` into the
+active interpreter's site-packages.
+
+Usage:  python scripts/offline_install.py [--remove]
+"""
+
+from __future__ import annotations
+
+import argparse
+import site
+import sys
+from pathlib import Path
+
+PTH_NAME = "repro-editable.pth"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--remove", action="store_true", help="uninstall the .pth link"
+    )
+    args = parser.parse_args()
+    src = Path(__file__).resolve().parent.parent / "src"
+    if not (src / "repro" / "__init__.py").exists():
+        print(f"error: {src} does not contain the repro package", file=sys.stderr)
+        return 1
+    site_dir = Path(site.getsitepackages()[0])
+    pth = site_dir / PTH_NAME
+    if args.remove:
+        if pth.exists():
+            pth.unlink()
+            print(f"removed {pth}")
+        else:
+            print("nothing to remove")
+        return 0
+    pth.write_text(str(src) + "\n")
+    print(f"wrote {pth} -> {src}")
+    print("verify with: python -c 'import repro; print(repro.__version__)'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

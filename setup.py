@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows ``pip install -e . --no-use-pep517 --no-build-isolation`` in
+offline environments that lack the ``wheel`` package (the PEP 517 editable
+path needs ``bdist_wheel``).  Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

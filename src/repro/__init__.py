@@ -1,0 +1,47 @@
+"""repro — reproduction of "Transfer and Online Reinforcement Learning
+in STT-MRAM Based Embedded Systems for Autonomous Drones"
+(Yoon, Anwar, Rakshit, Raychowdhury — DATE 2019).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.core` — the algorithm-hardware co-design (headline API)
+* :mod:`repro.nn` — NumPy CNN with partial backpropagation
+* :mod:`repro.rl` — Q-learning, transfer configurations, experiments
+* :mod:`repro.env` — drone world simulator (Unreal Engine substitute)
+* :mod:`repro.memory` — STT-MRAM / SRAM / DRAM hierarchy model
+* :mod:`repro.systolic` — 32x32 PE array and Fig. 6-8 mappings
+* :mod:`repro.perf` — Fig. 12/13 performance model
+* :mod:`repro.fixedpoint` — 16-bit Q-format arithmetic
+* :mod:`repro.analysis` — tables, ASCII plots, experiment reports
+"""
+
+from repro.core import CoDesign, Platform, paper_platform
+from repro.nn import modified_alexnet_spec, scaled_drone_net_spec, build_network
+from repro.rl import (
+    TransferConfig,
+    TRANSFER_CONFIGS,
+    config_by_name,
+    QLearningAgent,
+    run_transfer_experiment,
+)
+from repro.env import NavigationEnv, make_environment, DepthCamera
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoDesign",
+    "Platform",
+    "paper_platform",
+    "modified_alexnet_spec",
+    "scaled_drone_net_spec",
+    "build_network",
+    "TransferConfig",
+    "TRANSFER_CONFIGS",
+    "config_by_name",
+    "QLearningAgent",
+    "run_transfer_experiment",
+    "NavigationEnv",
+    "make_environment",
+    "DepthCamera",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Terminal plots for learning curves and bar comparisons."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ascii_curve", "ascii_bars"]
+
+
+def ascii_curve(
+    values: Sequence[float],
+    width: int = 70,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render a 1-D series as an ASCII line chart."""
+    data = np.asarray([v for v in values if not math.isnan(v)], dtype=np.float64)
+    if data.size < 2:
+        return f"{title}\n(not enough data)"
+    if width < 10 or height < 3:
+        raise ValueError("plot too small")
+    # Downsample to the plot width.
+    idx = np.linspace(0, data.size - 1, width).astype(int)
+    series = data[idx]
+    lo, hi = float(series.min()), float(series.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = []
+    levels = np.round((series - lo) / span * (height - 1)).astype(int)
+    for level in range(height - 1, -1, -1):
+        line = "".join("*" if l >= level else " " for l in levels)
+        rows.append(line)
+    header = f"{title}  [min={lo:.3f} max={hi:.3f}]" if title else f"[min={lo:.3f} max={hi:.3f}]"
+    return "\n".join([header] + rows)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return f"{title}\n(empty)"
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("bar values must include a positive maximum")
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(value / peak * width)), 0)
+        lines.append(f"{label.rjust(label_w)} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)

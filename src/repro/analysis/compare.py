@@ -1,0 +1,106 @@
+"""Programmatic paper-vs-model fidelity metrics.
+
+EXPERIMENTS.md discusses the residuals in prose; this module computes
+them, so the fidelity claims are themselves testable artifacts:
+
+* per-cell relative errors of the Fig. 12 latency/energy tables,
+* aggregate error statistics (mean/max absolute percentage error),
+* a single ``fidelity_summary`` dict the tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.alexnet import modified_alexnet_spec
+from repro.perf.calibration import (
+    PAPER_FIG12_BACKWARD,
+    PAPER_FIG12_FORWARD,
+)
+from repro.perf.layer_cost import LayerCostModel
+from repro.rl.transfer import config_by_name
+
+__all__ = ["CellError", "table_errors", "fidelity_summary"]
+
+
+@dataclass(frozen=True)
+class CellError:
+    """Relative error of one (layer, quantity) cell."""
+
+    layer: str
+    quantity: str  # "latency" | "energy"
+    model: float
+    paper: float
+
+    @property
+    def relative_error(self) -> float:
+        """(model - paper) / paper."""
+        if self.paper == 0:
+            raise ValueError(f"paper cell is zero: {self.layer}/{self.quantity}")
+        return (self.model - self.paper) / self.paper
+
+    @property
+    def abs_pct_error(self) -> float:
+        """Absolute percentage error."""
+        return 100.0 * abs(self.relative_error)
+
+
+def table_errors(
+    direction: str = "forward",
+    min_paper_latency_ms: float = 0.01,
+) -> list[CellError]:
+    """Per-cell errors of one Fig. 12 table.
+
+    Cells whose paper latency is below ``min_paper_latency_ms`` (the
+    sub-microsecond FC5 rows) are skipped — they are printed with one
+    significant digit in the paper and dominate error metrics noise.
+    """
+    spec = modified_alexnet_spec()
+    model = LayerCostModel(spec, config_by_name("E2E"))
+    if direction == "forward":
+        costs = model.forward_costs()
+        paper = {r.layer: r for r in PAPER_FIG12_FORWARD}
+    elif direction == "backward":
+        costs = model.backward_costs()
+        paper = {r.layer: r for r in PAPER_FIG12_BACKWARD}
+    else:
+        raise ValueError("direction must be 'forward' or 'backward'")
+    errors = []
+    for cost in costs:
+        row = paper[cost.layer]
+        if row.latency_ms < min_paper_latency_ms:
+            continue
+        errors.append(
+            CellError(cost.layer, "latency", cost.latency_ms, row.latency_ms)
+        )
+        errors.append(
+            CellError(cost.layer, "energy", cost.energy_mj, row.energy_mj)
+        )
+    return errors
+
+
+def fidelity_summary() -> dict[str, float]:
+    """Aggregate fidelity metrics over both Fig. 12 tables."""
+    spec = modified_alexnet_spec()
+    model = LayerCostModel(spec, config_by_name("E2E"))
+    fwd_lat, fwd_e = model.forward_total()
+    bwd_lat, bwd_e = model.backward_total()
+    paper_fwd_lat = sum(r.latency_ms for r in PAPER_FIG12_FORWARD)
+    paper_fwd_e = sum(r.energy_mj for r in PAPER_FIG12_FORWARD)
+    paper_bwd_lat = sum(r.latency_ms for r in PAPER_FIG12_BACKWARD)
+    paper_bwd_e = sum(r.energy_mj for r in PAPER_FIG12_BACKWARD)
+    all_errors = table_errors("forward") + table_errors("backward")
+    mape = sum(e.abs_pct_error for e in all_errors) / len(all_errors)
+    worst = max(all_errors, key=lambda e: e.abs_pct_error)
+    return {
+        "forward_total_latency_err_pct": 100.0
+        * abs(fwd_lat * 1e3 - paper_fwd_lat) / paper_fwd_lat,
+        "forward_total_energy_err_pct": 100.0
+        * abs(fwd_e * 1e3 - paper_fwd_e) / paper_fwd_e,
+        "backward_total_latency_err_pct": 100.0
+        * abs(bwd_lat * 1e3 - paper_bwd_lat) / paper_bwd_lat,
+        "backward_total_energy_err_pct": 100.0
+        * abs(bwd_e * 1e3 - paper_bwd_e) / paper_bwd_e,
+        "per_cell_mape_pct": mape,
+        "worst_cell_err_pct": worst.abs_pct_error,
+    }

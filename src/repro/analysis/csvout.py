@@ -1,0 +1,29 @@
+"""CSV output for experiment results."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["write_csv"]
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> Path:
+    """Write a table to ``path``; returns the resolved path."""
+    if not headers:
+        raise ValueError("need at least one column")
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError("row width mismatch")
+            writer.writerow(row)
+    return out

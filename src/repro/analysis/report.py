@@ -1,0 +1,81 @@
+"""Aggregate regenerated artifacts into one markdown report.
+
+``pytest benchmarks/ --benchmark-only`` leaves one text artifact per
+paper figure/table in ``benchmarks/results/``; :func:`build_report`
+stitches them into a single reviewable markdown document (the
+machine-generated companion to EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["ARTIFACT_ORDER", "build_report", "write_report"]
+
+#: Artifact files in paper order, with section titles.
+ARTIFACT_ORDER = (
+    ("fig01_fps_requirements.txt", "Fig. 1 — minimum fps vs drone speed"),
+    ("fig03a_network_table.txt", "Fig. 3a — modified AlexNet weight table"),
+    ("tab1_stt_mram.txt", "Table 1 — STT-MRAM parameters"),
+    ("fig4b_system_parameters.txt", "Fig. 4b — system parameters"),
+    ("fig05_memory_mapping.txt", "Fig. 5 — weight-to-memory mapping"),
+    ("fig05_l3_placements.txt", "Fig. 5 — per-layer placement (L3)"),
+    ("fig06_mapping_schemes.txt", "Fig. 6 — convolution mapping schemes"),
+    ("fig09_environments.txt", "Fig. 9 — test environments (ASCII renders)"),
+    ("fig10_learning_curves.txt", "Fig. 10 — learning curves"),
+    ("fig11_safe_flight.txt", "Fig. 11 — safe flight distance"),
+    ("fig12a_forward.txt", "Fig. 12a — forward per-layer costs"),
+    ("fig12b_backward.txt", "Fig. 12b — backward per-layer costs"),
+    ("fig13a_fps_vs_batch.txt", "Fig. 13a — max fps vs batch size"),
+    ("fig13b_latency_energy.txt", "Fig. 13b — latency/energy savings"),
+    ("ablation_nvm_sweep.txt", "Ablation — NVM technology sweep"),
+    ("ablation_batch_sweep.txt", "Ablation — batch-size sweep"),
+    ("ablation_sram_sweep.txt", "Ablation — SRAM capacity sweep"),
+    ("ablation_traffic_endurance.txt", "Ablation — memory traffic & endurance"),
+    ("roofline.txt", "Analysis — roofline of the PE array"),
+    ("sensitivity.txt", "Analysis — calibration sensitivity of conclusions"),
+    ("realtime_queue.txt", "Analysis — real-time frame-queue feasibility"),
+)
+
+
+def build_report(results_dir: str | Path) -> str:
+    """Render all present artifacts as one markdown document.
+
+    Missing artifacts are listed at the end rather than failing, so a
+    partial benchmark run still produces a useful report.
+    """
+    results = Path(results_dir)
+    if not results.is_dir():
+        raise FileNotFoundError(f"no such results directory: {results}")
+    sections = [
+        "# Regenerated paper artifacts",
+        "",
+        "Produced by `pytest benchmarks/ --benchmark-only`; see "
+        "EXPERIMENTS.md for the paper-vs-measured discussion.",
+    ]
+    missing = []
+    for filename, title in ARTIFACT_ORDER:
+        path = results / filename
+        if not path.exists():
+            missing.append(filename)
+            continue
+        sections.append("")
+        sections.append(f"## {title}")
+        sections.append("")
+        sections.append("```")
+        sections.append(path.read_text().rstrip("\n"))
+        sections.append("```")
+    if missing:
+        sections.append("")
+        sections.append("## Missing artifacts (benchmarks not yet run)")
+        sections.append("")
+        sections.extend(f"* `{name}`" for name in missing)
+    return "\n".join(sections) + "\n"
+
+
+def write_report(results_dir: str | Path, output: str | Path) -> Path:
+    """Build and write the report; returns the output path."""
+    out = Path(output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(build_report(results_dir))
+    return out

@@ -1,0 +1,116 @@
+"""Plain-text table formatting."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.perf.calibration import PaperLayerRow
+from repro.perf.layer_cost import LayerCost
+from repro.systolic.conv_mapping import ConvMapping
+
+__all__ = ["format_table", "format_fig12_table", "format_mapping_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    if not headers:
+        raise ValueError("need at least one column")
+    rendered = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        rendered.append(
+            [
+                float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [fmt_line(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt_line(r) for r in rendered)
+    return "\n".join(lines)
+
+
+def format_fig12_table(
+    costs: Sequence[LayerCost],
+    paper_rows: Sequence[PaperLayerRow] | None = None,
+) -> str:
+    """Fig. 12-style per-layer table, optionally with paper columns."""
+    if paper_rows is None:
+        headers = ["Layer", "Latency (ms)", "Active PEs", "Power (mW)", "Energy (mJ)"]
+        rows = [
+            [c.layer, c.latency_ms, c.active_pes, c.power_w * 1e3, c.energy_mj]
+            for c in costs
+        ]
+        rows.append(
+            [
+                "total",
+                sum(c.latency_ms for c in costs),
+                "",
+                "",
+                sum(c.energy_mj for c in costs),
+            ]
+        )
+        return format_table(headers, rows)
+    paper = {r.layer: r for r in paper_rows}
+    headers = [
+        "Layer",
+        "Lat model (ms)",
+        "Lat paper (ms)",
+        "E model (mJ)",
+        "E paper (mJ)",
+        "PEs model",
+        "PEs paper",
+    ]
+    rows = []
+    for c in costs:
+        p = paper[c.layer]
+        rows.append(
+            [c.layer, c.latency_ms, p.latency_ms, c.energy_mj, p.energy_mj,
+             c.active_pes, p.active_pes]
+        )
+    rows.append(
+        [
+            "total",
+            sum(c.latency_ms for c in costs),
+            sum(paper[c.layer].latency_ms for c in costs),
+            sum(c.energy_mj for c in costs),
+            sum(paper[c.layer].energy_mj for c in costs),
+            "",
+            "",
+        ]
+    )
+    return format_table(headers, rows)
+
+
+def format_mapping_table(mappings: Sequence[ConvMapping]) -> str:
+    """Fig. 6-style mapping geometry table."""
+    headers = [
+        "Layer", "Type", "Segments", "Sets", "Cols", "Filters/seg",
+        "Row passes", "Ch passes", "Active PEs",
+    ]
+    rows = [
+        [
+            m.layer,
+            m.mapping_type.value,
+            m.segments,
+            m.sets,
+            m.cols_used,
+            m.filters_per_segment,
+            m.row_passes,
+            m.channel_passes,
+            m.active_pes,
+        ]
+        for m in mappings
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,250 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+    python -m repro fig1          # min-fps table (Fig. 1c)
+    python -m repro fig3          # network/weight table (Fig. 3a)
+    python -m repro fig5          # memory mapping (Fig. 5)
+    python -m repro fig6          # conv mapping schemes (Fig. 6)
+    python -m repro fig12         # per-layer costs vs paper (Fig. 12)
+    python -m repro fig13         # fps vs batch + savings (Fig. 13)
+    python -m repro params        # Table 1 + Fig. 4b parameters
+    python -m repro rl --env indoor-apartment --iters 800
+    python -m repro map --env outdoor-forest  # ASCII world render
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import (
+    ascii_bars,
+    format_fig12_table,
+    format_mapping_table,
+    format_table,
+)
+from repro.core import paper_system_parameters
+from repro.env.fps import DMIN_TABLE, PAPER_SPEEDS, fps_requirement_table
+from repro.env.generators import ENVIRONMENTS, make_environment
+from repro.env.trace import render_world_ascii
+from repro.memory import STT_MRAM, WeightMapper
+from repro.nn import modified_alexnet_spec, parameter_table
+from repro.perf import (
+    LayerCostModel,
+    PAPER_FIG12_BACKWARD,
+    PAPER_FIG12_FORWARD,
+    fps_vs_batch_table,
+    savings_vs_e2e,
+)
+from repro.rl import config_by_name, run_transfer_experiment
+from repro.systolic import map_conv_layer
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_fig1(_args) -> None:
+    table = fps_requirement_table()
+    rows = [
+        [env, DMIN_TABLE[env]] + [round(float(v), 3) for v in table[env]]
+        for env in sorted(table)
+    ]
+    print(format_table(["Environment", "d_min"] + [f"{v} m/s" for v in PAPER_SPEEDS], rows))
+
+
+def _cmd_fig3(_args) -> None:
+    spec = modified_alexnet_spec()
+    rows = [
+        [r["layer"], r["neurons"], r["weights"],
+         round(r["pct_total"], 3), round(r["pct_cumulative"], 3)]
+        for r in parameter_table(spec)
+    ]
+    rows.append(["total", "", spec.total_weights, 100.0, ""])
+    print(format_table(["Layer", "# neurons", "# weights", "% total", "% cumul"], rows))
+
+
+def _cmd_fig5(_args) -> None:
+    spec = modified_alexnet_spec()
+    rows = []
+    for name in ("L2", "L3", "L4", "E2E"):
+        r = WeightMapper(spec, config_by_name(name)).build()
+        rows.append(
+            [name, round(r.nvm_mb, 1), round(r.sram_weight_bytes / 1e6, 1),
+             round(r.sram_gradient_bytes / 1e6, 1),
+             round(r.sram_scratchpad_bytes / 1e6, 1), round(r.sram_total_mb, 1)]
+        )
+    print(format_table(
+        ["Config", "NVM MB", "SRAM wts", "SRAM grads", "Scratch", "SRAM total"], rows
+    ))
+
+
+def _cmd_fig6(_args) -> None:
+    spec = modified_alexnet_spec()
+    print(format_mapping_table([map_conv_layer(c) for c in spec.conv_layers]))
+
+
+def _cmd_fig12(_args) -> None:
+    spec = modified_alexnet_spec()
+    model = LayerCostModel(spec, config_by_name("E2E"))
+    print("Forward (model vs paper):")
+    print(format_fig12_table(model.forward_costs(), PAPER_FIG12_FORWARD))
+    print()
+    print("Backward, E2E baseline (model vs paper):")
+    print(format_fig12_table(model.backward_costs(), PAPER_FIG12_BACKWARD))
+
+
+def _cmd_fig13(_args) -> None:
+    spec = modified_alexnet_spec()
+    models = {
+        name: LayerCostModel(spec, config_by_name(name))
+        for name in ("L2", "L3", "L4", "E2E")
+    }
+    table = fps_vs_batch_table(models)
+    rows = [
+        [name] + [round(table[name][b], 2) for b in (4, 8, 16)]
+        for name in table
+    ]
+    print(format_table(["Config", "batch 4", "batch 8", "batch 16"], rows))
+    print()
+    print(ascii_bars(list(table), [table[n][4] for n in table],
+                     title="fps at batch 4", unit=" fps"))
+    print()
+    for name in ("L2", "L3", "L4"):
+        s = savings_vs_e2e(models[name], models["E2E"])
+        print(
+            f"{name} vs E2E: latency -{s['latency_decrease_pct']:.1f}%, "
+            f"energy -{s['energy_decrease_pct']:.1f}%"
+        )
+
+
+def _cmd_params(_args) -> None:
+    print("Table 1 — STT-MRAM:")
+    print(format_table(
+        ["Parameter", "Value"],
+        [
+            ["Write latency", f"{STT_MRAM.write_latency_s * 1e9:.0f} ns"],
+            ["Read latency", f"{STT_MRAM.read_latency_s * 1e9:.0f} ns"],
+            ["Write energy", f"{STT_MRAM.write_energy_per_bit_j * 1e12:.1f} pJ/bit"],
+            ["Read energy", f"{STT_MRAM.read_energy_per_bit_j * 1e12:.1f} pJ/bit"],
+        ],
+    ))
+    print()
+    p = paper_system_parameters()
+    print("Fig. 4b — system parameters:")
+    print(format_table(
+        ["Parameter", "Value"],
+        [
+            ["Technology", p.technology],
+            ["PEs", f"{p.num_pes} ({p.pe_grid[0]}x{p.pe_grid[1]})"],
+            ["Buffer/scratch", f"{p.global_buffer_mb}/{p.scratchpad_mb} MB"],
+            ["RF per PE", f"{p.register_file_per_pe_kb} KB"],
+            ["Voltage", f"{p.operating_voltage_v} V"],
+            ["Clock", f"{p.clock_hz / 1e9:.0f} GHz"],
+            ["Precision", f"{p.arithmetic_precision_bits}-bit fixed"],
+            ["PE link", f"{p.pe_link_bits} bit"],
+        ],
+    ))
+
+
+def _cmd_timeline(args) -> None:
+    from repro.perf import build_timeline
+
+    spec = modified_alexnet_spec()
+    model = LayerCostModel(spec, config_by_name(args.config))
+    timeline = build_timeline(model)
+    print(timeline.gantt_ascii())
+    by_kind = timeline.by_kind()
+    print()
+    for kind, seconds in by_kind.items():
+        print(f"  {kind}: {seconds * 1e3:.2f} ms")
+    print(f"  hidden NVM stream time: {timeline.hidden_stream_s * 1e3:.3f} ms")
+
+
+def _cmd_rl(args) -> None:
+    results = run_transfer_experiment(
+        args.env,
+        meta_iterations=args.iters,
+        adapt_iterations=args.iters,
+        seed=args.seed,
+        image_side=16,
+    )
+    rows = [
+        [name, round(r.final_reward, 3), round(r.safe_flight_distance, 2),
+         r.crash_count]
+        for name, r in results.items()
+    ]
+    print(format_table(["Config", "Final reward", "SFD (m)", "Crashes"], rows))
+
+
+def _cmd_map(args) -> None:
+    world = make_environment(args.env, seed=args.seed)
+    print(render_world_ascii(world))
+
+
+def _cmd_report(args) -> None:
+    from repro.analysis import write_report
+
+    out = write_report(args.results, args.output)
+    print(f"wrote {out}")
+
+
+def _cmd_roofline(_args) -> None:
+    from repro.perf import RooflineModel
+
+    spec = modified_alexnet_spec()
+    model = RooflineModel()
+    print(
+        f"peak {model.peak_gmacs:.0f} GMAC/s | stream {model.stream_gbytes:.0f} "
+        f"GB/s | ridge {model.ridge_intensity:.0f} MAC/B"
+    )
+    rows = [
+        [
+            p.layer,
+            round(p.operational_intensity, 2),
+            round(p.attainable_gmacs, 1),
+            "compute" if p.compute_bound else "bandwidth",
+        ]
+        for p in model.analyze_network(spec)
+    ]
+    print(format_table(["Layer", "MAC/B", "GMAC/s", "Bound"], rows))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts of the DATE 2019 STT-MRAM drone paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn in [
+        ("fig1", _cmd_fig1), ("fig3", _cmd_fig3), ("fig5", _cmd_fig5),
+        ("fig6", _cmd_fig6), ("fig12", _cmd_fig12), ("fig13", _cmd_fig13),
+        ("params", _cmd_params), ("roofline", _cmd_roofline),
+    ]:
+        p = sub.add_parser(name, help=fn.__doc__)
+        p.set_defaults(func=fn)
+    p_tl = sub.add_parser(
+        "timeline", help="Gantt chart of one training pass on the platform"
+    )
+    p_tl.add_argument("--config", default="L3", choices=["L2", "L3", "L4", "E2E"])
+    p_tl.set_defaults(func=_cmd_timeline)
+    p_rl = sub.add_parser("rl", help="run the scaled TL + online-RL experiment")
+    p_rl.add_argument("--env", default="indoor-apartment", choices=sorted(ENVIRONMENTS))
+    p_rl.add_argument("--iters", type=int, default=800)
+    p_rl.add_argument("--seed", type=int, default=0)
+    p_rl.set_defaults(func=_cmd_rl)
+    p_map = sub.add_parser("map", help="render an environment as ASCII art")
+    p_map.add_argument("--env", default="indoor-apartment", choices=sorted(ENVIRONMENTS))
+    p_map.add_argument("--seed", type=int, default=0)
+    p_map.set_defaults(func=_cmd_map)
+    p_report = sub.add_parser(
+        "report", help="aggregate benchmark artifacts into one markdown report"
+    )
+    p_report.add_argument("--results", default="benchmarks/results")
+    p_report.add_argument("--output", default="benchmarks/results/REPORT.md")
+    p_report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0

@@ -1,0 +1,26 @@
+"""The paper's contribution: the algorithm-hardware co-design.
+
+:class:`~repro.core.platform.Platform` bundles the embedded hardware
+(systolic array + STT-MRAM stack + SRAM buffer + camera DRAM);
+:class:`~repro.core.codesign.CoDesign` ties a transfer-learning topology
+to a platform, validates that the trainable tail fits the SRAM budget,
+and evaluates both sides of the co-design:
+
+* hardware: per-layer costs, sustainable fps, energy per frame, maximum
+  safe flight velocity (Figs. 12, 13, 1);
+* algorithm: the RL task metrics via the scaled functional experiments
+  (Figs. 10, 11).
+"""
+
+from repro.core.platform import Platform, SystemParameters
+from repro.core.presets import paper_platform, paper_system_parameters
+from repro.core.codesign import CoDesign, HardwareEvaluation
+
+__all__ = [
+    "Platform",
+    "SystemParameters",
+    "paper_platform",
+    "paper_system_parameters",
+    "CoDesign",
+    "HardwareEvaluation",
+]

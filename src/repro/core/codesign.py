@@ -1,0 +1,151 @@
+"""CoDesign: one transfer topology on one platform.
+
+This is the library's headline API.  A ``CoDesign`` validates that the
+configuration's trainable tail (plus gradient accumulators and
+scratchpad) fits the platform's SRAM and that the frozen prefix fits the
+NVM, then answers the paper's questions:
+
+* what does a training iteration cost (latency / energy / fps)?
+* how fast may the drone fly (fps -> velocity via Fig. 1)?
+* does the learned policy still work (scaled RL experiment)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.platform import Platform
+from repro.env.fps import DMIN_TABLE
+from repro.memory.mapping import MappingReport, WeightMapper
+from repro.nn.alexnet import modified_alexnet_spec
+from repro.nn.specs import NetworkSpec
+from repro.perf.layer_cost import LayerCost, LayerCostModel
+from repro.perf.training import IterationCost, TrainingIterationModel
+from repro.rl.experiment import TrainingResult, online_adapt, meta_train
+from repro.rl.transfer import TransferConfig, config_by_name
+
+__all__ = ["HardwareEvaluation", "CoDesign"]
+
+
+@dataclass(frozen=True)
+class HardwareEvaluation:
+    """Hardware-side results for one (config, platform, batch) point."""
+
+    config_name: str
+    batch_size: int
+    iteration: IterationCost
+    mapping: MappingReport
+    max_velocities: dict[str, float]
+
+    @property
+    def fps(self) -> float:
+        """Sustainable training-iteration rate."""
+        return self.iteration.fps
+
+    @property
+    def energy_per_frame_mj(self) -> float:
+        """Energy per image frame in mJ."""
+        return self.iteration.energy_per_frame_j * 1e3
+
+
+class CoDesign:
+    """One algorithm-hardware design point.
+
+    Parameters
+    ----------
+    config:
+        Transfer topology (L2/L3/L4/E2E) or its name.
+    platform:
+        Hardware platform; defaults to the paper's.
+    spec:
+        Network shape; defaults to the paper-scale modified AlexNet.
+    strict:
+        When true (default), constructing a design point whose SRAM
+        demand exceeds the platform buffer raises immediately.
+    """
+
+    def __init__(
+        self,
+        config: TransferConfig | str,
+        platform: Platform | None = None,
+        spec: NetworkSpec | None = None,
+        strict: bool = True,
+    ):
+        if isinstance(config, str):
+            config = config_by_name(config)
+        self.config = config
+        self.platform = platform or Platform()
+        self.spec = spec or modified_alexnet_spec()
+        mapper = WeightMapper(
+            self.spec,
+            self.config,
+            scratchpad_bytes=self.platform.buffer.scratchpad_bytes,
+        )
+        if strict:
+            self.mapping = mapper.validate(
+                self.platform.buffer.capacity_bytes,
+                self.platform.nvm.capacity_bytes,
+            )
+        else:
+            self.mapping = mapper.build()
+        self.cost_model = LayerCostModel(
+            self.spec,
+            self.config,
+            array=self.platform.array,
+            nvm=self.platform.nvm,
+            buffer=self.platform.buffer,
+        )
+        self.trainer = TrainingIterationModel(self.cost_model)
+
+    # ------------------------------------------------------------------
+    # Hardware side
+    # ------------------------------------------------------------------
+    def evaluate_hardware(self, batch_size: int = 4) -> HardwareEvaluation:
+        """Iteration cost, fps and velocity envelope at ``batch_size``."""
+        iteration = self.trainer.iteration_cost(batch_size)
+        velocities = {
+            env: self.trainer.max_velocity(batch_size, d_min)
+            for env, d_min in DMIN_TABLE.items()
+        }
+        return HardwareEvaluation(
+            config_name=self.config.name,
+            batch_size=batch_size,
+            iteration=iteration,
+            mapping=self.mapping,
+            max_velocities=velocities,
+        )
+
+    def layer_costs(self) -> dict[str, list[LayerCost]]:
+        """Fig. 12-style per-layer cost tables."""
+        return {
+            "forward": self.cost_model.forward_costs(),
+            "backward": self.cost_model.backward_costs(),
+        }
+
+    # ------------------------------------------------------------------
+    # Algorithm side
+    # ------------------------------------------------------------------
+    def evaluate_task(
+        self,
+        test_env_name: str,
+        meta_iterations: int = 1500,
+        adapt_iterations: int = 1500,
+        seed: int = 0,
+    ) -> TrainingResult:
+        """Run the scaled RL experiment for this topology.
+
+        Meta-trains in the matching meta-environment, then adapts online
+        in ``test_env_name`` with this design point's topology.
+        """
+        from repro.env.generators import META_FOR_TEST
+
+        meta = meta_train(
+            META_FOR_TEST[test_env_name], iterations=meta_iterations, seed=seed
+        )
+        return online_adapt(
+            meta.final_state,
+            test_env_name,
+            self.config,
+            iterations=adapt_iterations,
+            seed=seed + 13,
+        )

@@ -1,0 +1,60 @@
+"""Hardware platform container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.devices import CameraDram, GlobalBuffer, SttMramStack
+from repro.systolic.array import ArrayConfig, PAPER_ARRAY
+
+__all__ = ["Platform", "SystemParameters"]
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """The Fig. 4b parameter table as structured data."""
+
+    technology: str
+    num_pes: int
+    pe_grid: tuple[int, int]
+    global_buffer_mb: float
+    scratchpad_mb: float
+    register_file_per_pe_kb: float
+    operating_voltage_v: float
+    clock_hz: float
+    peak_throughput_tops_per_w: float
+    arithmetic_precision_bits: int
+    pe_link_bits: int
+    nvm_ios: int
+    nvm_io_gbps: float
+
+
+@dataclass
+class Platform:
+    """An embedded drone compute platform.
+
+    Bundles the systolic array configuration with the three memories of
+    Fig. 4a: stacked STT-MRAM (weights), on-die SRAM global buffer
+    (trainable tail + gradients + scratch) and the off-chip camera DRAM.
+    """
+
+    name: str = "paper-platform"
+    array: ArrayConfig = PAPER_ARRAY
+    nvm: SttMramStack = field(default_factory=SttMramStack)
+    buffer: GlobalBuffer = field(default_factory=GlobalBuffer)
+    camera_dram: CameraDram = field(default_factory=CameraDram)
+
+    def reset_counters(self) -> None:
+        """Zero every device's access statistics."""
+        self.nvm.reset_counters()
+        self.buffer.reset_counters()
+        self.camera_dram.reset_counters()
+
+    def memory_summary(self) -> dict[str, float]:
+        """Capacities in (decimal) MB per device."""
+        return {
+            "nvm_mb": self.nvm.capacity_bytes / 1e6,
+            "buffer_mb": self.buffer.capacity_bytes / 1e6,
+            "scratchpad_mb": self.buffer.scratchpad_bytes / 1e6,
+            "camera_dram_mb": self.camera_dram.capacity_bytes / 1e6,
+        }

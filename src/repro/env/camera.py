@@ -1,0 +1,132 @@
+"""Stereo depth camera model.
+
+The paper's drone derives its RL state from the *depth map* computed from
+a stereo camera's disparity (Section II.B).  We model the same pipeline:
+
+1. Cast one ray per image column across the horizontal field of view to
+   get the true horizontal hit distance of walls/obstacles.
+2. Project into a 2.5-D depth image: for every pixel row, the visible
+   depth is the nearer of the obstacle (at the column's slant distance)
+   and the floor/ceiling plane the pixel's vertical angle intersects.
+3. Corrupt with a stereo-disparity noise model: a constant disparity
+   error translates into a depth error growing with depth squared —
+   ``sigma(d) = sigma_disparity * d^2 / (f * B)``.
+
+The output is a ``(height, width)`` float image of depths in metres,
+optionally normalised to [0, 1] by the far plane (what the CNN consumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.world import Pose, World
+
+__all__ = ["StereoNoiseModel", "DepthCamera"]
+
+
+@dataclass(frozen=True)
+class StereoNoiseModel:
+    """Depth noise of a stereo pair with baseline*focal product ``fb``.
+
+    ``sigma(d) = disparity_sigma_px * d^2 / fb`` — the classic stereo
+    triangulation error law.  ``fb`` has units of metres * pixels.
+    """
+
+    disparity_sigma_px: float = 0.25
+    fb: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.disparity_sigma_px < 0:
+            raise ValueError("disparity sigma must be non-negative")
+        if self.fb <= 0:
+            raise ValueError("fb must be positive")
+
+    def sigma(self, depth: np.ndarray) -> np.ndarray:
+        """Per-pixel depth noise standard deviation."""
+        return self.disparity_sigma_px * np.square(depth) / self.fb
+
+    def corrupt(self, depth: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Add depth-dependent Gaussian noise."""
+        if self.disparity_sigma_px == 0.0:
+            return depth
+        return depth + rng.normal(0.0, 1.0, size=depth.shape) * self.sigma(depth)
+
+
+@dataclass
+class DepthCamera:
+    """Forward-looking depth camera with a 2.5-D projection model."""
+
+    width: int = 32
+    height: int = 32
+    fov_deg: float = 90.0
+    vertical_fov_deg: float = 60.0
+    mount_height: float = 1.0
+    ceiling_height: float = 3.0
+    noise: StereoNoiseModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.width < 2 or self.height < 2:
+            raise ValueError("image must be at least 2x2")
+        if not 0 < self.fov_deg <= 180 or not 0 < self.vertical_fov_deg < 180:
+            raise ValueError("field of view out of range")
+        if not 0 < self.mount_height < self.ceiling_height:
+            raise ValueError("camera must sit between floor and ceiling")
+
+    def column_angles(self) -> np.ndarray:
+        """Relative horizontal ray angle per image column (left to right)."""
+        half = np.deg2rad(self.fov_deg) / 2.0
+        return np.linspace(half, -half, self.width)
+
+    def row_angles(self) -> np.ndarray:
+        """Vertical pixel angle per row, positive = up."""
+        half = np.deg2rad(self.vertical_fov_deg) / 2.0
+        return np.linspace(half, -half, self.height)
+
+    def render(
+        self,
+        world: World,
+        pose: Pose,
+        rng: np.random.Generator | None = None,
+        normalized: bool = True,
+    ) -> np.ndarray:
+        """Render the depth image seen from ``pose`` in ``world``.
+
+        Returns a (height, width) array; if ``normalized``, depths are
+        divided by the world's ``max_range`` and clipped to [0, 1].
+        """
+        horizontal = world.cast_rays(pose, self.column_angles())  # (W,)
+        rows = self.row_angles()  # (H,)
+        tan_rows = np.tan(rows)
+        # Obstacle slant distance for each (row, col): horizontal distance
+        # stretched by the vertical viewing angle.
+        cos_rows = np.cos(rows)
+        obstacle = horizontal[None, :] / np.maximum(cos_rows[:, None], 1e-6)
+        # Floor plane: visible at downward angles; distance to the floor
+        # intersection along the viewing ray.
+        with np.errstate(divide="ignore"):
+            floor = np.where(
+                tan_rows < -1e-6,
+                self.mount_height / np.maximum(-np.sin(rows), 1e-9),
+                np.inf,
+            )
+        if world.is_indoor:
+            head_room = self.ceiling_height - self.mount_height
+            ceiling = np.where(
+                tan_rows > 1e-6,
+                head_room / np.maximum(np.sin(rows), 1e-9),
+                np.inf,
+            )
+        else:
+            ceiling = np.full_like(floor, np.inf)
+        planes = np.minimum(floor, ceiling)[:, None]  # (H, 1)
+        depth = np.minimum(obstacle, planes)
+        depth = np.minimum(depth, world.max_range)
+        if self.noise is not None and rng is not None:
+            depth = self.noise.corrupt(depth, rng)
+            depth = np.clip(depth, 0.0, world.max_range)
+        if normalized:
+            return depth / world.max_range
+        return depth

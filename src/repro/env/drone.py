@@ -1,0 +1,93 @@
+"""Drone kinematics and the paper's five-action space.
+
+Section II.B: "We have limited the action space to five values
+A = {0,1,2,3,4} where under the action 0 the drone moves forward, 1 and 3
+the drone turns left with turn angles 25 and 55 degrees respectively and
+2 and 4 the drone turns right with turn angles 25 and 55."
+
+Between consecutive camera frames the drone travels ``d_frame = v / fps``
+metres (Fig. 1a); every action therefore advances the drone by d_frame
+along its (possibly just-rotated) heading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro.env.world import Pose
+
+__all__ = ["Action", "ACTIONS", "TURN_ANGLES_DEG", "Drone"]
+
+
+class Action(IntEnum):
+    """The five navigation actions."""
+
+    FORWARD = 0
+    LEFT_25 = 1
+    RIGHT_25 = 2
+    LEFT_55 = 3
+    RIGHT_55 = 4
+
+
+#: Signed turn angle in degrees for each action (positive = left/CCW).
+TURN_ANGLES_DEG = {
+    Action.FORWARD: 0.0,
+    Action.LEFT_25: 25.0,
+    Action.RIGHT_25: -25.0,
+    Action.LEFT_55: 55.0,
+    Action.RIGHT_55: -55.0,
+}
+
+#: All actions in index order.
+ACTIONS = tuple(Action)
+
+
+@dataclass
+class Drone:
+    """A kinematic drone moving in the horizontal plane.
+
+    Parameters
+    ----------
+    pose:
+        Current pose.
+    radius:
+        Collision radius in metres (typical small quadrotor ~0.3 m).
+    d_frame:
+        Distance travelled between frames, ``v / fps``.
+    """
+
+    pose: Pose
+    radius: float = 0.3
+    d_frame: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+        if self.d_frame <= 0:
+            raise ValueError("d_frame must be positive")
+
+    def apply_action(self, action: int | Action) -> Pose:
+        """Turn (if the action says so) then advance by ``d_frame``.
+
+        Returns the new pose; also updates :attr:`pose` in place.
+        """
+        action = Action(action)
+        turn = np.deg2rad(TURN_ANGLES_DEG[action])
+        heading = _wrap_angle(self.pose.heading + turn)
+        x = self.pose.x + self.d_frame * np.cos(heading)
+        y = self.pose.y + self.d_frame * np.sin(heading)
+        self.pose = Pose(float(x), float(y), float(heading))
+        return self.pose
+
+    def teleport(self, pose: Pose) -> None:
+        """Reset the drone to ``pose`` (post-crash respawn)."""
+        self.pose = Pose(pose.x, pose.y, pose.heading)
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap to (-pi, pi]."""
+    wrapped = (angle + np.pi) % (2.0 * np.pi) - np.pi
+    return float(wrapped)

@@ -1,0 +1,92 @@
+"""Drone dynamics models.
+
+Section VI.B: "The algorithm is tested on a simulated environment with
+the dynamics of realistic drones."  The default :class:`~repro.env.drone.Drone`
+is purely kinematic (it turns and moves exactly as commanded); this
+module adds a first-order *inertial* model where heading and speed lag
+the commands — closer to a real quadrotor — so the library can study how
+much the learned policy depends on ideal actuation.
+
+The inertial drone honours the same five-action interface, making the
+two models drop-in interchangeable in :class:`~repro.env.episode.NavigationEnv`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.drone import Action, TURN_ANGLES_DEG, _wrap_angle
+from repro.env.world import Pose
+
+__all__ = ["InertialDrone"]
+
+
+@dataclass
+class InertialDrone:
+    """A drone with first-order heading and speed dynamics.
+
+    Commands set a *target* heading change and the drone slews toward it
+    at a bounded turn rate; forward speed relaxes toward the cruise
+    speed with a time constant.  With ``turn_rate`` and
+    ``speed_tau`` pushed to their limits this degenerates to the
+    kinematic model.
+
+    Parameters
+    ----------
+    pose:
+        Initial pose.
+    radius:
+        Collision radius in metres.
+    d_frame:
+        Nominal distance per frame (cruise speed x frame period).
+    turn_fraction:
+        Fraction of a commanded turn executed within one frame (1.0 =
+        kinematic; realistic quadrotors at a few m/s: ~0.5-0.8).
+    speed_recovery:
+        Per-frame recovery of forward speed after a turn scrubs it
+        (turning sheds speed proportionally to the turn magnitude).
+    """
+
+    pose: Pose
+    radius: float = 0.3
+    d_frame: float = 0.5
+    turn_fraction: float = 0.7
+    speed_recovery: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0 or self.d_frame <= 0:
+            raise ValueError("radius and d_frame must be positive")
+        if not 0.0 < self.turn_fraction <= 1.0:
+            raise ValueError("turn_fraction must be in (0, 1]")
+        if not 0.0 < self.speed_recovery <= 1.0:
+            raise ValueError("speed_recovery must be in (0, 1]")
+        self._pending_turn = 0.0
+        self._speed_scale = 1.0
+
+    def apply_action(self, action: int | Action) -> Pose:
+        """Execute one (lagged) action; returns and stores the new pose."""
+        action = Action(action)
+        commanded = np.deg2rad(TURN_ANGLES_DEG[action])
+        # New command merges with whatever turn is still pending.
+        self._pending_turn += commanded
+        executed = self.turn_fraction * self._pending_turn
+        self._pending_turn -= executed
+        heading = _wrap_angle(self.pose.heading + executed)
+        # Turning scrubs speed; straight flight recovers it.
+        scrub = min(abs(executed) / np.pi, 1.0)
+        self._speed_scale *= 1.0 - 0.5 * scrub
+        self._speed_scale += self.speed_recovery * (1.0 - self._speed_scale)
+        self._speed_scale = float(np.clip(self._speed_scale, 0.1, 1.0))
+        dist = self.d_frame * self._speed_scale
+        x = self.pose.x + dist * np.cos(heading)
+        y = self.pose.y + dist * np.sin(heading)
+        self.pose = Pose(float(x), float(y), float(heading))
+        return self.pose
+
+    def teleport(self, pose: Pose) -> None:
+        """Reset pose and dynamic state (post-crash respawn)."""
+        self.pose = Pose(pose.x, pose.y, pose.heading)
+        self._pending_turn = 0.0
+        self._speed_scale = 1.0

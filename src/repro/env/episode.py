@@ -1,0 +1,171 @@
+"""Episode runner: the RL-facing navigation environment.
+
+Wraps a :class:`~repro.env.world.World`, a :class:`~repro.env.drone.Drone`
+and a :class:`~repro.env.camera.DepthCamera` behind a gym-style
+``reset``/``step`` interface, and tracks the paper's task metric — the
+*safe flight distance* (SFD), "the average distance (in meters) travelled
+by the drone before it crashes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.env.camera import DepthCamera
+from repro.env.drone import ACTIONS, Drone
+from repro.env.reward import RewardConfig, compute_reward
+from repro.env.world import Pose, World
+
+__all__ = ["Transition", "SafeFlightTracker", "NavigationEnv"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One RL data tuple (s_t, a_t, r_t, s_{t+1}, done)."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+@dataclass
+class SafeFlightTracker:
+    """Accumulates flight distances between crashes.
+
+    ``safe_flight_distance`` is the mean distance per completed flight
+    segment — the paper's Fig. 11 metric.
+    """
+
+    distances: list[float] = field(default_factory=list)
+    _current: float = 0.0
+
+    def record_step(self, distance: float) -> None:
+        """Add distance flown during one action."""
+        if distance < 0:
+            raise ValueError("distance cannot be negative")
+        self._current += distance
+
+    def record_crash(self) -> None:
+        """Close the current flight segment."""
+        self.distances.append(self._current)
+        self._current = 0.0
+
+    @property
+    def crash_count(self) -> int:
+        """Number of crashes recorded."""
+        return len(self.distances)
+
+    @property
+    def safe_flight_distance(self) -> float:
+        """Mean metres flown per crash (0 if no segment completed)."""
+        if not self.distances:
+            return self._current
+        return float(np.mean(self.distances))
+
+
+class NavigationEnv:
+    """Camera-based navigation environment (gym-like API).
+
+    Parameters
+    ----------
+    world:
+        The environment geometry.
+    camera:
+        Depth camera; its output (normalised depth image with a leading
+        channel axis) is the RL state.
+    d_frame:
+        Distance flown per action, ``v / fps`` (Fig. 1a).
+    reward_config:
+        Centre-window and crash-reward settings.
+    drone_radius:
+        Collision radius.
+    seed:
+        Seed for spawn poses and camera noise.
+    drone:
+        Optional pre-built drone (e.g.
+        :class:`~repro.env.dynamics.InertialDrone`); defaults to the
+        kinematic :class:`~repro.env.drone.Drone`.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        camera: DepthCamera | None = None,
+        d_frame: float | None = None,
+        reward_config: RewardConfig | None = None,
+        drone_radius: float = 0.3,
+        seed: int = 0,
+        drone=None,
+    ):
+        self.world = world
+        self.camera = camera or DepthCamera()
+        # Default travel-per-frame: a quarter of the world's d_min keeps
+        # the control problem solvable (several frames per gap).
+        self.d_frame = d_frame if d_frame is not None else world.d_min / 4.0
+        if self.d_frame <= 0:
+            raise ValueError("d_frame must be positive")
+        self.reward_config = reward_config or RewardConfig()
+        self.rng = np.random.default_rng(seed)
+        if drone is None:
+            drone = Drone(
+                pose=Pose(0.0, 0.0, 0.0),
+                radius=drone_radius,
+                d_frame=self.d_frame,
+            )
+        self.drone = drone
+        self.tracker = SafeFlightTracker()
+        self.num_actions = len(ACTIONS)
+        self._last_obs: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _observe(self) -> np.ndarray:
+        image = self.camera.render(self.world, self.drone.pose, rng=self.rng)
+        return image[None, :, :]  # (1, H, W) for the CNN
+
+    def reset(self) -> np.ndarray:
+        """Respawn at a random collision-free pose and return the state."""
+        pose = self.world.random_free_pose(
+            self.rng, clearance=self.drone.radius + 0.2
+        )
+        self.drone.teleport(pose)
+        self._last_obs = self._observe()
+        return self._last_obs
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]:
+        """Apply ``action``; returns (next_state, reward, done, info)."""
+        if self._last_obs is None:
+            raise RuntimeError("call reset() before step()")
+        if not 0 <= action < self.num_actions:
+            raise ValueError(f"action out of range: {action}")
+        before = self.drone.pose
+        self.drone.apply_action(action)
+        after = self.drone.pose
+        moved = float(np.hypot(after.x - before.x, after.y - before.y))
+        crashed = self.world.in_collision(after.x, after.y, self.drone.radius)
+        if crashed:
+            self.tracker.record_crash()
+            reward = self.reward_config.crash_reward
+            obs = self._last_obs  # terminal frame: camera is in the wall
+            done = True
+        else:
+            self.tracker.record_step(moved)
+            obs = self._observe()
+            reward = compute_reward(obs[0], self.reward_config)
+            done = False
+        self._last_obs = obs if not done else None
+        info = {
+            "pose": after,
+            "crashed": crashed,
+            "distance": moved,
+            "safe_flight_distance": self.tracker.safe_flight_distance,
+        }
+        return obs, reward, done, info
+
+    @property
+    def observation_shape(self) -> tuple[int, int, int]:
+        """(channels, height, width) of observations."""
+        return (1, self.camera.height, self.camera.width)

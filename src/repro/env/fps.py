@@ -1,0 +1,75 @@
+"""Minimum frame-rate model (Fig. 1).
+
+Fig. 1a defines d_min as the minimum distance required for obstacle
+avoidance and d_frame as the distance travelled between frames.  To avoid
+an obstacle the drone must see at least one frame within every d_min of
+travel, so at velocity ``v``:
+
+    fps_min = v / d_min
+
+This law reproduces all 24 cells of the Fig. 1c table exactly (e.g.
+Indoor 1 at 2.5 m/s: 2.5 / 0.7 = 3.571 fps).  Inverting it couples the
+hardware's achievable frame rate (Fig. 13a) to the maximum safe flight
+velocity — the paper's ">3x increase in velocity" claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DMIN_TABLE",
+    "min_fps_for_collision_avoidance",
+    "max_safe_velocity",
+    "fps_requirement_table",
+    "PAPER_SPEEDS",
+]
+
+#: Fig. 1c: d_min per sample environment, in metres.
+DMIN_TABLE = {
+    "Indoor 1": 0.7,
+    "Indoor 2": 1.0,
+    "Indoor 3": 1.3,
+    "Outdoor 1": 3.0,
+    "Outdoor 2": 4.0,
+    "Outdoor 3": 5.0,
+}
+
+#: Drone speeds swept in Fig. 1b/c, in m/s.
+PAPER_SPEEDS = (2.5, 5.0, 7.5, 10.0)
+
+
+def min_fps_for_collision_avoidance(velocity: float, d_min: float) -> float:
+    """Minimum camera/training frame rate at ``velocity`` given ``d_min``."""
+    if velocity <= 0:
+        raise ValueError("velocity must be positive")
+    if d_min <= 0:
+        raise ValueError("d_min must be positive")
+    return velocity / d_min
+
+
+def max_safe_velocity(fps: float, d_min: float) -> float:
+    """Largest safe velocity sustainable at ``fps`` (inverse of the law)."""
+    if fps <= 0:
+        raise ValueError("fps must be positive")
+    if d_min <= 0:
+        raise ValueError("d_min must be positive")
+    return fps * d_min
+
+
+def fps_requirement_table(
+    speeds: tuple[float, ...] = PAPER_SPEEDS,
+    dmin_table: dict[str, float] | None = None,
+) -> dict[str, np.ndarray]:
+    """Reproduce the Fig. 1c grid: required fps per (speed, environment).
+
+    Returns a mapping from environment name to an array aligned with
+    ``speeds``.
+    """
+    table = dmin_table if dmin_table is not None else DMIN_TABLE
+    return {
+        env: np.array(
+            [min_fps_for_collision_avoidance(v, d_min) for v in speeds]
+        )
+        for env, d_min in table.items()
+    }

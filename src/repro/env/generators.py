@@ -1,0 +1,384 @@
+"""Procedural environment generators.
+
+The paper uses four Unreal Engine *test* environments — indoor apartment,
+indoor house, outdoor forest, outdoor town (Fig. 9) — plus larger,
+"complex" indoor and outdoor *meta* environments used for transfer
+learning.  These generators build 2-D analogues with clutter densities
+chosen so the designed minimum obstacle spacing matches the paper's
+d_min settings (Fig. 1c):
+
+========  ==================  ======
+category  environment         d_min
+========  ==================  ======
+indoor    apartment           0.7 m
+indoor    house               1.0 m
+outdoor   forest              3.0 m
+outdoor   town                5.0 m
+========  ==================  ======
+
+All generators are deterministic in their ``seed`` argument.  Meta and
+test environments for the same category share *statistics* but not
+layouts, which is exactly the structure transfer learning exploits: the
+CONV features transfer, the FC tail must adapt online.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.geometry import Box, Circle, Segment
+from repro.env.world import World
+
+__all__ = [
+    "indoor_apartment",
+    "indoor_house",
+    "outdoor_forest",
+    "outdoor_town",
+    "meta_indoor",
+    "meta_outdoor",
+    "make_environment",
+    "ENVIRONMENTS",
+    "META_ENVIRONMENTS",
+    "TEST_ENVIRONMENTS",
+]
+
+
+def _wall_with_door(
+    x1: float, y1: float, x2: float, y2: float, door_at: float, door_width: float
+) -> list[Segment]:
+    """A straight wall broken by a door gap.
+
+    ``door_at`` is the fractional position of the door centre along the
+    wall, ``door_width`` the gap size in metres.
+    """
+    dx, dy = x2 - x1, y2 - y1
+    length = float(np.hypot(dx, dy))
+    if not 0.0 < door_at < 1.0:
+        raise ValueError("door_at must be a fraction in (0, 1)")
+    if door_width >= length:
+        raise ValueError("door wider than the wall")
+    half = door_width / (2.0 * length)
+    lo = max(door_at - half, 0.0)
+    hi = min(door_at + half, 1.0)
+    walls = []
+    if lo > 1e-6:
+        walls.append(Segment(x1, y1, x1 + lo * dx, y1 + lo * dy))
+    if hi < 1.0 - 1e-6:
+        walls.append(Segment(x1 + hi * dx, y1 + hi * dy, x2, y2))
+    return walls
+
+
+def _scatter_circles(
+    rng: np.random.Generator,
+    bounds: Box,
+    count: int,
+    radius_range: tuple[float, float],
+    min_gap: float,
+    margin: float = 2.0,
+    max_tries: int = 4000,
+) -> list[Circle]:
+    """Rejection-sample circles whose surfaces keep ``min_gap`` apart."""
+    circles: list[Circle] = []
+    tries = 0
+    while len(circles) < count and tries < max_tries:
+        tries += 1
+        r = rng.uniform(*radius_range)
+        x = rng.uniform(bounds.xmin + margin + r, bounds.xmax - margin - r)
+        y = rng.uniform(bounds.ymin + margin + r, bounds.ymax - margin - r)
+        ok = all(
+            np.hypot(x - c.cx, y - c.cy) >= r + c.radius + min_gap for c in circles
+        )
+        if ok:
+            circles.append(Circle(x, y, r))
+    return circles
+
+
+def _scatter_boxes(
+    rng: np.random.Generator,
+    bounds: Box,
+    count: int,
+    size_range: tuple[float, float],
+    min_gap: float,
+    margin: float = 2.0,
+    max_tries: int = 4000,
+) -> list[Box]:
+    """Rejection-sample axis-aligned boxes keeping ``min_gap`` apart."""
+    boxes: list[Box] = []
+    tries = 0
+    while len(boxes) < count and tries < max_tries:
+        tries += 1
+        w = rng.uniform(*size_range)
+        h = rng.uniform(*size_range)
+        x = rng.uniform(bounds.xmin + margin, bounds.xmax - margin - w)
+        y = rng.uniform(bounds.ymin + margin, bounds.ymax - margin - h)
+        candidate = Box(x, y, x + w, y + h)
+        ok = all(
+            candidate.xmin - min_gap > b.xmax
+            or candidate.xmax + min_gap < b.xmin
+            or candidate.ymin - min_gap > b.ymax
+            or candidate.ymax + min_gap < b.ymin
+            for b in boxes
+        )
+        if ok:
+            boxes.append(candidate)
+    return boxes
+
+
+# ----------------------------------------------------------------------
+# Indoor test environments
+# ----------------------------------------------------------------------
+
+def indoor_apartment(seed: int = 0) -> World:
+    """A three-room apartment with furniture; d_min = 0.7 m (Indoor 1)."""
+    rng = np.random.default_rng(seed)
+    bounds = Box(0.0, 0.0, 18.0, 12.0)
+    segments: list[Segment] = []
+    # Two interior walls with doors split the flat into three rooms.
+    segments += _wall_with_door(6.0, 0.0, 6.0, 12.0, rng.uniform(0.3, 0.7), 1.6)
+    segments += _wall_with_door(12.0, 0.0, 12.0, 12.0, rng.uniform(0.3, 0.7), 1.6)
+    # A partial corridor wall in the middle room.
+    segments += _wall_with_door(6.0, 7.0, 12.0, 7.0, rng.uniform(0.35, 0.65), 1.8)
+    furniture = _scatter_boxes(
+        rng, bounds, count=8, size_range=(0.6, 1.4), min_gap=0.7, margin=1.0
+    )
+    return World(
+        name="indoor-apartment",
+        bounds=bounds,
+        segments=segments,
+        boxes=furniture,
+        d_min=0.7,
+        max_range=12.0,
+        is_indoor=True,
+    )
+
+
+def indoor_house(seed: int = 0) -> World:
+    """A house with an L-shaped hall; d_min = 1.0 m (Indoor 2)."""
+    rng = np.random.default_rng(seed)
+    bounds = Box(0.0, 0.0, 16.0, 14.0)
+    segments: list[Segment] = []
+    segments += _wall_with_door(0.0, 8.0, 10.0, 8.0, rng.uniform(0.3, 0.7), 1.8)
+    segments += _wall_with_door(10.0, 8.0, 10.0, 14.0, rng.uniform(0.3, 0.7), 1.8)
+    segments += _wall_with_door(8.0, 0.0, 8.0, 5.0, rng.uniform(0.3, 0.7), 1.8)
+    furniture = _scatter_boxes(
+        rng, bounds, count=6, size_range=(0.8, 1.6), min_gap=1.0, margin=1.2
+    )
+    pillars = _scatter_circles(
+        rng, bounds, count=3, radius_range=(0.2, 0.35), min_gap=1.0, margin=1.5
+    )
+    return World(
+        name="indoor-house",
+        bounds=bounds,
+        segments=segments,
+        boxes=furniture,
+        circles=pillars,
+        d_min=1.0,
+        max_range=14.0,
+        is_indoor=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Outdoor test environments
+# ----------------------------------------------------------------------
+
+def outdoor_forest(seed: int = 0) -> World:
+    """A tree field; d_min = 3.0 m (Outdoor 1)."""
+    rng = np.random.default_rng(seed)
+    bounds = Box(0.0, 0.0, 80.0, 80.0)
+    trees = _scatter_circles(
+        rng, bounds, count=70, radius_range=(0.3, 0.9), min_gap=3.0, margin=3.0
+    )
+    return World(
+        name="outdoor-forest",
+        bounds=bounds,
+        circles=trees,
+        d_min=3.0,
+        max_range=50.0,
+        is_indoor=False,
+    )
+
+
+def outdoor_town(seed: int = 0) -> World:
+    """Blocks of houses along open streets; d_min = 5.0 m (Outdoor 3)."""
+    rng = np.random.default_rng(seed)
+    bounds = Box(0.0, 0.0, 100.0, 100.0)
+    houses = _scatter_boxes(
+        rng, bounds, count=14, size_range=(6.0, 12.0), min_gap=5.0, margin=4.0
+    )
+    trees = _scatter_circles(
+        rng, bounds, count=10, radius_range=(0.4, 1.0), min_gap=5.0, margin=4.0
+    )
+    # Drop trees that ended up inside houses.
+    trees = [
+        t
+        for t in trees
+        if not any(h.contains(t.cx, t.cy, margin=t.radius + 1.0) for h in houses)
+    ]
+    return World(
+        name="outdoor-town",
+        bounds=bounds,
+        boxes=houses,
+        circles=trees,
+        d_min=5.0,
+        max_range=60.0,
+        is_indoor=False,
+    )
+
+
+def indoor_warehouse(seed: int = 0) -> World:
+    """A warehouse with shelving aisles; d_min = 1.3 m (Indoor 3).
+
+    Beyond the paper's four Fig. 9 test environments — completes the
+    Fig. 1c d_min ladder on the indoor side.
+    """
+    rng = np.random.default_rng(seed)
+    bounds = Box(0.0, 0.0, 24.0, 16.0)
+    segments: list[Segment] = []
+    # Shelf rows with aisle gaps.
+    for y in (4.0, 8.0, 12.0):
+        segments += _wall_with_door(2.0, y, 22.0, y, rng.uniform(0.25, 0.75), 2.2)
+    crates = _scatter_boxes(
+        rng, bounds, count=6, size_range=(0.8, 1.5), min_gap=1.3, margin=1.2
+    )
+    return World(
+        name="indoor-warehouse",
+        bounds=bounds,
+        segments=segments,
+        boxes=crates,
+        d_min=1.3,
+        max_range=16.0,
+        is_indoor=True,
+    )
+
+
+def outdoor_suburb(seed: int = 0) -> World:
+    """Houses with garden trees; d_min = 4.0 m (Outdoor 2).
+
+    Beyond the paper's four Fig. 9 test environments — completes the
+    Fig. 1c d_min ladder on the outdoor side.
+    """
+    rng = np.random.default_rng(seed)
+    bounds = Box(0.0, 0.0, 90.0, 90.0)
+    houses = _scatter_boxes(
+        rng, bounds, count=12, size_range=(5.0, 9.0), min_gap=4.0, margin=3.5
+    )
+    trees = _scatter_circles(
+        rng, bounds, count=25, radius_range=(0.3, 0.8), min_gap=4.0, margin=3.0
+    )
+    trees = [
+        t
+        for t in trees
+        if not any(h.contains(t.cx, t.cy, margin=t.radius + 1.0) for h in houses)
+    ]
+    return World(
+        name="outdoor-suburb",
+        bounds=bounds,
+        boxes=houses,
+        circles=trees,
+        d_min=4.0,
+        max_range=55.0,
+        is_indoor=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Meta (transfer-learning) environments
+# ----------------------------------------------------------------------
+
+def meta_indoor(seed: int = 100) -> World:
+    """Complex indoor meta-environment for TL (richer than any test)."""
+    rng = np.random.default_rng(seed)
+    bounds = Box(0.0, 0.0, 26.0, 18.0)
+    segments: list[Segment] = []
+    for x in (7.0, 13.0, 19.0):
+        segments += _wall_with_door(x, 0.0, x, 18.0, rng.uniform(0.25, 0.75), 1.7)
+    segments += _wall_with_door(0.0, 9.0, 7.0, 9.0, rng.uniform(0.3, 0.7), 1.7)
+    segments += _wall_with_door(13.0, 9.0, 19.0, 9.0, rng.uniform(0.3, 0.7), 1.7)
+    furniture = _scatter_boxes(
+        rng, bounds, count=14, size_range=(0.6, 1.6), min_gap=0.8, margin=1.0
+    )
+    pillars = _scatter_circles(
+        rng, bounds, count=4, radius_range=(0.2, 0.4), min_gap=0.8, margin=1.2
+    )
+    return World(
+        name="meta-indoor",
+        bounds=bounds,
+        segments=segments,
+        boxes=furniture,
+        circles=pillars,
+        d_min=0.85,
+        max_range=14.0,
+        is_indoor=True,
+    )
+
+
+def meta_outdoor(seed: int = 200) -> World:
+    """Complex outdoor meta-environment: mixed forest and buildings."""
+    rng = np.random.default_rng(seed)
+    bounds = Box(0.0, 0.0, 120.0, 120.0)
+    houses = _scatter_boxes(
+        rng, bounds, count=10, size_range=(5.0, 10.0), min_gap=5.0, margin=4.0
+    )
+    trees = _scatter_circles(
+        rng, bounds, count=80, radius_range=(0.3, 1.0), min_gap=3.5, margin=3.0
+    )
+    trees = [
+        t
+        for t in trees
+        if not any(h.contains(t.cx, t.cy, margin=t.radius + 1.0) for h in houses)
+    ]
+    return World(
+        name="meta-outdoor",
+        bounds=bounds,
+        boxes=houses,
+        circles=trees,
+        d_min=4.0,
+        max_range=60.0,
+        is_indoor=False,
+    )
+
+
+#: Test environments keyed by the names used in Figs. 9–11.
+TEST_ENVIRONMENTS = {
+    "indoor-apartment": indoor_apartment,
+    "indoor-house": indoor_house,
+    "outdoor-forest": outdoor_forest,
+    "outdoor-town": outdoor_town,
+}
+
+#: Extra environments completing the Fig. 1c d_min ladder (Indoor 3 and
+#: Outdoor 2 have no Fig. 9 counterpart in the paper).
+EXTRA_ENVIRONMENTS = {
+    "indoor-warehouse": indoor_warehouse,
+    "outdoor-suburb": outdoor_suburb,
+}
+
+#: Meta-environments used for the transfer-learning phase.
+META_ENVIRONMENTS = {
+    "meta-indoor": meta_indoor,
+    "meta-outdoor": meta_outdoor,
+}
+
+#: All registered environments.
+ENVIRONMENTS = {**TEST_ENVIRONMENTS, **EXTRA_ENVIRONMENTS, **META_ENVIRONMENTS}
+
+#: Which meta-environment trains the TL model for each test environment.
+META_FOR_TEST = {
+    "indoor-apartment": "meta-indoor",
+    "indoor-house": "meta-indoor",
+    "indoor-warehouse": "meta-indoor",
+    "outdoor-forest": "meta-outdoor",
+    "outdoor-town": "meta-outdoor",
+    "outdoor-suburb": "meta-outdoor",
+}
+
+
+def make_environment(name: str, seed: int = 0) -> World:
+    """Build a registered environment by name."""
+    try:
+        factory = ENVIRONMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(ENVIRONMENTS))
+        raise KeyError(f"unknown environment {name!r}; known: {known}") from None
+    return factory(seed)

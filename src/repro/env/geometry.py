@@ -1,0 +1,184 @@
+"""2-D geometric primitives and vectorised ray casting.
+
+Worlds are collections of wall segments and circular obstacles; boxes are
+convenience wrappers that expand into four segments.  The
+:class:`RayCaster` pre-packs all obstacle geometry into NumPy arrays so a
+camera frame (tens of rays) is a handful of vectorised operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Segment", "Circle", "Box", "RayCaster"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A wall from (x1, y1) to (x2, y2)."""
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self) -> None:
+        if abs(self.x1 - self.x2) < _EPS and abs(self.y1 - self.y2) < _EPS:
+            raise ValueError("degenerate segment")
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the wall."""
+        return float(np.hypot(self.x2 - self.x1, self.y2 - self.y1))
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A circular obstacle (tree trunk, pillar, ...)."""
+
+    cx: float
+    cy: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned box obstacle (furniture, house, ...)."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmax <= self.xmin or self.ymax <= self.ymin:
+            raise ValueError("box must have positive extent")
+
+    def segments(self) -> list[Segment]:
+        """The four walls of the box."""
+        return [
+            Segment(self.xmin, self.ymin, self.xmax, self.ymin),
+            Segment(self.xmax, self.ymin, self.xmax, self.ymax),
+            Segment(self.xmax, self.ymax, self.xmin, self.ymax),
+            Segment(self.xmin, self.ymax, self.xmin, self.ymin),
+        ]
+
+    def contains(self, x: float, y: float, margin: float = 0.0) -> bool:
+        """Whether (x, y) lies inside the box grown by ``margin``."""
+        return (
+            self.xmin - margin <= x <= self.xmax + margin
+            and self.ymin - margin <= y <= self.ymax + margin
+        )
+
+
+class RayCaster:
+    """Vectorised nearest-hit ray casting against segments and circles."""
+
+    def __init__(self, segments: list[Segment], circles: list[Circle]):
+        if not segments and not circles:
+            raise ValueError("ray caster needs at least one obstacle")
+        if segments:
+            self._seg_a = np.array([[s.x1, s.y1] for s in segments])
+            self._seg_d = np.array(
+                [[s.x2 - s.x1, s.y2 - s.y1] for s in segments]
+            )
+        else:
+            self._seg_a = np.zeros((0, 2))
+            self._seg_d = np.zeros((0, 2))
+        if circles:
+            self._circ_c = np.array([[c.cx, c.cy] for c in circles])
+            self._circ_r = np.array([c.radius for c in circles])
+        else:
+            self._circ_c = np.zeros((0, 2))
+            self._circ_r = np.zeros(0)
+
+    def cast(
+        self, origin: tuple[float, float], angles: np.ndarray, max_range: float
+    ) -> np.ndarray:
+        """Distance to the nearest obstacle along each angle.
+
+        Parameters
+        ----------
+        origin:
+            Ray origin (shared by all rays — the drone position).
+        angles:
+            (R,) array of world-frame headings in radians.
+        max_range:
+            Distances are clipped to this value (camera far plane).
+
+        Returns
+        -------
+        (R,) array of hit distances in ``(0, max_range]``.
+        """
+        angles = np.asarray(angles, dtype=np.float64)
+        if angles.ndim != 1:
+            raise ValueError("angles must be a 1-D array")
+        if max_range <= 0:
+            raise ValueError("max_range must be positive")
+        o = np.asarray(origin, dtype=np.float64)
+        d = np.stack([np.cos(angles), np.sin(angles)], axis=1)  # (R, 2)
+        best = np.full(angles.shape[0], max_range)
+        if self._seg_a.shape[0]:
+            best = np.minimum(best, self._cast_segments(o, d))
+        if self._circ_c.shape[0]:
+            best = np.minimum(best, self._cast_circles(o, d))
+        return np.clip(best, _EPS, max_range)
+
+    def _cast_segments(self, o: np.ndarray, d: np.ndarray) -> np.ndarray:
+        # Solve o + t*d = a + u*s for each (ray, segment) pair.
+        a, s = self._seg_a, self._seg_d  # (S,2), (S,2)
+        # Cross products; denom[r, k] = d_r x s_k
+        denom = d[:, 0:1] * s[None, :, 1] - d[:, 1:2] * s[None, :, 0]  # (R,S)
+        ao = a[None, :, :] - o[None, None, :].reshape(1, 1, 2)  # (1,S,2)
+        ao = np.broadcast_to(ao, (d.shape[0], a.shape[0], 2))
+        t_num = ao[:, :, 0] * s[None, :, 1] - ao[:, :, 1] * s[None, :, 0]
+        u_num = ao[:, :, 0] * d[:, 1:2] - ao[:, :, 1] * d[:, 0:1]
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            t = t_num / denom
+            u = u_num / denom
+        valid = (np.abs(denom) > _EPS) & (t > _EPS) & (u >= 0.0) & (u <= 1.0)
+        t = np.where(valid, t, np.inf)
+        return t.min(axis=1)
+
+    def _cast_circles(self, o: np.ndarray, d: np.ndarray) -> np.ndarray:
+        # |o + t*d - c|^2 = r^2, with |d| = 1.
+        oc = o[None, None, :] - self._circ_c[None, :, :]  # (1,C,2)
+        oc = np.broadcast_to(oc, (d.shape[0], self._circ_c.shape[0], 2))
+        b = np.einsum("rcx,rx->rc", oc, d)  # (R,C)
+        c_term = np.einsum("rcx,rcx->rc", oc, oc) - self._circ_r[None, :] ** 2
+        disc = b**2 - c_term
+        hit = disc >= 0.0
+        sqrt_disc = np.sqrt(np.where(hit, disc, 0.0))
+        t1 = -b - sqrt_disc
+        t2 = -b + sqrt_disc
+        # Nearest positive root; if the origin is inside, t1 < 0 < t2.
+        t = np.where(t1 > _EPS, t1, np.where(t2 > _EPS, t2, np.inf))
+        t = np.where(hit, t, np.inf)
+        return t.min(axis=1)
+
+    # ------------------------------------------------------------------
+    # Clearance queries (collision checks)
+    # ------------------------------------------------------------------
+    def min_distance(self, point: tuple[float, float]) -> float:
+        """Distance from ``point`` to the nearest obstacle surface."""
+        p = np.asarray(point, dtype=np.float64)
+        best = np.inf
+        if self._seg_a.shape[0]:
+            ap = p[None, :] - self._seg_a  # (S,2)
+            seg_len_sq = np.einsum("sx,sx->s", self._seg_d, self._seg_d)
+            t = np.clip(np.einsum("sx,sx->s", ap, self._seg_d) / seg_len_sq, 0.0, 1.0)
+            nearest = self._seg_a + t[:, None] * self._seg_d
+            dist = np.hypot(*(p[None, :] - nearest).T)
+            best = min(best, float(dist.min()))
+        if self._circ_c.shape[0]:
+            dist = np.hypot(*(p[None, :] - self._circ_c).T) - self._circ_r
+            best = min(best, float(dist.min()))
+        return best

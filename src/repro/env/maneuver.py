@@ -1,0 +1,109 @@
+"""Manoeuvrability analysis: what Fig. 1's d_min actually buys.
+
+Fig. 1a defines d_min as "the minimum distance required for obstacle
+avoidance" and the law fps = v / d_min makes the drone receive exactly
+one decision per d_min of travel.  This module decomposes the required
+sighting distance from first principles:
+
+    sighting distance = perception latency + evasive manoeuvre
+                      = latency_frames * d_frame + manoeuvre(d_frame)
+
+* **Perception latency**: the frame showing the obstacle must be
+  captured, propagated through the CNN and turned into an action while
+  the drone keeps flying straight — at least one frame, more if the
+  training pipeline is backed up (see :mod:`repro.env.realtime`).
+* **Evasive manoeuvre**: turning hard (55 degrees/frame) until the
+  accumulated lateral displacement clears the obstacle's half-width
+  plus the drone radius.
+
+With the paper's one-frame-per-d_min budget, the perception term alone
+consumes the whole d_min — Fig. 1's law is the perception-limited
+*necessary* condition, and the manoeuvre term (a few tenths of a metre
+at indoor speeds) is the safety margin the d_min settings leave on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.drone import TURN_ANGLES_DEG, Action
+
+__all__ = [
+    "evasive_maneuver_distance",
+    "required_sighting_distance",
+    "fig1_law_is_perception_limited",
+]
+
+_MAX_TURN_DEG = abs(TURN_ANGLES_DEG[Action.LEFT_55])
+
+
+def evasive_maneuver_distance(
+    obstacle_halfwidth: float,
+    d_frame: float,
+    drone_radius: float = 0.3,
+    max_turn_deg: float = _MAX_TURN_DEG,
+    max_frames: int = 1000,
+) -> float:
+    """Forward distance consumed by a hard-turn evasion.
+
+    The drone turns ``max_turn_deg`` every frame until its lateral
+    displacement exceeds ``obstacle_halfwidth + drone_radius``; returns
+    the forward distance covered meanwhile.
+    """
+    if obstacle_halfwidth <= 0 or drone_radius <= 0:
+        raise ValueError("geometry must be positive")
+    if d_frame <= 0:
+        raise ValueError("d_frame must be positive")
+    if not 0 < max_turn_deg <= 90:
+        raise ValueError("max_turn_deg must be in (0, 90]")
+    needed = obstacle_halfwidth + drone_radius
+    heading = 0.0
+    forward = 0.0
+    lateral = 0.0
+    for _ in range(max_frames):
+        if lateral >= needed:
+            return forward
+        heading = min(heading + np.deg2rad(max_turn_deg), np.pi / 2)
+        forward += d_frame * np.cos(heading)
+        lateral += d_frame * np.sin(heading)
+    raise ValueError("obstacle too wide to evade within max_frames")
+
+
+def required_sighting_distance(
+    obstacle_halfwidth: float,
+    d_frame: float,
+    drone_radius: float = 0.3,
+    latency_frames: int = 1,
+    max_turn_deg: float = _MAX_TURN_DEG,
+) -> float:
+    """Total distance at which the obstacle must first be visible."""
+    if latency_frames < 0:
+        raise ValueError("latency_frames must be non-negative")
+    perception = latency_frames * d_frame
+    maneuver = evasive_maneuver_distance(
+        obstacle_halfwidth, d_frame, drone_radius, max_turn_deg
+    )
+    return perception + maneuver
+
+
+def fig1_law_is_perception_limited(
+    d_min: float,
+    obstacle_halfwidth: float,
+    drone_radius: float = 0.3,
+    latency_frames: int = 1,
+) -> bool:
+    """Check Fig. 1's law against the decomposition at this d_min.
+
+    Under the law, one frame arrives per ``d_min`` travelled
+    (``d_frame = d_min``).  Returns True when the perception term
+    dominates the manoeuvre term — i.e. the frame budget, not agility,
+    is what d_min pays for.
+    """
+    if d_min <= 0:
+        raise ValueError("d_min must be positive")
+    d_frame = d_min
+    perception = latency_frames * d_frame
+    maneuver = evasive_maneuver_distance(
+        obstacle_halfwidth, d_frame, drone_radius
+    )
+    return perception >= maneuver

@@ -1,0 +1,132 @@
+"""Real-time feasibility: frame arrivals vs training service rate.
+
+Fig. 1 sets the *demand* (minimum fps at a flight velocity) and Fig. 13a
+the *supply* (iterations per second the hardware sustains).  This module
+closes the loop with a deterministic queueing simulation: camera frames
+arrive at a fixed rate into a bounded buffer (the off-chip DRAM of
+Fig. 4a); the training pipeline drains them one iteration at a time.
+Outputs: dropped-frame fraction, queue occupancy, and worst-case
+frame-to-training latency — the numbers that decide whether a topology
+is *really* real-time at a given velocity, beyond average-rate
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RealTimeReport", "simulate_frame_queue", "max_realtime_velocity"]
+
+
+@dataclass(frozen=True)
+class RealTimeReport:
+    """Outcome of a frame-queue simulation."""
+
+    frame_rate_hz: float
+    service_rate_hz: float
+    frames_offered: int
+    frames_processed: int
+    frames_dropped: int
+    max_queue_depth: int
+    max_latency_s: float
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of offered frames dropped at the full buffer."""
+        if self.frames_offered == 0:
+            return 0.0
+        return self.frames_dropped / self.frames_offered
+
+    @property
+    def realtime(self) -> bool:
+        """Whether the pipeline kept up (no drops, bounded queue)."""
+        return self.frames_dropped == 0
+
+
+def simulate_frame_queue(
+    frame_rate_hz: float,
+    iteration_time_s: float,
+    duration_s: float = 10.0,
+    buffer_frames: int = 8,
+) -> RealTimeReport:
+    """Deterministically simulate the camera -> training queue.
+
+    Frames arrive every ``1/frame_rate_hz`` seconds; the trainer takes
+    ``iteration_time_s`` per frame; at most ``buffer_frames`` may wait.
+    """
+    if frame_rate_hz <= 0 or iteration_time_s <= 0:
+        raise ValueError("rates must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if buffer_frames < 1:
+        raise ValueError("buffer must hold at least one frame")
+    period = 1.0 / frame_rate_hz
+    offered = int(duration_s / period)
+    queue: list[float] = []  # arrival timestamps
+    server_free_at = 0.0
+    processed = 0
+    dropped = 0
+    max_depth = 0
+    max_latency = 0.0
+    for i in range(offered):
+        arrival = i * period
+        # Drain everything the server finishes before this arrival.
+        while queue and server_free_at <= arrival:
+            start = max(server_free_at, queue[0])
+            if start > arrival:
+                break
+            latency = start + iteration_time_s - queue.pop(0)
+            max_latency = max(max_latency, latency)
+            server_free_at = start + iteration_time_s
+            processed += 1
+        if len(queue) >= buffer_frames:
+            dropped += 1
+        else:
+            queue.append(arrival)
+        max_depth = max(max_depth, len(queue))
+    # Drain the tail.
+    while queue:
+        start = max(server_free_at, queue[0])
+        latency = start + iteration_time_s - queue.pop(0)
+        max_latency = max(max_latency, latency)
+        server_free_at = start + iteration_time_s
+        processed += 1
+    return RealTimeReport(
+        frame_rate_hz=frame_rate_hz,
+        service_rate_hz=1.0 / iteration_time_s,
+        frames_offered=offered,
+        frames_processed=processed,
+        frames_dropped=dropped,
+        max_queue_depth=max_depth,
+        max_latency_s=max_latency,
+    )
+
+
+def max_realtime_velocity(
+    iteration_time_s: float,
+    d_min: float,
+    buffer_frames: int = 8,
+    duration_s: float = 20.0,
+    precision: float = 0.05,
+) -> float:
+    """Largest velocity whose required frame rate the pipeline sustains.
+
+    Binary-searches the velocity axis using the Fig. 1 law
+    ``fps = v / d_min`` and the queue simulation as the feasibility
+    oracle (no dropped frames).
+    """
+    if d_min <= 0 or precision <= 0:
+        raise ValueError("d_min and precision must be positive")
+    lo, hi = 0.0, 10.0 * d_min / iteration_time_s  # generous upper bound
+    while hi - lo > precision:
+        mid = (lo + hi) / 2.0
+        fps = mid / d_min
+        report = simulate_frame_queue(
+            fps, iteration_time_s, duration_s=duration_s,
+            buffer_frames=buffer_frames,
+        )
+        if report.realtime:
+            lo = mid
+        else:
+            hi = mid
+    return lo

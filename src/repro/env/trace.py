@@ -1,0 +1,130 @@
+"""Flight trajectory recording and ASCII world rendering.
+
+Debugging an RL policy needs eyes: :class:`FlightTrace` records poses,
+actions, rewards and crash sites during an episode, and
+:func:`render_world_ascii` draws the world map with obstacles, the
+flight path and crash markers as terminal art — the scaled stand-in for
+the paper's Unreal screenshots (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.env.world import Pose, World
+
+__all__ = ["TraceStep", "FlightTrace", "render_world_ascii"]
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One recorded step."""
+
+    pose: Pose
+    action: int
+    reward: float
+    crashed: bool
+
+
+@dataclass
+class FlightTrace:
+    """An append-only record of one or more flights."""
+
+    steps: list[TraceStep] = field(default_factory=list)
+
+    def record(self, pose: Pose, action: int, reward: float, crashed: bool) -> None:
+        """Append one step."""
+        self.steps.append(TraceStep(Pose(pose.x, pose.y, pose.heading), action, reward, crashed))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def crash_sites(self) -> list[tuple[float, float]]:
+        """Positions where the drone crashed."""
+        return [(s.pose.x, s.pose.y) for s in self.steps if s.crashed]
+
+    @property
+    def path(self) -> np.ndarray:
+        """(N, 2) array of visited positions."""
+        if not self.steps:
+            return np.zeros((0, 2))
+        return np.array([[s.pose.x, s.pose.y] for s in self.steps])
+
+    def total_distance(self) -> float:
+        """Path length in metres."""
+        path = self.path
+        if path.shape[0] < 2:
+            return 0.0
+        return float(np.sum(np.hypot(*np.diff(path, axis=0).T)))
+
+    def mean_reward(self) -> float:
+        """Average recorded reward."""
+        if not self.steps:
+            return float("nan")
+        return float(np.mean([s.reward for s in self.steps]))
+
+    def action_histogram(self, num_actions: int = 5) -> np.ndarray:
+        """Counts per action index."""
+        counts = np.zeros(num_actions, dtype=int)
+        for step in self.steps:
+            if not 0 <= step.action < num_actions:
+                raise ValueError(f"action out of range: {step.action}")
+            counts[step.action] += 1
+        return counts
+
+
+def render_world_ascii(
+    world: World,
+    trace: FlightTrace | None = None,
+    width: int = 72,
+    height: int = 28,
+) -> str:
+    """Draw the world (and optionally a flight path) as ASCII art.
+
+    Legend: ``#`` wall/box, ``o`` circular obstacle, ``.`` flight path,
+    ``X`` crash site, space = free.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    bounds = world.bounds
+    span_x = bounds.xmax - bounds.xmin
+    span_y = bounds.ymax - bounds.ymin
+
+    def to_cell(x: float, y: float) -> tuple[int, int]:
+        col = int((x - bounds.xmin) / span_x * (width - 1))
+        row = int((bounds.ymax - y) / span_y * (height - 1))
+        return (
+            min(max(row, 0), height - 1),
+            min(max(col, 0), width - 1),
+        )
+
+    grid = [[" "] * width for _ in range(height)]
+
+    # Obstacles: sample world clearance on the grid for walls/segments.
+    for row in range(height):
+        for col in range(width):
+            x = bounds.xmin + (col + 0.5) / width * span_x
+            y = bounds.ymax - (row + 0.5) / height * span_y
+            cell_metres = max(span_x / width, span_y / height) / 2
+            if world.clearance(x, y) < cell_metres:
+                grid[row][col] = "#"
+    for circle in world.circles:
+        r, c = to_cell(circle.cx, circle.cy)
+        grid[r][c] = "o"
+
+    if trace is not None:
+        for point in trace.path:
+            r, c = to_cell(float(point[0]), float(point[1]))
+            if grid[r][c] == " ":
+                grid[r][c] = "."
+        for x, y in trace.crash_sites:
+            r, c = to_cell(x, y)
+            grid[r][c] = "X"
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    header = f"{world.name}  ({span_x:.0f} x {span_y:.0f} m, d_min = {world.d_min} m)"
+    return "\n".join([header, border, body, border])

@@ -1,0 +1,123 @@
+"""World container: geometry plus spawn logic and clearance queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.env.geometry import Box, Circle, RayCaster, Segment
+
+__all__ = ["Pose", "World"]
+
+
+@dataclass
+class Pose:
+    """Drone pose: position in metres, heading in radians."""
+
+    x: float
+    y: float
+    heading: float
+
+    def position(self) -> tuple[float, float]:
+        """(x, y) tuple."""
+        return (self.x, self.y)
+
+
+@dataclass
+class World:
+    """A navigable 2-D world.
+
+    Parameters
+    ----------
+    name:
+        Environment name (e.g. ``"indoor-apartment"``).
+    bounds:
+        Outer boundary box; its walls are always obstacles.
+    segments, circles, boxes:
+        Interior obstacles.  Boxes are expanded to wall segments for ray
+        casting but kept for fast interior tests.
+    d_min:
+        The paper's clutter measure — the designed minimum obstacle
+        spacing (Fig. 1c).  Purely descriptive metadata used by the FPS
+        model and reporting.
+    max_range:
+        Camera far plane in metres.
+    is_indoor:
+        Indoor worlds have a ceiling (affects the camera's 2.5-D
+        projection).
+    """
+
+    name: str
+    bounds: Box
+    segments: list[Segment] = field(default_factory=list)
+    circles: list[Circle] = field(default_factory=list)
+    boxes: list[Box] = field(default_factory=list)
+    d_min: float = 1.0
+    max_range: float = 20.0
+    is_indoor: bool = True
+
+    def __post_init__(self) -> None:
+        if self.d_min <= 0:
+            raise ValueError("d_min must be positive")
+        if self.max_range <= 0:
+            raise ValueError("max_range must be positive")
+        all_segments = list(self.bounds.segments()) + list(self.segments)
+        for box in self.boxes:
+            all_segments.extend(box.segments())
+        self._caster = RayCaster(all_segments, list(self.circles))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def cast_rays(self, pose: Pose, relative_angles: np.ndarray) -> np.ndarray:
+        """Hit distances for rays at ``pose.heading + relative_angles``."""
+        angles = pose.heading + np.asarray(relative_angles, dtype=np.float64)
+        return self._caster.cast(pose.position(), angles, self.max_range)
+
+    def clearance(self, x: float, y: float) -> float:
+        """Distance from (x, y) to the nearest obstacle surface.
+
+        Points inside a box obstacle or outside the outer bounds report
+        zero clearance (they are in collision however small the drone).
+        """
+        if not self.bounds.contains(x, y):
+            return 0.0
+        for box in self.boxes:
+            if box.contains(x, y):
+                return 0.0
+        return self._caster.min_distance((x, y))
+
+    def in_collision(self, x: float, y: float, radius: float) -> bool:
+        """Whether a drone of ``radius`` at (x, y) touches any obstacle."""
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        return self.clearance(x, y) < radius
+
+    def random_free_pose(
+        self,
+        rng: np.random.Generator,
+        clearance: float = 0.3,
+        max_tries: int = 1000,
+    ) -> Pose:
+        """Sample a uniformly random collision-free pose."""
+        b = self.bounds
+        for _ in range(max_tries):
+            x = rng.uniform(b.xmin, b.xmax)
+            y = rng.uniform(b.ymin, b.ymax)
+            if self.clearance(x, y) >= clearance:
+                heading = rng.uniform(-np.pi, np.pi)
+                return Pose(x, y, heading)
+        raise RuntimeError(
+            f"could not find a free pose in {self.name} after {max_tries} tries"
+        )
+
+    @property
+    def area(self) -> float:
+        """Area of the bounding box in square metres."""
+        b = self.bounds
+        return (b.xmax - b.xmin) * (b.ymax - b.ymin)
+
+    def obstacle_count(self) -> int:
+        """Number of interior obstacles (segments + circles + boxes)."""
+        return len(self.segments) + len(self.circles) + len(self.boxes)

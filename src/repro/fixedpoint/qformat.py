@@ -1,0 +1,188 @@
+"""Q-format fixed-point representation.
+
+A ``QFormat(integer_bits, fraction_bits, signed=True)`` describes numbers
+stored as ``total_bits``-wide two's-complement integers with an implicit
+binary point.  The paper's platform uses 16-bit fixed point; the default
+formats exported here (:data:`Q8_8` and :data:`Q2_13`) are the two useful
+16-bit corners for weights and activations.
+
+All conversion functions are vectorised over NumPy arrays and use
+*saturating* arithmetic, matching hardware MAC behaviour (overflow clamps
+instead of wrapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QFormat", "Q8_8", "Q2_13", "QuantizationStats", "quantization_stats"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A fixed-point number format ``Qm.n``.
+
+    Parameters
+    ----------
+    integer_bits:
+        Number of bits before the binary point (``m``), excluding the sign
+        bit when ``signed``.
+    fraction_bits:
+        Number of bits after the binary point (``n``).
+    signed:
+        Whether a sign bit is included.  Defaults to two's-complement
+        signed, which is what the paper's 16-bit MACs use.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0 or self.fraction_bits < 0:
+            raise ValueError("bit widths must be non-negative")
+        if self.total_bits <= 0:
+            raise ValueError("format must have at least one bit")
+        if self.total_bits > 62:
+            raise ValueError("formats wider than 62 bits are not supported")
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width in bits, including the sign bit."""
+        return self.integer_bits + self.fraction_bits + (1 if self.signed else 0)
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit (the quantisation step)."""
+        return 2.0 ** -self.fraction_bits
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return (self.max_raw) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable real value."""
+        return (self.min_raw) * self.scale
+
+    @property
+    def max_raw(self) -> int:
+        """Largest raw integer code."""
+        if self.signed:
+            return (1 << (self.total_bits - 1)) - 1
+        return (1 << self.total_bits) - 1
+
+    @property
+    def min_raw(self) -> int:
+        """Smallest raw integer code."""
+        if self.signed:
+            return -(1 << (self.total_bits - 1))
+        return 0
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_raw(self, values: np.ndarray | float) -> np.ndarray:
+        """Quantise real ``values`` to raw integer codes, saturating."""
+        arr = np.asarray(values, dtype=np.float64)
+        raw = np.round(arr / self.scale)
+        raw = np.clip(raw, self.min_raw, self.max_raw)
+        return raw.astype(np.int64)
+
+    def from_raw(self, raw: np.ndarray | int) -> np.ndarray:
+        """Convert raw integer codes back to real values."""
+        return np.asarray(raw, dtype=np.int64) * self.scale
+
+    def quantize(self, values: np.ndarray | float) -> np.ndarray:
+        """Round-trip ``values`` through the format (round + saturate)."""
+        return self.from_raw(self.to_raw(values))
+
+    def representable(self, values: np.ndarray | float, atol: float = 1e-12) -> np.ndarray:
+        """Return a boolean mask of values exactly representable."""
+        arr = np.asarray(values, dtype=np.float64)
+        return np.abs(self.quantize(arr) - arr) <= atol
+
+    # ------------------------------------------------------------------
+    # Saturating arithmetic on raw codes
+    # ------------------------------------------------------------------
+    def saturate(self, raw: np.ndarray | int) -> np.ndarray:
+        """Clamp raw codes into the representable range."""
+        return np.clip(np.asarray(raw, dtype=np.int64), self.min_raw, self.max_raw)
+
+    def add_raw(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Saturating addition of raw codes."""
+        return self.saturate(np.asarray(a, np.int64) + np.asarray(b, np.int64))
+
+    def sub_raw(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Saturating subtraction of raw codes."""
+        return self.saturate(np.asarray(a, np.int64) - np.asarray(b, np.int64))
+
+    def mul_raw(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Saturating multiplication of raw codes.
+
+        The product of two ``Qm.n`` numbers carries ``2n`` fraction bits;
+        hardware MACs shift right by ``n`` (with rounding toward nearest)
+        before saturating back into the format.
+        """
+        wide = np.asarray(a, np.int64) * np.asarray(b, np.int64)
+        half = 1 << max(self.fraction_bits - 1, 0)
+        shifted = (wide + half) >> self.fraction_bits
+        return self.saturate(shifted)
+
+    def multiply(self, a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+        """Real-valued saturating fixed-point multiply (quantise inputs first)."""
+        return self.from_raw(self.mul_raw(self.to_raw(a), self.to_raw(b)))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        sign = "s" if self.signed else "u"
+        return f"{sign}Q{self.integer_bits}.{self.fraction_bits}"
+
+
+#: 16-bit format with range [-128, 128) — suits pre-activation sums.
+Q8_8 = QFormat(integer_bits=7, fraction_bits=8)
+
+#: 16-bit format with range [-4, 4) — suits normalised weights.
+Q2_13 = QFormat(integer_bits=2, fraction_bits=13)
+
+
+@dataclass
+class QuantizationStats:
+    """Error statistics from quantising an array into a :class:`QFormat`."""
+
+    fmt: QFormat
+    max_abs_error: float
+    mean_abs_error: float
+    saturated_fraction: float
+    snr_db: float = field(default=float("inf"))
+
+
+def quantization_stats(values: np.ndarray, fmt: QFormat) -> QuantizationStats:
+    """Measure the error introduced by quantising ``values`` into ``fmt``.
+
+    Returns max/mean absolute error, the fraction of elements that hit the
+    saturation rails, and the signal-to-quantisation-noise ratio in dB.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot compute statistics of an empty array")
+    quant = fmt.quantize(arr)
+    err = quant - arr
+    saturated = np.logical_or(arr > fmt.max_value, arr < fmt.min_value)
+    signal_power = float(np.mean(arr**2))
+    noise_power = float(np.mean(err**2))
+    if noise_power == 0.0:
+        snr = float("inf")
+    elif signal_power == 0.0:
+        snr = float("-inf")
+    else:
+        snr = 10.0 * np.log10(signal_power / noise_power)
+    return QuantizationStats(
+        fmt=fmt,
+        max_abs_error=float(np.max(np.abs(err))),
+        mean_abs_error=float(np.mean(np.abs(err))),
+        saturated_fraction=float(np.mean(saturated)),
+        snr_db=snr,
+    )

@@ -1,0 +1,237 @@
+"""Memory devices: capacity + bandwidth wrappers over technologies.
+
+A device turns a :class:`~repro.memory.technology.MemoryTechnology` into
+something the performance model can charge transfers against:
+
+    latency = access_latency + bits / sustained_bandwidth
+    energy  = bits * energy_per_bit
+
+Writes to NVM are additionally throttled by the write/read latency ratio
+(a write occupies the array ~3x longer than a read for STT-MRAM), which
+is what makes in-flight weight updates to the stack untenable — the core
+premise of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.technology import (
+    DDR_DRAM,
+    MemoryTechnology,
+    ON_DIE_SRAM,
+    STT_MRAM,
+)
+
+__all__ = [
+    "AccessResult",
+    "AccessCounters",
+    "MemoryDevice",
+    "SttMramStack",
+    "GlobalBuffer",
+    "CameraDram",
+]
+
+#: Decimal megabyte, matching the paper's capacity figures (Fig. 4b).
+MB = 1_000_000
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Latency and energy of one transfer."""
+
+    latency_s: float
+    energy_j: float
+    bits: int
+
+    def __add__(self, other: "AccessResult") -> "AccessResult":
+        return AccessResult(
+            self.latency_s + other.latency_s,
+            self.energy_j + other.energy_j,
+            self.bits + other.bits,
+        )
+
+
+@dataclass
+class AccessCounters:
+    """Cumulative access statistics for one device."""
+
+    read_bits: int = 0
+    write_bits: int = 0
+    read_energy_j: float = 0.0
+    write_energy_j: float = 0.0
+    read_time_s: float = 0.0
+    write_time_s: float = 0.0
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total access energy."""
+        return self.read_energy_j + self.write_energy_j
+
+    @property
+    def total_bits(self) -> int:
+        """Total bits moved."""
+        return self.read_bits + self.write_bits
+
+
+class MemoryDevice:
+    """A bandwidth- and capacity-constrained memory.
+
+    Parameters
+    ----------
+    tech:
+        Underlying technology (timings and energies).
+    capacity_bytes:
+        Device capacity; :meth:`check_fits` validates allocations.
+    read_bandwidth_bps:
+        Sustained read bandwidth in bits/second.
+    write_bandwidth_bps:
+        Sustained write bandwidth; defaults to read bandwidth scaled by
+        the technology's read/write latency ratio.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tech: MemoryTechnology,
+        capacity_bytes: int,
+        read_bandwidth_bps: float,
+        write_bandwidth_bps: float | None = None,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if read_bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.name = name
+        self.tech = tech
+        self.capacity_bytes = capacity_bytes
+        self.read_bandwidth_bps = read_bandwidth_bps
+        if write_bandwidth_bps is None:
+            write_bandwidth_bps = read_bandwidth_bps / tech.write_read_latency_ratio
+        self.write_bandwidth_bps = write_bandwidth_bps
+        self.counters = AccessCounters()
+
+    # ------------------------------------------------------------------
+    def read(self, bits: int) -> AccessResult:
+        """Charge a streaming read of ``bits``."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        latency = self.tech.read_latency_s + bits / self.read_bandwidth_bps
+        energy = bits * self.tech.read_energy_per_bit_j
+        self.counters.read_bits += bits
+        self.counters.read_energy_j += energy
+        self.counters.read_time_s += latency
+        return AccessResult(latency, energy, bits)
+
+    def write(self, bits: int) -> AccessResult:
+        """Charge a streaming write of ``bits``."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        latency = self.tech.write_latency_s + bits / self.write_bandwidth_bps
+        energy = bits * self.tech.write_energy_per_bit_j
+        self.counters.write_bits += bits
+        self.counters.write_energy_j += energy
+        self.counters.write_time_s += latency
+        return AccessResult(latency, energy, bits)
+
+    def check_fits(self, bytes_needed: int) -> None:
+        """Raise if an allocation exceeds device capacity."""
+        if bytes_needed > self.capacity_bytes:
+            raise ValueError(
+                f"{self.name}: need {bytes_needed / MB:.2f} MB "
+                f"but capacity is {self.capacity_bytes / MB:.2f} MB"
+            )
+
+    def reset_counters(self) -> None:
+        """Zero the access statistics."""
+        self.counters = AccessCounters()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}({self.name}, {self.capacity_bytes / MB:.1f} MB, "
+            f"{self.read_bandwidth_bps / 1e9:.0f} Gb/s)"
+        )
+
+
+class SttMramStack(MemoryDevice):
+    """The 3-D stacked STT-MRAM NVM (Fig. 4).
+
+    HBM-style organisation: ``n_ios`` I/O connections between the stack
+    and the global buffer, each at ``io_gbps`` Gb/s (the paper: 1024 I/Os
+    at 2 Gbit/s each → 2 Tb/s aggregate read bandwidth).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = 128 * MB,
+        n_ios: int = 1024,
+        io_gbps: float = 2.0,
+        tech: MemoryTechnology = STT_MRAM,
+    ):
+        if n_ios <= 0 or io_gbps <= 0:
+            raise ValueError("I/O configuration must be positive")
+        self.n_ios = n_ios
+        self.io_gbps = io_gbps
+        super().__init__(
+            name="stt-mram-stack",
+            tech=tech,
+            capacity_bytes=capacity_bytes,
+            read_bandwidth_bps=n_ios * io_gbps * 1e9,
+        )
+
+
+class GlobalBuffer(MemoryDevice):
+    """The on-die SRAM global buffer (Fig. 4b: 30 MB + 4.2 MB scratch).
+
+    ``scratchpad_bytes`` is the slice reserved for staging inputs/weights
+    into the PE array and collecting partial sums; the remainder holds
+    the online-trainable weights and their gradient accumulators.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = 30 * MB,
+        scratchpad_bytes: int = int(4.2 * MB),
+        width_bits: int = 4096,
+        clock_hz: float = 1e9,
+        tech: MemoryTechnology = ON_DIE_SRAM,
+    ):
+        if not 0 <= scratchpad_bytes < capacity_bytes:
+            raise ValueError("scratchpad must fit inside the buffer")
+        if width_bits <= 0 or clock_hz <= 0:
+            raise ValueError("port configuration must be positive")
+        self.scratchpad_bytes = scratchpad_bytes
+        self.width_bits = width_bits
+        self.clock_hz = clock_hz
+        super().__init__(
+            name="global-buffer",
+            tech=tech,
+            capacity_bytes=capacity_bytes,
+            read_bandwidth_bps=width_bits * clock_hz,
+        )
+
+    @property
+    def weight_capacity_bytes(self) -> int:
+        """Bytes available for weights + gradient accumulators."""
+        return self.capacity_bytes - self.scratchpad_bytes
+
+
+class CameraDram(MemoryDevice):
+    """Off-chip camera/frame DRAM behind the DDR6 link (Fig. 4a)."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 512 * MB,
+        link_gbytes_per_s: float = 32.0,
+        tech: MemoryTechnology = DDR_DRAM,
+    ):
+        if link_gbytes_per_s <= 0:
+            raise ValueError("link bandwidth must be positive")
+        self.link_gbytes_per_s = link_gbytes_per_s
+        super().__init__(
+            name="camera-dram",
+            tech=tech,
+            capacity_bytes=capacity_bytes,
+            read_bandwidth_bps=link_gbytes_per_s * 8e9,
+            write_bandwidth_bps=link_gbytes_per_s * 8e9,
+        )

@@ -1,0 +1,128 @@
+"""HBM-style organisation of the stacked STT-MRAM (Section III.B).
+
+The paper replaces the DRAM dies of a JEDEC HBM stack (JESD235B) with
+STT-MRAM, keeping the channel/bank organisation and the 1024-bit wide
+interface.  This module models that organisation explicitly:
+
+* the stack exposes ``channels`` independent channels, each with
+  ``banks_per_channel`` banks and a fixed ``row_bytes`` page,
+* a physical address maps to (channel, bank, row, column) with
+  channel interleaving at ``interleave_bytes`` granularity,
+* sequential streams (the weight reads of inference) spread across
+  channels and achieve full bandwidth; pathological strides that land
+  on one channel only get ``1/channels`` of it.
+
+Used by tests and the design-space example to show *why* streaming
+weight reads are the right access pattern for the co-design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HbmAddress", "HbmOrganization"]
+
+
+@dataclass(frozen=True)
+class HbmAddress:
+    """Decoded location of a byte within the stack."""
+
+    channel: int
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class HbmOrganization:
+    """Channel/bank geometry of the stacked NVM.
+
+    Defaults follow JESD235B's 8-channel organisation with 1024 total
+    I/Os (128 per channel) and the paper's 2 Gb/s per-pin rate.
+    """
+
+    channels: int = 8
+    banks_per_channel: int = 16
+    row_bytes: int = 2048
+    interleave_bytes: int = 256
+    ios_per_channel: int = 128
+    io_gbps: float = 2.0
+
+    def __post_init__(self) -> None:
+        if min(self.channels, self.banks_per_channel, self.row_bytes) <= 0:
+            raise ValueError("geometry must be positive")
+        if self.interleave_bytes <= 0 or self.ios_per_channel <= 0:
+            raise ValueError("interleave and I/O width must be positive")
+        if self.row_bytes % self.interleave_bytes != 0:
+            raise ValueError("row must be a whole number of interleave units")
+
+    @property
+    def total_ios(self) -> int:
+        """Total I/O pins (the paper: 1024)."""
+        return self.channels * self.ios_per_channel
+
+    @property
+    def peak_bandwidth_bps(self) -> float:
+        """Aggregate pin bandwidth in bits/second (the paper: 2 Tb/s)."""
+        return self.total_ios * self.io_gbps * 1e9
+
+    @property
+    def channel_bandwidth_bps(self) -> float:
+        """Bandwidth of a single channel."""
+        return self.ios_per_channel * self.io_gbps * 1e9
+
+    def decode(self, address: int) -> HbmAddress:
+        """Map a byte address to (channel, bank, row, column)."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        unit, offset = divmod(address, self.interleave_bytes)
+        channel = unit % self.channels
+        linear_in_channel = unit // self.channels
+        units_per_row = self.row_bytes // self.interleave_bytes
+        row_linear, unit_in_row = divmod(linear_in_channel, units_per_row)
+        bank = row_linear % self.banks_per_channel
+        row = row_linear // self.banks_per_channel
+        column = unit_in_row * self.interleave_bytes + offset
+        return HbmAddress(channel=channel, bank=bank, row=row, column=column)
+
+    def channels_touched(self, start: int, length: int, stride: int = 1) -> int:
+        """Distinct channels hit by a strided access pattern.
+
+        ``stride`` is in bytes between consecutive accessed elements.
+        """
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        seen = set()
+        address = start
+        for _ in range(length):
+            seen.add(self.decode(address).channel)
+            if len(seen) == self.channels:
+                break
+            address += stride
+        return len(seen)
+
+    def effective_bandwidth_bps(
+        self, start: int, length: int, stride: int = 1
+    ) -> float:
+        """Sustained bandwidth of a strided stream.
+
+        A stream only uses the channels it touches; sequential streams
+        touch all of them and get peak bandwidth.
+        """
+        touched = self.channels_touched(start, length, stride)
+        return touched * self.channel_bandwidth_bps
+
+    def row_activations(self, start: int, length_bytes: int) -> int:
+        """Rows opened by a sequential read of ``length_bytes``.
+
+        Row activations cost latency and energy in any DRAM-like
+        organisation; sequential weight streams amortise them over
+        ``row_bytes``-sized bursts.
+        """
+        if length_bytes <= 0:
+            raise ValueError("length must be positive")
+        per_channel = length_bytes // self.channels
+        rows = -(-max(per_channel, 1) // self.row_bytes)
+        return rows * min(self.channels, max(length_bytes // self.interleave_bytes, 1))

@@ -1,0 +1,166 @@
+"""Weight-to-memory mapping (Fig. 5).
+
+Splits the CNN between the STT-MRAM stack and the SRAM global buffer:
+
+* layers trained online (the TL configuration's FC tail) live in SRAM,
+  and need a *second* SRAM allocation of equal size for the batch
+  gradient accumulators (Section III.D);
+* every other layer is frozen and lives in the STT-MRAM stack, which is
+  therefore read-only during flight.
+
+For the paper's proposed L3 design point on the modified AlexNet this
+reproduces Fig. 5's arithmetic: 12.6 MB trainable weights + 12.6 MB
+gradient accumulators + 4.2 MB scratchpad = 29.4 MB of SRAM, and
+CONV+FC1+FC2 = 99.8 MB ≈ 100 MB of NVM.
+
+Note: the paper's text quotes "FC2 ... is 29.38 MB"; at 16-bit weights
+FC2 is 16.0 MB, and 29.4 MB is the *total buffer* derived two sentences
+later.  We follow the self-consistent arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.specs import LayerSpec, NetworkSpec
+from repro.rl.transfer import TransferConfig
+
+__all__ = ["Placement", "MappingReport", "WeightMapper"]
+
+#: The paper quotes capacities in decimal megabytes (12.6 MB for the
+#: 6 299 653 16-bit weights of FC3..FC5), so we follow suit.
+MB = 1e6
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one layer's weights live."""
+
+    layer: str
+    weights: int
+    bytes: int
+    device: str  # "nvm" or "sram"
+    trainable: bool
+
+
+@dataclass(frozen=True)
+class MappingReport:
+    """Capacity summary of a full mapping."""
+
+    placements: tuple[Placement, ...]
+    nvm_bytes: int
+    sram_weight_bytes: int
+    sram_gradient_bytes: int
+    sram_scratchpad_bytes: int
+
+    @property
+    def sram_total_bytes(self) -> int:
+        """Total SRAM demand including gradients and scratchpad."""
+        return (
+            self.sram_weight_bytes
+            + self.sram_gradient_bytes
+            + self.sram_scratchpad_bytes
+        )
+
+    @property
+    def nvm_mb(self) -> float:
+        """NVM demand in MB."""
+        return self.nvm_bytes / MB
+
+    @property
+    def sram_total_mb(self) -> float:
+        """SRAM demand in MB."""
+        return self.sram_total_bytes / MB
+
+
+class WeightMapper:
+    """Maps a network's weights onto the platform memories.
+
+    Parameters
+    ----------
+    spec:
+        Network shape description.
+    config:
+        Transfer configuration — its trainable FC tail goes to SRAM.
+    scratchpad_bytes:
+        SRAM reserved for PE-array staging (the paper: 4.2 MB).
+    """
+
+    def __init__(
+        self,
+        spec: NetworkSpec,
+        config: TransferConfig,
+        scratchpad_bytes: int = int(4.2 * MB),
+    ):
+        if scratchpad_bytes < 0:
+            raise ValueError("scratchpad must be non-negative")
+        self.spec = spec
+        self.config = config
+        self.scratchpad_bytes = scratchpad_bytes
+
+    def _trainable_names(self) -> set[str]:
+        if self.config.is_end_to_end:
+            # E2E trains everything, but only the FC tail that fits the
+            # buffer would be SRAM-resident; the paper's E2E baseline
+            # keeps the same residency as the proposed design and pays
+            # NVM writes for the rest.  SRAM residency here mirrors the
+            # proposed design's last-3-layer placement.
+            return {l.name for l in self.spec.last_fc(min(3, len(self.spec.fc_layers)))}
+        return {l.name for l in self.spec.last_fc(self.config.last_k_fc)}
+
+    def layer_bytes(self, layer: LayerSpec) -> int:
+        """Storage for one layer at the platform's weight precision."""
+        return layer.weight_count * self.spec.weight_bits // 8
+
+    def build(self) -> MappingReport:
+        """Compute the full placement and capacity summary."""
+        sram_names = self._trainable_names()
+        placements = []
+        nvm_bytes = 0
+        sram_bytes = 0
+        for layer in self.spec.layers:
+            size = self.layer_bytes(layer)
+            in_sram = layer.name in sram_names
+            trainable = self.config.is_end_to_end or in_sram
+            placements.append(
+                Placement(
+                    layer=layer.name,
+                    weights=layer.weight_count,
+                    bytes=size,
+                    device="sram" if in_sram else "nvm",
+                    trainable=trainable,
+                )
+            )
+            if in_sram:
+                sram_bytes += size
+            else:
+                nvm_bytes += size
+        return MappingReport(
+            placements=tuple(placements),
+            nvm_bytes=nvm_bytes,
+            sram_weight_bytes=sram_bytes,
+            sram_gradient_bytes=sram_bytes,  # equal-size accumulators
+            sram_scratchpad_bytes=self.scratchpad_bytes,
+        )
+
+    def nvm_resident_layers(self) -> tuple[str, ...]:
+        """Names of layers whose weights stream from the NVM stack."""
+        sram_names = self._trainable_names()
+        return tuple(
+            l.name for l in self.spec.layers if l.name not in sram_names
+        )
+
+    def validate(self, sram_capacity_bytes: int, nvm_capacity_bytes: int) -> MappingReport:
+        """Build and check the mapping against device capacities."""
+        report = self.build()
+        if report.sram_total_bytes > sram_capacity_bytes:
+            raise ValueError(
+                f"{self.config.name}: SRAM demand {report.sram_total_mb:.1f} MB "
+                f"exceeds capacity {sram_capacity_bytes / MB:.1f} MB"
+            )
+        if report.nvm_bytes > nvm_capacity_bytes:
+            raise ValueError(
+                f"{self.config.name}: NVM demand {report.nvm_mb:.1f} MB "
+                f"exceeds capacity {nvm_capacity_bytes / MB:.1f} MB"
+            )
+        return report

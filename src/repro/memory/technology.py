@@ -1,0 +1,119 @@
+"""Memory technology parameters.
+
+STT-MRAM values are Table 1 of the paper verbatim ("write/read energy
+includes energy of IO, peripheral and STT-MRAM array").  SRAM and DRAM
+values are not published in the paper; the constants below are
+conventional numbers for a 15 nm-class on-die SRAM and an LPDDR-class
+link, and the ablation corners (PCM-like, RRAM-like) follow the relative
+orderings of the NVM survey the paper cites ([11], [12]): both are
+slower and more write-expensive than STT-MRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MemoryTechnology",
+    "STT_MRAM",
+    "ON_DIE_SRAM",
+    "DDR_DRAM",
+    "PCM_LIKE",
+    "RRAM_LIKE",
+    "NVM_TECHNOLOGIES",
+]
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """Latency/energy characteristics of one memory technology.
+
+    Latencies are *access* latencies (time to first word); sustained
+    throughput is a property of the device wrapping the technology
+    (I/O count and rate), not of the technology itself.
+    """
+
+    name: str
+    read_latency_s: float
+    write_latency_s: float
+    read_energy_per_bit_j: float
+    write_energy_per_bit_j: float
+    non_volatile: bool
+
+    def __post_init__(self) -> None:
+        if self.read_latency_s <= 0 or self.write_latency_s <= 0:
+            raise ValueError("latencies must be positive")
+        if self.read_energy_per_bit_j < 0 or self.write_energy_per_bit_j < 0:
+            raise ValueError("energies must be non-negative")
+
+    @property
+    def write_read_latency_ratio(self) -> float:
+        """How much slower writes are than reads (the NVM pain point)."""
+        return self.write_latency_s / self.read_latency_s
+
+    @property
+    def write_read_energy_ratio(self) -> float:
+        """How much more energy writes cost than reads."""
+        if self.read_energy_per_bit_j == 0:
+            return float("inf")
+        return self.write_energy_per_bit_j / self.read_energy_per_bit_j
+
+
+#: Table 1: 30 ns write / 10 ns read, 4.5 pJ/bit write / 0.7 pJ/bit read.
+STT_MRAM = MemoryTechnology(
+    name="STT-MRAM",
+    read_latency_s=10e-9,
+    write_latency_s=30e-9,
+    read_energy_per_bit_j=0.7e-12,
+    write_energy_per_bit_j=4.5e-12,
+    non_volatile=True,
+)
+
+#: On-die SRAM global buffer (15 nm class; not published in the paper).
+ON_DIE_SRAM = MemoryTechnology(
+    name="on-die-SRAM",
+    read_latency_s=1e-9,
+    write_latency_s=1e-9,
+    read_energy_per_bit_j=0.06e-12,
+    write_energy_per_bit_j=0.06e-12,
+    non_volatile=False,
+)
+
+#: Off-chip camera-buffer DRAM behind the DDR6 link.
+DDR_DRAM = MemoryTechnology(
+    name="DDR-DRAM",
+    read_latency_s=50e-9,
+    write_latency_s=50e-9,
+    read_energy_per_bit_j=4.0e-12,
+    write_energy_per_bit_j=4.0e-12,
+    non_volatile=False,
+)
+
+#: Phase-change-memory-like corner for the NVM ablation (slower, far
+#: more write-expensive than STT-MRAM).
+PCM_LIKE = MemoryTechnology(
+    name="PCM-like",
+    read_latency_s=60e-9,
+    write_latency_s=150e-9,
+    read_energy_per_bit_j=2.0e-12,
+    write_energy_per_bit_j=15.0e-12,
+    non_volatile=True,
+)
+
+#: Resistive-RAM-like corner (moderate speed, high write energy and
+#: variability; the paper cites variability as RRAM's blocker).
+RRAM_LIKE = MemoryTechnology(
+    name="RRAM-like",
+    read_latency_s=20e-9,
+    write_latency_s=100e-9,
+    read_energy_per_bit_j=1.0e-12,
+    write_energy_per_bit_j=10.0e-12,
+    non_volatile=True,
+)
+
+#: NVM candidates for the technology-sweep ablation.
+NVM_TECHNOLOGIES = {
+    "STT-MRAM": STT_MRAM,
+    "PCM-like": PCM_LIKE,
+    "RRAM-like": RRAM_LIKE,
+}

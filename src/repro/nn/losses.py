@@ -1,0 +1,88 @@
+"""Loss functions for Q-learning.
+
+The DQN-style target of eq. (1) in the paper,
+``Q(s, a) = r + gamma * max_a' Q(s', a')``, is regressed with a mean
+squared (or Huber) loss applied only to the Q output of the action that
+was actually taken.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse_loss", "huber_loss", "q_learning_loss"]
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. ``pred``."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def huber_loss(
+    pred: np.ndarray, target: np.ndarray, delta: float = 1.0
+) -> tuple[float, np.ndarray]:
+    """Huber loss and gradient — quadratic near zero, linear in the tails."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    abs_diff = np.abs(diff)
+    quadratic = abs_diff <= delta
+    losses = np.where(quadratic, 0.5 * diff**2, delta * (abs_diff - 0.5 * delta))
+    grads = np.where(quadratic, diff, delta * np.sign(diff))
+    return float(np.mean(losses)), grads / diff.size
+
+
+def q_learning_loss(
+    q_values: np.ndarray,
+    actions: np.ndarray,
+    targets: np.ndarray,
+    kind: str = "mse",
+) -> tuple[float, np.ndarray]:
+    """Loss over the Q outputs of the *taken* actions only.
+
+    Parameters
+    ----------
+    q_values:
+        (N, num_actions) predicted Q values.
+    actions:
+        (N,) integer indices of the actions taken.
+    targets:
+        (N,) Bellman targets ``r + gamma * max_a' Q(s', a')``.
+
+    Returns
+    -------
+    loss, grad
+        Scalar loss and an (N, num_actions) gradient that is zero for
+        actions that were not taken.
+    """
+    q_values = np.asarray(q_values, dtype=np.float64)
+    actions = np.asarray(actions)
+    targets = np.asarray(targets, dtype=np.float64)
+    if q_values.ndim != 2:
+        raise ValueError("q_values must be (N, num_actions)")
+    n = q_values.shape[0]
+    if actions.shape != (n,) or targets.shape != (n,):
+        raise ValueError("actions and targets must be (N,)")
+    if actions.min() < 0 or actions.max() >= q_values.shape[1]:
+        raise ValueError("action index out of range")
+    taken = q_values[np.arange(n), actions]
+    if kind == "mse":
+        loss, dtaken = mse_loss(taken, targets)
+    elif kind == "huber":
+        loss, dtaken = huber_loss(taken, targets)
+    else:
+        raise ValueError(f"unknown loss kind: {kind!r}")
+    grad = np.zeros_like(q_values)
+    grad[np.arange(n), actions] = dtaken
+    return loss, grad

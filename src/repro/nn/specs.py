@@ -1,0 +1,198 @@
+"""Shape-level network specifications.
+
+The hardware cost model (:mod:`repro.perf`) and memory mapper
+(:mod:`repro.memory.mapping`) need per-layer shapes, weight counts and MAC
+counts for the paper-scale modified AlexNet *without* allocating its
+56 million weights.  These dataclasses carry exactly that arithmetic and
+also drive :func:`repro.nn.alexnet.build_network` when a functional
+(NumPy) instance is wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LayerSpec", "ConvSpec", "FCSpec", "NetworkSpec"]
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Common interface for layer shape arithmetic."""
+
+    name: str
+
+    @property
+    def weight_count(self) -> int:
+        """Trainable scalars, including biases."""
+        raise NotImplementedError
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations in one forward pass (batch 1)."""
+        raise NotImplementedError
+
+    @property
+    def output_activations(self) -> int:
+        """Number of scalar activations produced."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConvSpec(LayerSpec):
+    """Convolution layer shape (optionally followed by ReLU/norm/pool)."""
+
+    in_height: int = 0
+    in_width: int = 0
+    in_channels: int = 0
+    out_channels: int = 0
+    kernel: int = 0
+    stride: int = 1
+    pad: int = 0
+    norm: bool = False
+    pool: int | None = None  # pool kernel (stride fixed at 2, AlexNet style)
+    pool_stride: int = 2
+
+    def __post_init__(self) -> None:
+        if min(self.in_height, self.in_width, self.in_channels, self.out_channels) <= 0:
+            raise ValueError(f"{self.name}: dimensions must be positive")
+        if self.kernel <= 0 or self.stride <= 0:
+            raise ValueError(f"{self.name}: kernel and stride must be positive")
+
+    @property
+    def out_height(self) -> int:
+        """Convolution output height (pre-pooling)."""
+        return (self.in_height + 2 * self.pad - self.kernel) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        """Convolution output width (pre-pooling)."""
+        return (self.in_width + 2 * self.pad - self.kernel) // self.stride + 1
+
+    @property
+    def pooled_height(self) -> int:
+        """Output height after the optional max-pool."""
+        if self.pool is None:
+            return self.out_height
+        return (self.out_height - self.pool) // self.pool_stride + 1
+
+    @property
+    def pooled_width(self) -> int:
+        """Output width after the optional max-pool."""
+        if self.pool is None:
+            return self.out_width
+        return (self.out_width - self.pool) // self.pool_stride + 1
+
+    @property
+    def weight_count(self) -> int:
+        return self.out_channels * (self.in_channels * self.kernel * self.kernel) + self.out_channels
+
+    @property
+    def macs(self) -> int:
+        return (
+            self.out_height
+            * self.out_width
+            * self.out_channels
+            * self.kernel
+            * self.kernel
+            * self.in_channels
+        )
+
+    @property
+    def input_activations(self) -> int:
+        """Scalar activations consumed (one input frame)."""
+        return self.in_height * self.in_width * self.in_channels
+
+    @property
+    def output_activations(self) -> int:
+        return self.pooled_height * self.pooled_width * self.out_channels
+
+
+@dataclass(frozen=True)
+class FCSpec(LayerSpec):
+    """Fully connected layer shape (optionally followed by ReLU)."""
+
+    in_features: int = 0
+    out_features: int = 0
+
+    def __post_init__(self) -> None:
+        if self.in_features <= 0 or self.out_features <= 0:
+            raise ValueError(f"{self.name}: feature counts must be positive")
+
+    @property
+    def weight_count(self) -> int:
+        return self.in_features * self.out_features + self.out_features
+
+    @property
+    def macs(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def input_activations(self) -> int:
+        """Scalar activations consumed."""
+        return self.in_features
+
+    @property
+    def output_activations(self) -> int:
+        return self.out_features
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """An ordered list of layer specs plus bookkeeping helpers."""
+
+    name: str
+    layers: tuple[LayerSpec, ...]
+    input_side: int = 227
+    input_channels: int = 3
+    weight_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("network spec needs at least one layer")
+
+    @property
+    def conv_layers(self) -> tuple[ConvSpec, ...]:
+        """The convolutional prefix."""
+        return tuple(l for l in self.layers if isinstance(l, ConvSpec))
+
+    @property
+    def fc_layers(self) -> tuple[FCSpec, ...]:
+        """The fully connected tail."""
+        return tuple(l for l in self.layers if isinstance(l, FCSpec))
+
+    @property
+    def total_weights(self) -> int:
+        """Grand total weight count (Fig. 3a: 56 190 341 at paper scale)."""
+        return sum(l.weight_count for l in self.layers)
+
+    @property
+    def total_weight_bytes(self) -> int:
+        """Model size in bytes at the platform's fixed-point width."""
+        return self.total_weights * self.weight_bits // 8
+
+    def layer(self, name: str) -> LayerSpec:
+        """Look a layer up by name (e.g. ``"FC2"``)."""
+        for spec in self.layers:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no layer named {name!r} in {self.name}")
+
+    def last_fc(self, count: int) -> tuple[FCSpec, ...]:
+        """The last ``count`` FC layers (the online-trainable tail)."""
+        fcs = self.fc_layers
+        if not 1 <= count <= len(fcs):
+            raise ValueError(f"count must be in [1, {len(fcs)}]")
+        return fcs[len(fcs) - count :]
+
+    def trainable_weights(self, last_k_fc: int | None) -> int:
+        """Weights updated online when training the last ``k`` FC layers.
+
+        ``None`` means end-to-end (every weight trains).
+        """
+        if last_k_fc is None:
+            return self.total_weights
+        return sum(l.weight_count for l in self.last_fc(last_k_fc))
+
+    def trainable_fraction(self, last_k_fc: int | None) -> float:
+        """Fraction of all weights trained online (Fig. 3b: 4/11/26 %)."""
+        return self.trainable_weights(last_k_fc) / self.total_weights

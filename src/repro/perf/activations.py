@@ -1,0 +1,84 @@
+"""Activation (feature-map) footprint accounting.
+
+Fig. 5 reserves 4.2 MB of the global buffer as a scratchpad "for loading
+input/weight parameters to PE array and storing intermediate results".
+This module checks the implied constraint: at every layer boundary the
+live activations (this layer's input + output tiles) must fit the
+scratchpad, or the schedule must tile them.  It reports per-layer
+activation bytes, the peak, and the tiling factor each layer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.nn.specs import ConvSpec, FCSpec, NetworkSpec
+
+__all__ = ["ActivationFootprint", "activation_report", "peak_activation_bytes"]
+
+
+@dataclass(frozen=True)
+class ActivationFootprint:
+    """Live activation storage at one layer boundary."""
+
+    layer: str
+    input_bytes: int
+    output_bytes: int
+    tiling_factor: int  # slices needed to fit the scratchpad
+
+    @property
+    def total_bytes(self) -> int:
+        """Input + output live simultaneously (double-buffered layer)."""
+        return self.input_bytes + self.output_bytes
+
+    @property
+    def fits_untiled(self) -> bool:
+        """Whether the whole boundary fits the scratchpad at once."""
+        return self.tiling_factor == 1
+
+
+def _layer_io_bytes(layer, word_bytes: int) -> tuple[int, int]:
+    if isinstance(layer, ConvSpec):
+        inp = layer.in_height * layer.in_width * layer.in_channels
+        out = layer.pooled_height * layer.pooled_width * layer.out_channels
+    elif isinstance(layer, FCSpec):
+        inp = layer.in_features
+        out = layer.out_features
+    else:
+        raise TypeError(f"unknown layer spec: {type(layer)!r}")
+    return inp * word_bytes, out * word_bytes
+
+
+def activation_report(
+    spec: NetworkSpec, scratchpad_bytes: int = 4_200_000
+) -> list[ActivationFootprint]:
+    """Per-layer activation footprints against the scratchpad budget."""
+    if scratchpad_bytes <= 0:
+        raise ValueError("scratchpad must be positive")
+    word_bytes = spec.weight_bits // 8
+    report = []
+    for layer in spec.layers:
+        inp, out = _layer_io_bytes(layer, word_bytes)
+        total = inp + out
+        tiling = max(math.ceil(total / scratchpad_bytes), 1)
+        report.append(
+            ActivationFootprint(
+                layer=layer.name,
+                input_bytes=inp,
+                output_bytes=out,
+                tiling_factor=tiling,
+            )
+        )
+    return report
+
+
+def peak_activation_bytes(spec: NetworkSpec) -> int:
+    """Largest single layer-boundary footprint of the network."""
+    word_bytes = spec.weight_bits // 8
+    peak = 0
+    for layer in spec.layers:
+        inp, out = _layer_io_bytes(layer, word_bytes)
+        peak = max(peak, inp + out)
+    return peak

@@ -1,0 +1,94 @@
+"""Drone battery and flight-range model.
+
+The paper's closing claim: lower training energy "finally improves the
+drone's battery life and speed".  This module quantifies that: given a
+battery, a hover/locomotion power model and a compute load (energy per
+frame at a given frame rate), it reports flight endurance and range for
+each training topology — the last arrow of the co-design's causal chain
+(write-cheap memory -> faster iterations -> higher fps -> faster flight,
+and less compute energy -> longer flight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.training import IterationCost
+
+__all__ = ["BatteryModel", "FlightEnvelope"]
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class FlightEnvelope:
+    """Endurance/range of one (topology, batch) point."""
+
+    config_name: str
+    compute_power_w: float
+    total_power_w: float
+    endurance_s: float
+    velocity_m_s: float
+
+    @property
+    def range_m(self) -> float:
+        """Distance coverable on one charge at the safe velocity."""
+        return self.endurance_s * self.velocity_m_s
+
+    @property
+    def compute_fraction(self) -> float:
+        """Share of total power spent on learning/inference."""
+        return self.compute_power_w / self.total_power_w
+
+
+@dataclass(frozen=True)
+class BatteryModel:
+    """A small drone's battery and platform power.
+
+    Defaults describe a ~250 g class micro-drone: 20 Wh battery, ~40 W
+    to hover, and drag growing quadratically with speed.
+    """
+
+    capacity_wh: float = 20.0
+    hover_power_w: float = 40.0
+    drag_w_per_m2_s2: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.capacity_wh <= 0 or self.hover_power_w <= 0:
+            raise ValueError("battery parameters must be positive")
+        if self.drag_w_per_m2_s2 < 0:
+            raise ValueError("drag coefficient must be non-negative")
+
+    def locomotion_power_w(self, velocity_m_s: float) -> float:
+        """Hover plus speed-dependent drag power."""
+        if velocity_m_s < 0:
+            raise ValueError("velocity must be non-negative")
+        return self.hover_power_w + self.drag_w_per_m2_s2 * velocity_m_s**2
+
+    def envelope(
+        self,
+        iteration: IterationCost,
+        d_min: float,
+        velocity_cap_m_s: float = 15.0,
+    ) -> FlightEnvelope:
+        """Flight envelope for one training-iteration cost.
+
+        The drone flies at the fastest safe velocity its frame rate
+        allows (``fps * d_min``, capped by the airframe), while the
+        compute subsystem draws its sustained training power.
+        """
+        if d_min <= 0:
+            raise ValueError("d_min must be positive")
+        if velocity_cap_m_s <= 0:
+            raise ValueError("velocity cap must be positive")
+        velocity = min(iteration.fps * d_min, velocity_cap_m_s)
+        compute_power = iteration.iteration_energy_j * iteration.fps
+        total_power = self.locomotion_power_w(velocity) + compute_power
+        endurance = self.capacity_wh * SECONDS_PER_HOUR / total_power
+        return FlightEnvelope(
+            config_name=iteration.config_name,
+            compute_power_w=compute_power,
+            total_power_w=total_power,
+            endurance_s=endurance,
+            velocity_m_s=velocity,
+        )

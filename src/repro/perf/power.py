@@ -1,0 +1,45 @@
+"""Chip power model.
+
+Fig. 12 reports per-layer power alongside active-PE counts; a linear
+model ``P = P_base + N_active * p_pe`` fits the published rows to within
+~13 % (forward) / ~17 % (backward) — the residual is per-layer switching
+activity the paper does not break out.  The default coefficients below
+are least-squares fits over the corresponding Fig. 12 table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Linear active-PE power model (watts)."""
+
+    forward_base_w: float = 0.812
+    forward_per_pe_w: float = 5.335e-3
+    backward_base_w: float = 0.999
+    backward_per_pe_w: float = 4.650e-3
+
+    def __post_init__(self) -> None:
+        if min(
+            self.forward_base_w,
+            self.forward_per_pe_w,
+            self.backward_base_w,
+            self.backward_per_pe_w,
+        ) <= 0:
+            raise ValueError("power coefficients must be positive")
+
+    def forward_power_w(self, active_pes: int) -> float:
+        """Chip power during a forward-propagation layer."""
+        if active_pes < 0:
+            raise ValueError("active_pes must be non-negative")
+        return self.forward_base_w + active_pes * self.forward_per_pe_w
+
+    def backward_power_w(self, active_pes: int) -> float:
+        """Chip power during a backward-propagation layer."""
+        if active_pes < 0:
+            raise ValueError("active_pes must be non-negative")
+        return self.backward_base_w + active_pes * self.backward_per_pe_w

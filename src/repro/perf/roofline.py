@@ -1,0 +1,97 @@
+"""Roofline analysis of the accelerator.
+
+Classic performance model: a layer's attainable throughput is
+
+    min(peak_compute, operational_intensity * memory_bandwidth)
+
+where operational intensity is MACs per byte moved.  On the paper's
+platform the ridge point sits exactly where Fig. 12a's behaviour splits:
+FC layers (intensity ~0.5 MAC/byte — every weight used once) fall on
+the bandwidth roof of the 128-bit streaming port, while CONV layers
+(intensity in the hundreds — weights reused across the whole output
+plane) sit under the compute roof.  This module computes those numbers
+per layer, quantifying *why* the cost model treats the two layer classes
+differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.specs import ConvSpec, FCSpec, NetworkSpec
+from repro.systolic.array import ArrayConfig, PAPER_ARRAY
+
+__all__ = ["RooflinePoint", "RooflineModel"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's position on the roofline plot."""
+
+    layer: str
+    macs: int
+    bytes_moved: int
+    attainable_gmacs: float
+    compute_bound: bool
+
+    @property
+    def operational_intensity(self) -> float:
+        """MACs per byte of weight+activation traffic."""
+        return self.macs / self.bytes_moved
+
+
+class RooflineModel:
+    """Roofline for the paper's systolic array + streaming port.
+
+    Parameters
+    ----------
+    array:
+        Array configuration; the compute roof is
+        ``compute_pes x 1 MAC/cycle`` (the sustained rate the Fig. 12
+        calibration supports) and the memory roof is the 128-bit
+        streaming path.
+    """
+
+    def __init__(self, array: ArrayConfig = PAPER_ARRAY):
+        self.array = array
+        self.peak_gmacs = array.total_pes * array.clock_hz / 1e9
+        self.stream_gbytes = (
+            array.stream_bits_per_cycle * array.clock_hz / 8e9
+        )
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Operational intensity at the compute/bandwidth ridge."""
+        return self.peak_gmacs / self.stream_gbytes
+
+    def _layer_traffic_bytes(self, layer, word_bits: int) -> int:
+        word_bytes = word_bits // 8
+        if isinstance(layer, ConvSpec):
+            weights = layer.weight_count * word_bytes
+            activations = (
+                layer.input_activations + layer.out_height * layer.out_width * layer.out_channels
+            ) * word_bytes
+            return weights + activations
+        if isinstance(layer, FCSpec):
+            weights = layer.weight_count * word_bytes
+            activations = (layer.in_features + layer.out_features) * word_bytes
+            return weights + activations
+        raise TypeError(f"unknown layer spec: {type(layer)!r}")
+
+    def analyze_layer(self, layer, word_bits: int = 16) -> RooflinePoint:
+        """Place one layer on the roofline."""
+        bytes_moved = self._layer_traffic_bytes(layer, word_bits)
+        intensity = layer.macs / bytes_moved
+        bandwidth_bound_gmacs = intensity * self.stream_gbytes
+        attainable = min(self.peak_gmacs, bandwidth_bound_gmacs)
+        return RooflinePoint(
+            layer=layer.name,
+            macs=layer.macs,
+            bytes_moved=bytes_moved,
+            attainable_gmacs=attainable,
+            compute_bound=bandwidth_bound_gmacs >= self.peak_gmacs,
+        )
+
+    def analyze_network(self, spec: NetworkSpec) -> list[RooflinePoint]:
+        """Roofline points for every layer of ``spec``."""
+        return [self.analyze_layer(l, spec.weight_bits) for l in spec.layers]

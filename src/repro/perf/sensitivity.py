@@ -1,0 +1,84 @@
+"""Sensitivity of the reproduction's conclusions to its calibration.
+
+The cost model's only non-derived inputs are the efficiency factors in
+:mod:`repro.perf.calibration`.  A reproduction is only as strong as its
+robustness to those choices, so this module perturbs each factor over a
+range and measures how the paper's *conclusions* move:
+
+* the L4-vs-E2E latency/energy savings (the 79-84 % headline),
+* the L4/E2E frame-rate ratio (the >3x-velocity claim).
+
+The shipped benchmark asserts that the qualitative conclusions survive
+±25 % perturbation of every factor simultaneously — i.e. the headline
+claims do not hinge on the fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.nn.specs import NetworkSpec
+from repro.perf.calibration import CostCalibration, DEFAULT_CALIBRATION
+from repro.perf.layer_cost import LayerCostModel
+from repro.perf.training import TrainingIterationModel, savings_vs_e2e
+from repro.rl.transfer import config_by_name
+
+__all__ = ["SensitivityPoint", "scale_calibration", "sensitivity_sweep"]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Conclusions at one calibration perturbation."""
+
+    scale: float
+    latency_saving_pct: float
+    energy_saving_pct: float
+    fps_ratio: float
+
+
+def scale_calibration(
+    calibration: CostCalibration, scale: float
+) -> CostCalibration:
+    """Multiply every efficiency factor of ``calibration`` by ``scale``."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return replace(
+        calibration,
+        conv_forward_efficiency={
+            k: v * scale for k, v in calibration.conv_forward_efficiency.items()
+        },
+        fc_forward_overhead=max(calibration.fc_forward_overhead * scale, 1.0),
+        fc_backward_overhead=max(calibration.fc_backward_overhead * scale, 1.0),
+        conv_backward_efficiency={
+            k: v * scale
+            for k, v in calibration.conv_backward_efficiency.items()
+        },
+        conv_backward_fallback=calibration.conv_backward_fallback * scale,
+    )
+
+
+def _conclusions(spec: NetworkSpec, calibration: CostCalibration, scale: float):
+    l4 = LayerCostModel(spec, config_by_name("L4"), calibration=calibration)
+    e2e = LayerCostModel(spec, config_by_name("E2E"), calibration=calibration)
+    savings = savings_vs_e2e(l4, e2e)
+    fps_l4 = TrainingIterationModel(l4).iteration_cost(4).fps
+    fps_e2e = TrainingIterationModel(e2e).iteration_cost(4).fps
+    return SensitivityPoint(
+        scale=scale,
+        latency_saving_pct=savings["latency_decrease_pct"],
+        energy_saving_pct=savings["energy_decrease_pct"],
+        fps_ratio=fps_l4 / fps_e2e,
+    )
+
+
+def sensitivity_sweep(
+    spec: NetworkSpec,
+    scales: tuple[float, ...] = (0.75, 0.9, 1.0, 1.1, 1.25),
+    calibration: CostCalibration = DEFAULT_CALIBRATION,
+) -> list[SensitivityPoint]:
+    """Evaluate the headline conclusions across calibration scales."""
+    if not scales:
+        raise ValueError("need at least one scale")
+    return [
+        _conclusions(spec, scale_calibration(calibration, s), s) for s in scales
+    ]

@@ -1,0 +1,150 @@
+"""Training-iteration timeline and latency-hiding analysis.
+
+The layer cost model charges each layer's weight streaming as exposed
+time.  In the real platform, the global buffer double-buffers: while the
+PE array computes layer *k*, the next layer's weights can prefetch from
+the STT-MRAM stack over the 2 Tb/s interface.  This module builds the
+explicit phase timeline of one training iteration and answers:
+
+* which layer streams are *hidden* behind compute and which are exposed,
+* what the iteration looks like as a Gantt-style ASCII chart,
+* how much of the E2E/L-config gap is fundamentally compute vs memory.
+
+The NVM-side prefetch analysis is conservative: a stream is hidden only
+if the *previous* phase's compute time covers it and the buffer's
+scratchpad can hold the incoming tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.layer_cost import LayerCostModel
+
+__all__ = ["Phase", "IterationTimeline", "build_timeline"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One scheduled interval of the iteration."""
+
+    name: str
+    kind: str        # "frame" | "forward" | "backward" | "update"
+    start_s: float
+    duration_s: float
+    stream_s: float = 0.0   # weight-stream time demanded by this phase
+    hidden_s: float = 0.0   # portion of the stream hidden under the
+                            # previous phase's compute
+
+    @property
+    def end_s(self) -> float:
+        """Phase end time."""
+        return self.start_s + self.duration_s
+
+    @property
+    def exposed_stream_s(self) -> float:
+        """Stream time that extends the critical path."""
+        return max(self.stream_s - self.hidden_s, 0.0)
+
+
+@dataclass(frozen=True)
+class IterationTimeline:
+    """The full phase sequence of one batch-1 training pass."""
+
+    config_name: str
+    phases: tuple[Phase, ...]
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end iteration time."""
+        return self.phases[-1].end_s if self.phases else 0.0
+
+    @property
+    def hidden_stream_s(self) -> float:
+        """Total stream time hidden behind compute."""
+        return sum(p.hidden_s for p in self.phases)
+
+    def by_kind(self) -> dict[str, float]:
+        """Total duration per phase kind."""
+        out: dict[str, float] = {}
+        for phase in self.phases:
+            out[phase.kind] = out.get(phase.kind, 0.0) + phase.duration_s
+        return out
+
+    def gantt_ascii(self, width: int = 72) -> str:
+        """Render the timeline as a proportional ASCII Gantt chart."""
+        if width < 20:
+            raise ValueError("chart too narrow")
+        total = self.total_s
+        if total <= 0:
+            return "(empty timeline)"
+        glyphs = {"frame": "F", "forward": "=", "backward": "<", "update": "U"}
+        label_w = max(len(p.name) for p in self.phases)
+        lines = [f"{self.config_name}: one training pass, {total * 1e3:.2f} ms"]
+        for phase in self.phases:
+            start = int(phase.start_s / total * width)
+            span = max(int(phase.duration_s / total * width), 1)
+            bar = " " * start + glyphs[phase.kind] * span
+            lines.append(
+                f"{phase.name.rjust(label_w)} |{bar.ljust(width)}| "
+                f"{phase.duration_s * 1e3:7.3f} ms"
+            )
+        return "\n".join(lines)
+
+
+def build_timeline(
+    cost_model: LayerCostModel,
+    frame_load_s: float | None = None,
+    prefetch: bool = True,
+) -> IterationTimeline:
+    """Schedule one batch-1 forward+backward+update pass.
+
+    Parameters
+    ----------
+    cost_model:
+        Source of per-layer costs and residency.
+    frame_load_s:
+        Camera-frame DMA time; derived from the spec and the DDR6 link
+        if omitted.
+    prefetch:
+        Model double-buffered weight prefetch from the NVM (hides each
+        layer's stream under the previous layer's compute).
+    """
+    spec = cost_model.spec
+    if frame_load_s is None:
+        frame_bits = (
+            spec.input_side * spec.input_side * spec.input_channels * spec.weight_bits
+        )
+        frame_load_s = frame_bits / 256e9  # DDR6-class link
+    phases: list[Phase] = []
+    clock = 0.0
+    phases.append(Phase("frame-in", "frame", 0.0, frame_load_s))
+    clock = frame_load_s
+
+    prev_compute_slack = 0.0
+    for cost in cost_model.forward_costs():
+        layer = spec.layer(cost.layer)
+        stream_s = 0.0
+        hidden_s = 0.0
+        if cost_model.is_nvm_resident(cost.layer):
+            weight_bits = layer.weight_count * spec.weight_bits
+            stream_s = weight_bits / cost_model.nvm.read_bandwidth_bps
+            if prefetch:
+                hidden_s = min(stream_s, prev_compute_slack)
+        duration = cost.latency_s + (stream_s - hidden_s)
+        phases.append(
+            Phase(
+                cost.layer, "forward", clock, duration,
+                stream_s=stream_s, hidden_s=hidden_s,
+            )
+        )
+        clock += duration
+        prev_compute_slack = cost.latency_s
+    for cost in cost_model.backward_costs():
+        phases.append(Phase(f"{cost.layer}'", "backward", clock, cost.latency_s))
+        clock += cost.latency_s
+    update = cost_model.update_cost()
+    phases.append(Phase("update", "update", clock, update.latency_s))
+    return IterationTimeline(
+        config_name=cost_model.config.name, phases=tuple(phases)
+    )

@@ -1,0 +1,138 @@
+"""Training-iteration model: Fig. 13a (fps vs batch) and Fig. 13b
+(latency/energy totals and savings).
+
+Fig. 3b defines one training iteration with batch size N as N forward+
+backward passes over single images followed by one weight update.  The
+sustainable frame rate the paper plots is the iteration rate,
+
+    fps(config, N) = 1 / (N * (t_fwd + t_bwd(config)) + t_update(config))
+
+which reproduces the published anchors: at batch 4 the L4 topology
+sustains ~15 fps and E2E ~3 fps.  Per-image latency/energy (Fig. 13b)
+are ``t_fwd + t_bwd`` and ``e_fwd + e_bwd``; the savings of a TL
+topology over E2E follow directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.env.fps import max_safe_velocity
+from repro.perf.layer_cost import LayerCostModel
+
+__all__ = [
+    "IterationCost",
+    "TrainingIterationModel",
+    "fps_vs_batch_table",
+    "savings_vs_e2e",
+]
+
+#: Batch sizes swept in Fig. 13a.
+PAPER_BATCH_SIZES = (4, 8, 16)
+
+
+@dataclass(frozen=True)
+class IterationCost:
+    """Cost of one batch-N training iteration."""
+
+    config_name: str
+    batch_size: int
+    forward_latency_s: float
+    backward_latency_s: float
+    update_latency_s: float
+    forward_energy_j: float
+    backward_energy_j: float
+    update_energy_j: float
+
+    @property
+    def per_image_latency_s(self) -> float:
+        """Forward + backward latency of one image (Fig. 13b bar)."""
+        return self.forward_latency_s + self.backward_latency_s
+
+    @property
+    def per_image_energy_j(self) -> float:
+        """Forward + backward energy of one image (Fig. 13b bar)."""
+        return self.forward_energy_j + self.backward_energy_j
+
+    @property
+    def iteration_latency_s(self) -> float:
+        """Latency of the whole batch-N iteration including the update."""
+        return self.batch_size * self.per_image_latency_s + self.update_latency_s
+
+    @property
+    def iteration_energy_j(self) -> float:
+        """Energy of the whole batch-N iteration including the update."""
+        return self.batch_size * self.per_image_energy_j + self.update_energy_j
+
+    @property
+    def fps(self) -> float:
+        """Sustainable training iterations per second (Fig. 13a)."""
+        return 1.0 / self.iteration_latency_s
+
+    @property
+    def energy_per_frame_j(self) -> float:
+        """Iteration energy amortised per image frame."""
+        return self.iteration_energy_j / self.batch_size
+
+
+class TrainingIterationModel:
+    """Wraps a :class:`LayerCostModel` with batch-iteration arithmetic."""
+
+    def __init__(self, cost_model: LayerCostModel):
+        self.cost_model = cost_model
+
+    def iteration_cost(self, batch_size: int) -> IterationCost:
+        """Cost of one training iteration at ``batch_size``."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        fwd_lat, fwd_energy = self.cost_model.forward_total()
+        bwd_lat, bwd_energy = self.cost_model.backward_total()
+        update = self.cost_model.update_cost()
+        return IterationCost(
+            config_name=self.cost_model.config.name,
+            batch_size=batch_size,
+            forward_latency_s=fwd_lat,
+            backward_latency_s=bwd_lat,
+            update_latency_s=update.latency_s,
+            forward_energy_j=fwd_energy,
+            backward_energy_j=bwd_energy,
+            update_energy_j=update.energy_j,
+        )
+
+    def max_velocity(self, batch_size: int, d_min: float) -> float:
+        """Fastest safe flight (m/s) given the achievable fps (Fig. 1)."""
+        return max_safe_velocity(self.iteration_cost(batch_size).fps, d_min)
+
+
+def fps_vs_batch_table(
+    models: dict[str, LayerCostModel],
+    batch_sizes: tuple[int, ...] = PAPER_BATCH_SIZES,
+) -> dict[str, dict[int, float]]:
+    """Fig. 13a: fps per (config, batch size)."""
+    table: dict[str, dict[int, float]] = {}
+    for name, model in models.items():
+        trainer = TrainingIterationModel(model)
+        table[name] = {
+            n: trainer.iteration_cost(n).fps for n in batch_sizes
+        }
+    return table
+
+
+def savings_vs_e2e(
+    config_model: LayerCostModel, e2e_model: LayerCostModel
+) -> dict[str, float]:
+    """Fig. 13b: percentage latency/energy decrease vs the E2E baseline.
+
+    Uses the per-image (forward + backward) cost, matching the paper's
+    "processing latency / dissipated energy" bars.
+    """
+    cfg = TrainingIterationModel(config_model).iteration_cost(1)
+    e2e = TrainingIterationModel(e2e_model).iteration_cost(1)
+    if e2e.per_image_latency_s <= 0 or e2e.per_image_energy_j <= 0:
+        raise ValueError("E2E baseline has non-positive cost")
+    return {
+        "latency_decrease_pct": 100.0
+        * (1.0 - cfg.per_image_latency_s / e2e.per_image_latency_s),
+        "energy_decrease_pct": 100.0
+        * (1.0 - cfg.per_image_energy_j / e2e.per_image_energy_j),
+    }

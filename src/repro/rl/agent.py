@@ -1,0 +1,215 @@
+"""Deep Q-learning agent with partial backpropagation.
+
+Implements eq. (1) of the paper: ``Q(s,a) = r + gamma * max_a' Q(s',a')``
+regressed with gradient descent, where backpropagation covers only the
+layers selected by the active :class:`~repro.rl.transfer.TransferConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.episode import Transition
+from repro.nn.losses import q_learning_loss
+from repro.nn.network import Network
+from repro.nn.optim import Optimizer, SGD
+from repro.rl.replay import ReplayBuffer
+from repro.rl.transfer import TransferConfig
+
+__all__ = ["EpsilonSchedule", "QLearningAgent"]
+
+
+@dataclass(frozen=True)
+class EpsilonSchedule:
+    """Linearly annealed exploration rate."""
+
+    start: float = 1.0
+    end: float = 0.05
+    decay_steps: int = 2000
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.end <= self.start <= 1.0:
+            raise ValueError("need 0 <= end <= start <= 1")
+        if self.decay_steps <= 0:
+            raise ValueError("decay_steps must be positive")
+
+    def value(self, step: int) -> float:
+        """Exploration rate at ``step``."""
+        if step >= self.decay_steps:
+            return self.end
+        frac = step / self.decay_steps
+        return self.start + frac * (self.end - self.start)
+
+
+class QLearningAgent:
+    """DQN-style agent over a NumPy :class:`~repro.nn.network.Network`.
+
+    Parameters
+    ----------
+    network:
+        The Q network; outputs one value per action.
+    config:
+        Transfer configuration deciding which layers train online.
+    num_actions:
+        Size of the action space (5 in the paper).
+    gamma:
+        Discount factor of the long-term return.
+    batch_size:
+        Training batch size N (the paper evaluates N = 4, 8, 16).
+    learning_rate, epsilon, replay_capacity, seed:
+        Usual knobs.
+    grad_clip:
+        Global-norm gradient clip applied before each update; keeps the
+        bootstrapped regression stable without a target network.
+    target_sync_every:
+        When set, maintain a frozen *target network* (a weight snapshot)
+        for the bootstrap term, re-synchronised every this many training
+        steps — the standard DQN stabiliser.  ``None`` bootstraps from
+        the online network (the paper's plain eq. (1)).
+    double_dqn:
+        With a target network, select the bootstrap action with the
+        online network but evaluate it with the target (double DQN);
+        reduces the max-operator's overestimation bias.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        config: TransferConfig,
+        num_actions: int = 5,
+        gamma: float = 0.9,
+        batch_size: int = 8,
+        learning_rate: float = 1e-3,
+        epsilon: EpsilonSchedule | None = None,
+        replay_capacity: int = 4000,
+        seed: int = 0,
+        optimizer: Optimizer | None = None,
+        grad_clip: float = 5.0,
+        target_sync_every: int | None = None,
+        double_dqn: bool = False,
+    ):
+        if not 0.0 <= gamma < 1.0:
+            raise ValueError("gamma must be in [0, 1)")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.network = network
+        self.config = config
+        self.num_actions = num_actions
+        self.gamma = gamma
+        self.batch_size = batch_size
+        self.epsilon = epsilon or EpsilonSchedule()
+        self.replay = ReplayBuffer(replay_capacity)
+        self.rng = np.random.default_rng(seed)
+        if grad_clip <= 0:
+            raise ValueError("grad_clip must be positive")
+        if target_sync_every is not None and target_sync_every <= 0:
+            raise ValueError("target_sync_every must be positive or None")
+        if double_dqn and target_sync_every is None:
+            raise ValueError("double_dqn requires a target network")
+        self.grad_clip = grad_clip
+        self.target_sync_every = target_sync_every
+        self.double_dqn = double_dqn
+        self._target_state = (
+            network.state_dict() if target_sync_every is not None else None
+        )
+        self.first_trainable = config.first_trainable_layer(network)
+        self.optimizer = optimizer or SGD(
+            network.parameters(self.first_trainable), lr=learning_rate, momentum=0.9
+        )
+        self.step_count = 0
+        self.train_count = 0
+        self.last_loss = float("nan")
+
+    # ------------------------------------------------------------------
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        """Q(s, .) for a single state (adds the batch axis)."""
+        return self.network.predict(state[None, ...])[0]
+
+    def select_action(self, state: np.ndarray, greedy: bool = False) -> int:
+        """Epsilon-greedy action selection."""
+        eps = 0.0 if greedy else self.epsilon.value(self.step_count)
+        self.step_count += 1
+        if self.rng.random() < eps:
+            return int(self.rng.integers(self.num_actions))
+        return int(np.argmax(self.q_values(state)))
+
+    def observe(self, transition: Transition) -> None:
+        """Store a transition in the replay buffer.
+
+        Rejects non-finite rewards/states — a corrupted sensor frame
+        silently entering replay would poison every later batch.
+        """
+        if not np.isfinite(transition.reward):
+            raise ValueError(f"non-finite reward: {transition.reward}")
+        if not np.all(np.isfinite(transition.state)) or not np.all(
+            np.isfinite(transition.next_state)
+        ):
+            raise ValueError("non-finite values in observed state")
+        if not 0 <= transition.action < self.num_actions:
+            raise ValueError(f"action out of range: {transition.action}")
+        self.replay.push(transition)
+
+    def ready_to_train(self) -> bool:
+        """Whether the buffer holds at least one batch."""
+        return len(self.replay) >= self.batch_size
+
+    def train_step(self) -> float:
+        """One training iteration (Fig. 3b): batch forward, partial
+        backward, gradient-descent update.  Returns the batch loss."""
+        if not self.ready_to_train():
+            raise RuntimeError("not enough transitions to train")
+        states, actions, rewards, next_states, dones = self.replay.sample(
+            self.batch_size, self.rng
+        )
+        # Bellman targets (eq. 1); terminal states contribute reward only.
+        bootstrap = self._bootstrap_values(next_states)
+        targets = rewards + self.gamma * (1.0 - dones) * bootstrap
+        q_pred = self.network.forward(states, training=True)
+        loss, grad = q_learning_loss(q_pred, actions, targets)
+        self.network.zero_grad()
+        self.network.backward(grad, first_trainable=self.first_trainable)
+        self._clip_gradients()
+        self.optimizer.step()
+        self.train_count += 1
+        self.last_loss = loss
+        if (
+            self.target_sync_every is not None
+            and self.train_count % self.target_sync_every == 0
+        ):
+            self._target_state = self.network.state_dict()
+        return loss
+
+    def _bootstrap_values(self, next_states: np.ndarray) -> np.ndarray:
+        """max_a' Q(s', a') under the configured bootstrap scheme."""
+        if self._target_state is None:
+            return self.network.predict(next_states).max(axis=1)
+        target_q = self._predict_with_state(next_states, self._target_state)
+        if not self.double_dqn:
+            return target_q.max(axis=1)
+        online_actions = self.network.predict(next_states).argmax(axis=1)
+        return target_q[np.arange(target_q.shape[0]), online_actions]
+
+    def _predict_with_state(
+        self, states: np.ndarray, state: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Forward pass with a temporary weight snapshot swapped in."""
+        params = self.network.parameters()
+        saved = [p.value for p in params]
+        for p in params:
+            p.value = state[p.name]
+        try:
+            return self.network.predict(states)
+        finally:
+            for p, value in zip(params, saved):
+                p.value = value
+
+    def _clip_gradients(self) -> None:
+        """Scale trainable gradients so their global norm <= grad_clip."""
+        params = self.optimizer.params
+        total = np.sqrt(sum(float(np.sum(p.grad**2)) for p in params))
+        if total > self.grad_clip:
+            scale = self.grad_clip / total
+            for p in params:
+                p.grad *= scale

@@ -1,0 +1,73 @@
+"""Experiment checkpointing.
+
+Saves a :class:`~repro.rl.experiment.TrainingResult` — weights, curves
+and scalar metrics — to a directory (``.npz`` for arrays, ``.json`` for
+metadata) and restores it, so long meta-training runs are paid for once
+and the deployment/adaptation phase can be replayed from disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.rl.experiment import TrainingResult
+from repro.rl.metrics import LearningCurves
+
+__all__ = ["save_result", "load_result"]
+
+_META_FILE = "result.json"
+_WEIGHTS_FILE = "weights.npz"
+_CURVES_FILE = "curves.npz"
+
+
+def save_result(result: TrainingResult, directory: str | Path) -> Path:
+    """Persist ``result`` under ``directory`` (created if needed)."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "config_name": result.config_name,
+        "environment": result.environment,
+        "safe_flight_distance": result.safe_flight_distance,
+        "crash_count": result.crash_count,
+        "iterations": result.iterations,
+    }
+    (out / _META_FILE).write_text(json.dumps(meta, indent=2))
+    np.savez_compressed(out / _WEIGHTS_FILE, **result.final_state)
+    np.savez_compressed(
+        out / _CURVES_FILE,
+        reward=np.asarray(result.curves.reward_curve, dtype=np.float64),
+        returns=np.asarray(result.curves.return_curve, dtype=np.float64),
+        loss=np.asarray(result.curves.loss_curve, dtype=np.float64),
+    )
+    return out
+
+
+def load_result(directory: str | Path) -> TrainingResult:
+    """Restore a result saved by :func:`save_result`."""
+    src = Path(directory)
+    meta_path = src / _META_FILE
+    if not meta_path.exists():
+        raise FileNotFoundError(f"no checkpoint at {src}")
+    meta = json.loads(meta_path.read_text())
+    with np.load(src / _WEIGHTS_FILE) as data:
+        state = {key: data[key] for key in data.files}
+    with np.load(src / _CURVES_FILE) as data:
+        reward = data["reward"]
+        returns = data["returns"]
+        loss = data["loss"]
+    curves = LearningCurves(reward_window=max(len(reward) // 8, 10))
+    curves.reward_curve = reward.tolist()
+    curves.return_curve = returns.tolist()
+    curves.loss_curve = loss.tolist()
+    return TrainingResult(
+        config_name=meta["config_name"],
+        environment=meta["environment"],
+        curves=curves,
+        safe_flight_distance=meta["safe_flight_distance"],
+        crash_count=meta["crash_count"],
+        iterations=meta["iterations"],
+        final_state=state,
+    )

@@ -1,0 +1,101 @@
+"""Frozen-policy evaluation.
+
+Fig. 11's safe-flight-distance comparison is cleanest when measured with
+a *frozen* greedy policy (no exploration noise, no ongoing updates).
+:func:`evaluate_policy` runs such an evaluation and reports SFD, reward
+statistics and the action distribution; :func:`evaluate_state_dict`
+wraps it for a saved model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.camera import DepthCamera, StereoNoiseModel
+from repro.env.episode import NavigationEnv
+from repro.env.generators import make_environment
+from repro.env.trace import FlightTrace
+from repro.nn.alexnet import build_network, scaled_drone_net_spec
+from repro.nn.network import Network
+
+__all__ = ["EvaluationResult", "evaluate_policy", "evaluate_state_dict"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Outcome of a frozen-policy evaluation run."""
+
+    environment: str
+    steps: int
+    safe_flight_distance: float
+    crash_count: int
+    mean_reward: float
+    action_histogram: tuple[int, ...]
+    trace: FlightTrace
+
+    @property
+    def crash_rate(self) -> float:
+        """Crashes per step."""
+        return self.crash_count / self.steps if self.steps else 0.0
+
+
+def evaluate_policy(
+    network: Network,
+    env: NavigationEnv,
+    steps: int = 1000,
+    epsilon: float = 0.0,
+    seed: int = 0,
+) -> EvaluationResult:
+    """Run ``network`` greedily in ``env`` for ``steps`` actions.
+
+    ``epsilon`` adds optional residual exploration (0 = fully greedy).
+    """
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError("epsilon must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    trace = FlightTrace()
+    rewards = []
+    state = env.reset()
+    for _ in range(steps):
+        if epsilon and rng.random() < epsilon:
+            action = int(rng.integers(env.num_actions))
+        else:
+            action = int(np.argmax(network.predict(state[None, ...])[0]))
+        next_state, reward, done, info = env.step(action)
+        trace.record(info["pose"], action, reward, info["crashed"])
+        rewards.append(reward)
+        state = env.reset() if done else next_state
+    histogram = tuple(int(c) for c in trace.action_histogram(env.num_actions))
+    return EvaluationResult(
+        environment=env.world.name,
+        steps=steps,
+        safe_flight_distance=env.tracker.safe_flight_distance,
+        crash_count=env.tracker.crash_count,
+        mean_reward=float(np.mean(rewards)),
+        action_histogram=histogram,
+        trace=trace,
+    )
+
+
+def evaluate_state_dict(
+    state: dict[str, np.ndarray],
+    env_name: str,
+    steps: int = 1000,
+    image_side: int = 16,
+    seed: int = 0,
+) -> EvaluationResult:
+    """Evaluate a saved scaled-drone-net model in a named environment."""
+    spec = scaled_drone_net_spec(input_side=image_side)
+    network = build_network(spec, seed=seed)
+    network.load_state_dict(state)
+    world = make_environment(env_name, seed=seed)
+    env = NavigationEnv(
+        world,
+        camera=DepthCamera(width=image_side, height=image_side, noise=StereoNoiseModel()),
+        seed=seed + 31,
+    )
+    return evaluate_policy(network, env, steps=steps, seed=seed)

@@ -1,0 +1,123 @@
+"""Learning-curve metrics matching Fig. 10.
+
+* **Cumulative reward** — "the moving average of last N rewards received
+  by the agent", N being a smoothing constant (15000 in the paper; we
+  scale it with run length).
+* **Return** — "the moving average of the sum of rewards across
+  episodes": rewards accumulate until a crash, each crash closes one
+  episode-return sample, and the curve is the moving average of those
+  per-episode means.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["MovingAverage", "ReturnTracker", "LearningCurves"]
+
+
+class MovingAverage:
+    """Moving average over the last ``window`` samples."""
+
+    def __init__(self, window: int):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._buffer: deque[float] = deque(maxlen=window)
+        self._sum = 0.0
+
+    def add(self, value: float) -> float:
+        """Insert ``value`` and return the current average."""
+        if len(self._buffer) == self.window:
+            self._sum -= self._buffer[0]
+        self._buffer.append(value)
+        self._sum += value
+        return self.value
+
+    @property
+    def value(self) -> float:
+        """Current moving average (NaN when empty)."""
+        if not self._buffer:
+            return float("nan")
+        return self._sum / len(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class ReturnTracker:
+    """Per-flight mean reward, moving-averaged across flights.
+
+    The paper's return metric: rewards accumulate between crashes and
+    are normalised by the number of actions in the flight,
+    ``(1/N_k) * sum r_j``.
+    """
+
+    def __init__(self, window: int = 20):
+        self._avg = MovingAverage(window)
+        self._sum = 0.0
+        self._count = 0
+
+    def add_reward(self, reward: float) -> None:
+        """Record one step's reward within the current flight."""
+        self._sum += reward
+        self._count += 1
+
+    def end_episode(self) -> float:
+        """Close the flight at a crash; returns the updated average."""
+        if self._count > 0:
+            self._avg.add(self._sum / self._count)
+        self._sum = 0.0
+        self._count = 0
+        return self._avg.value
+
+    @property
+    def value(self) -> float:
+        """Moving average of per-flight returns."""
+        return self._avg.value
+
+
+class LearningCurves:
+    """Collects the Fig. 10 curves during a training run."""
+
+    def __init__(self, reward_window: int, return_window: int = 20):
+        self.cumulative_reward = MovingAverage(reward_window)
+        self.returns = ReturnTracker(return_window)
+        self.reward_curve: list[float] = []
+        self.return_curve: list[float] = []
+        self.loss_curve: list[float] = []
+
+    def record_step(self, reward: float, done: bool, loss: float | None) -> None:
+        """Record one environment step (and optional training loss)."""
+        self.reward_curve.append(self.cumulative_reward.add(reward))
+        self.returns.add_reward(reward)
+        if done:
+            self.returns.end_episode()
+        self.return_curve.append(self.returns.value)
+        if loss is not None:
+            self.loss_curve.append(loss)
+
+    def final_reward(self, tail_fraction: float = 0.2) -> float:
+        """Mean of the last ``tail_fraction`` of the reward curve."""
+        if not self.reward_curve:
+            return float("nan")
+        tail = max(int(len(self.reward_curve) * tail_fraction), 1)
+        return float(np.nanmean(self.reward_curve[-tail:]))
+
+    def converged(self, tail_fraction: float = 0.3, tolerance: float = 0.15) -> bool:
+        """Crude saturation test: the tail varies within ``tolerance``
+        relative to its mean (Fig. 10's "saturating reward")."""
+        if len(self.reward_curve) < 10:
+            return False
+        tail = max(int(len(self.reward_curve) * tail_fraction), 2)
+        values = np.asarray(self.reward_curve[-tail:])
+        values = values[~np.isnan(values)]
+        if values.size < 2:
+            return False
+        mean = float(np.mean(values))
+        if mean == 0.0:
+            return False
+        spread = float(np.max(values) - np.min(values))
+        return spread / abs(mean) <= tolerance

@@ -1,0 +1,59 @@
+"""Experience replay buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.episode import Transition
+
+__all__ = ["ReplayBuffer"]
+
+
+class ReplayBuffer:
+    """Fixed-capacity cyclic buffer of :class:`Transition` tuples."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._storage: list[Transition] = []
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def push(self, transition: Transition) -> None:
+        """Insert a transition, evicting the oldest when full."""
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Uniformly sample a batch.
+
+        Returns stacked arrays: states (N, ...), actions (N,), rewards
+        (N,), next_states (N, ...), dones (N,) as float 0/1.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if len(self._storage) < batch_size:
+            raise ValueError(
+                f"buffer has {len(self._storage)} transitions, need {batch_size}"
+            )
+        idx = rng.choice(len(self._storage), size=batch_size, replace=False)
+        batch = [self._storage[i] for i in idx]
+        states = np.stack([t.state for t in batch])
+        actions = np.array([t.action for t in batch], dtype=np.int64)
+        rewards = np.array([t.reward for t in batch], dtype=np.float64)
+        next_states = np.stack([t.next_state for t in batch])
+        dones = np.array([float(t.done) for t in batch], dtype=np.float64)
+        return states, actions, rewards, next_states, dones
+
+    def clear(self) -> None:
+        """Drop all stored transitions."""
+        self._storage.clear()
+        self._cursor = 0

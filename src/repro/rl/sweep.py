@@ -1,0 +1,107 @@
+"""Multi-seed experiment sweeps with summary statistics.
+
+Single-seed RL results are noisy (visible in Fig. 10's jagged curves);
+this module repeats the transfer experiment across seeds and reports
+mean, standard deviation and a normal-approximation confidence interval
+per topology — what a careful reproduction reports instead of one run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rl.experiment import run_transfer_experiment
+from repro.rl.transfer import TRANSFER_CONFIGS, TransferConfig
+
+__all__ = ["SeedStatistics", "SweepResult", "run_seed_sweep"]
+
+
+@dataclass(frozen=True)
+class SeedStatistics:
+    """Mean/std/CI summary of one metric across seeds."""
+
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        """Number of seeds."""
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1; 0 for a single seed)."""
+        if self.n < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean."""
+        if z <= 0:
+            raise ValueError("z must be positive")
+        half = z * self.std / math.sqrt(self.n) if self.n > 1 else 0.0
+        return (self.mean - half, self.mean + half)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Per-topology statistics for one test environment."""
+
+    environment: str
+    seeds: tuple[int, ...]
+    final_reward: dict[str, SeedStatistics]
+    safe_flight_distance: dict[str, SeedStatistics]
+
+    def normalised_sfd(self, baseline: str = "E2E") -> dict[str, float]:
+        """Mean SFD of each topology divided by the baseline's mean."""
+        base = self.safe_flight_distance[baseline].mean
+        if base <= 0:
+            raise ValueError(f"baseline {baseline} has non-positive SFD")
+        return {
+            name: stats.mean / base
+            for name, stats in self.safe_flight_distance.items()
+        }
+
+
+def run_seed_sweep(
+    test_env_name: str,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    configs: tuple[TransferConfig, ...] = TRANSFER_CONFIGS,
+    meta_iterations: int = 1000,
+    adapt_iterations: int = 1000,
+    image_side: int = 16,
+) -> SweepResult:
+    """Repeat the Fig. 10/11 protocol across ``seeds`` and summarise."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    rewards: dict[str, list[float]] = {c.name: [] for c in configs}
+    sfds: dict[str, list[float]] = {c.name: [] for c in configs}
+    for seed in seeds:
+        results = run_transfer_experiment(
+            test_env_name,
+            configs=configs,
+            meta_iterations=meta_iterations,
+            adapt_iterations=adapt_iterations,
+            seed=seed,
+            image_side=image_side,
+        )
+        for name, result in results.items():
+            rewards[name].append(result.final_reward)
+            sfds[name].append(result.safe_flight_distance)
+    return SweepResult(
+        environment=test_env_name,
+        seeds=tuple(seeds),
+        final_reward={
+            name: SeedStatistics(tuple(vals)) for name, vals in rewards.items()
+        },
+        safe_flight_distance={
+            name: SeedStatistics(tuple(vals)) for name, vals in sfds.items()
+        },
+    )

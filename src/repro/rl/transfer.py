@@ -1,0 +1,85 @@
+"""Transfer-learning configurations: E2E, L2, L3, L4.
+
+Section VI.B: "For RL, we use 4 topologies, E2E (end-to-end RL) and L2,
+L3, and L4, where Li represents TL followed by RL where the last
+i-layers are trained online."
+
+Each configuration also implies an SRAM capacity requirement (Fig. 3b:
+4 %, 11 % and 26 % of total weights for L2/L3/L4) which the memory mapper
+checks against the platform's global buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.network import Network
+from repro.nn.specs import NetworkSpec
+
+__all__ = ["TransferConfig", "TRANSFER_CONFIGS", "config_by_name"]
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    """One online-training topology.
+
+    Parameters
+    ----------
+    name:
+        Display name ("E2E", "L2", "L3", "L4").
+    last_k_fc:
+        Number of FC layers trained online; ``None`` = end-to-end.
+    """
+
+    name: str
+    last_k_fc: int | None
+
+    def __post_init__(self) -> None:
+        if self.last_k_fc is not None and self.last_k_fc <= 0:
+            raise ValueError("last_k_fc must be positive or None")
+
+    @property
+    def is_end_to_end(self) -> bool:
+        """Whether every layer trains online."""
+        return self.last_k_fc is None
+
+    def first_trainable_layer(self, network: Network) -> int:
+        """Layer index in ``network`` where backpropagation stops.
+
+        Relies on the drone networks' structure: the FC layers are the
+        last parametric layers of the stack, so "last k FC layers" is
+        "last k parametric layers".
+        """
+        return network.trainable_boundary(self.last_k_fc)
+
+    def trainable_weights(self, spec: NetworkSpec) -> int:
+        """Weights updated online under this configuration."""
+        return spec.trainable_weights(self.last_k_fc)
+
+    def trainable_fraction(self, spec: NetworkSpec) -> float:
+        """Fraction of all weights updated online (Fig. 3b)."""
+        return spec.trainable_fraction(self.last_k_fc)
+
+    def trainable_fc_names(self, spec: NetworkSpec) -> tuple[str, ...]:
+        """Names of the FC layers trained online (all layers for E2E)."""
+        if self.last_k_fc is None:
+            return tuple(l.name for l in spec.layers)
+        return tuple(l.name for l in spec.last_fc(self.last_k_fc))
+
+
+#: The paper's four topologies, in increasing-capability order.
+TRANSFER_CONFIGS = (
+    TransferConfig("L2", last_k_fc=2),
+    TransferConfig("L3", last_k_fc=3),
+    TransferConfig("L4", last_k_fc=4),
+    TransferConfig("E2E", last_k_fc=None),
+)
+
+
+def config_by_name(name: str) -> TransferConfig:
+    """Look up one of the paper's configurations by name."""
+    for config in TRANSFER_CONFIGS:
+        if config.name == name.upper():
+            return config
+    known = ", ".join(c.name for c in TRANSFER_CONFIGS)
+    raise KeyError(f"unknown transfer config {name!r}; known: {known}")

@@ -1,0 +1,72 @@
+"""Observation wrappers.
+
+:class:`FrameStack` concatenates the last ``k`` depth images along the
+channel axis — the classic DQN trick giving the (otherwise memoryless)
+Q network access to short-term motion cues.  The paper's network takes a
+single frame; stacking is the natural first extension and works with
+any ``NavigationEnv`` unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.env.episode import NavigationEnv
+
+__all__ = ["FrameStack"]
+
+
+class FrameStack:
+    """Stack the last ``k`` observations along the channel axis.
+
+    Presents the same ``reset``/``step`` interface as
+    :class:`~repro.env.episode.NavigationEnv`; on reset the stack is
+    filled with copies of the first frame.
+    """
+
+    def __init__(self, env: NavigationEnv, k: int = 3):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.env = env
+        self.k = k
+        self._frames: deque[np.ndarray] = deque(maxlen=k)
+
+    @property
+    def num_actions(self) -> int:
+        """Action-space size (delegated)."""
+        return self.env.num_actions
+
+    @property
+    def observation_shape(self) -> tuple[int, int, int]:
+        """(channels * k, height, width)."""
+        c, h, w = self.env.observation_shape
+        return (c * self.k, h, w)
+
+    @property
+    def world(self):
+        """Underlying world (delegated)."""
+        return self.env.world
+
+    @property
+    def tracker(self):
+        """Safe-flight tracker (delegated)."""
+        return self.env.tracker
+
+    def _stacked(self) -> np.ndarray:
+        return np.concatenate(list(self._frames), axis=0)
+
+    def reset(self) -> np.ndarray:
+        """Reset and fill the stack with the first frame."""
+        obs = self.env.reset()
+        self._frames.clear()
+        for _ in range(self.k):
+            self._frames.append(obs)
+        return self._stacked()
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]:
+        """Step the wrapped env and return the stacked observation."""
+        obs, reward, done, info = self.env.step(action)
+        self._frames.append(obs)
+        return self._stacked(), reward, done, info

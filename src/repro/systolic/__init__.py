@@ -1,0 +1,58 @@
+"""Systolic PE-array model (Fig. 4b, Fig. 6–8).
+
+The paper's accelerator is a 32x32 array of processing elements, each
+with a 4.5 KB register file, 8 MACs and 8 comparators, fed by a global
+SRAM buffer (row-stationary dataflow after Eyeriss).  This package
+provides:
+
+* the array/PE configuration dataclasses,
+* the three convolution mapping schemes of Fig. 6 (Type I/II/III) with
+  their segment/set geometry and active-PE counts,
+* the FC forward (vector-matrix, Fig. 7) and backward
+  (vector-transposed-matrix, Fig. 8) mappings,
+* a small *functional* systolic simulator that executes a convolution
+  cycle-by-cycle at the PE level and is validated against NumPy — the
+  evidence that the mapping geometry actually computes the right thing.
+"""
+
+from repro.systolic.pe import PEConfig, ProcessingElement
+from repro.systolic.array import ArrayConfig, PAPER_ARRAY
+from repro.systolic.conv_mapping import (
+    MappingType,
+    ConvMapping,
+    map_conv_layer,
+)
+from repro.systolic.fc_mapping import FCMapping, map_fc_layer
+from repro.systolic.functional import FunctionalSystolicArray, simulate_conv_rowstationary
+from repro.systolic.fc_functional import (
+    FCSimResult,
+    simulate_fc_forward,
+    simulate_fc_backward_transposed,
+)
+from repro.systolic.gemm_backward import GemmBackwardResult, conv_backward_gemm
+from repro.systolic.schedule import ArrayPass, ConvSchedule, build_conv_schedule
+from repro.systolic.noc import CommunicationCost, analyze_conv_communication
+
+__all__ = [
+    "PEConfig",
+    "ProcessingElement",
+    "ArrayConfig",
+    "PAPER_ARRAY",
+    "MappingType",
+    "ConvMapping",
+    "map_conv_layer",
+    "FCMapping",
+    "map_fc_layer",
+    "FunctionalSystolicArray",
+    "simulate_conv_rowstationary",
+    "FCSimResult",
+    "simulate_fc_forward",
+    "simulate_fc_backward_transposed",
+    "GemmBackwardResult",
+    "conv_backward_gemm",
+    "ArrayPass",
+    "ConvSchedule",
+    "build_conv_schedule",
+    "CommunicationCost",
+    "analyze_conv_communication",
+]

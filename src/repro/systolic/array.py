@@ -1,0 +1,58 @@
+"""PE-array configuration (Fig. 4b)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.systolic.pe import PEConfig
+
+__all__ = ["ArrayConfig", "PAPER_ARRAY"]
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """Static parameters of the systolic array and its buffer port.
+
+    The paper: 1024 PEs in a 32x32 grid at 1 GHz; the global buffer has
+    4096 connections to the 32 PEs of the first row (one 128-bit lane per
+    column) and can broadcast a row of data to every PE row.
+    """
+
+    rows: int = 32
+    cols: int = 32
+    clock_hz: float = 1e9
+    buffer_port_bits: int = 4096
+    stream_bits_per_cycle: int = 128
+    pe: PEConfig = PEConfig()
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if self.clock_hz <= 0:
+            raise ValueError("clock must be positive")
+        if self.buffer_port_bits <= 0 or self.stream_bits_per_cycle <= 0:
+            raise ValueError("port widths must be positive")
+
+    @property
+    def total_pes(self) -> int:
+        """Number of PEs in the array."""
+        return self.rows * self.cols
+
+    @property
+    def words_per_stream_cycle(self) -> int:
+        """Data words entering the array per cycle on the streaming port.
+
+        This 128-bit/cycle weight-streaming path is what bounds FC-layer
+        throughput in Fig. 12a (~7-8 GMAC/s for every FC layer).
+        """
+        return self.stream_bits_per_cycle // self.pe.word_bits
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        return cycles / self.clock_hz
+
+
+#: The paper's array: 32x32 PEs, 1 GHz, 16-bit, 4.5 KB RFs.
+PAPER_ARRAY = ArrayConfig()

@@ -1,0 +1,178 @@
+"""Convolution mapping schemes: Fig. 6 Type I / II / III.
+
+The mapping decides how filter rows, input rows and output channels are
+laid over the 32x32 array:
+
+* **Type I** (CONV1): all input channels of a filter row fit in one PE's
+  register file.  The array splits into ``rows // kernel_height``
+  segments of ``kernel_height`` rows; every segment computes a different
+  group of output channels on the same input, and all 32 columns produce
+  output rows in parallel.
+* **Type II** (CONV2): input channels no longer fit, so they are split
+  into sequential halves; only ``out_width`` columns are used (one
+  output row per column).
+* **Type III** (CONV3-5): the filter is small enough that two *sets* of
+  segments fit side by side in the columns; each set processes half the
+  input channels in parallel and their partial sums are added across
+  sets (the paper's set-1/set-2 transfer step).
+
+Active-PE counts are reported at row granularity (a used row powers all
+32 PEs), which reproduces Fig. 12's numbers: 704 for CONV1, 960 for
+CONV2..CONV5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.nn.specs import ConvSpec
+from repro.systolic.array import ArrayConfig, PAPER_ARRAY
+
+__all__ = ["MappingType", "ConvMapping", "map_conv_layer"]
+
+
+class MappingType(Enum):
+    """The three Fig. 6 schemes."""
+
+    TYPE_I = "I"
+    TYPE_II = "II"
+    TYPE_III = "III"
+
+
+#: Output channels mapped per segment for the paper's AlexNet layers, as
+#: published in Fig. 6 ("x24", "x14", "x19").  Keyed by kernel size; used
+#: when the layer matches the published design point, with an RF-based
+#: fallback for other shapes.
+_PUBLISHED_FILTERS_PER_SEGMENT = {11: 24, 5: 14, 3: 19}
+
+
+@dataclass(frozen=True)
+class ConvMapping:
+    """Geometry and pass structure of one convolution on the array."""
+
+    layer: str
+    mapping_type: MappingType
+    segment_rows: int          # filter height = rows per segment
+    segments: int              # segments per set
+    sets: int                  # parallel input-channel sets (Type III: 2)
+    cols_used: int             # columns doing useful work per set
+    filters_per_segment: int   # output channels resident per segment
+    channel_split: int         # sequential input-channel splits (Type II)
+    row_passes: int            # passes over output rows
+    channel_passes: int        # passes over output channels
+    active_pes: int            # row-granularity powered PEs
+    compute_pes: int           # PEs doing MACs
+    macs: int                  # total layer MACs
+
+    @property
+    def total_passes(self) -> int:
+        """Sequential passes to complete the layer."""
+        return self.row_passes * self.channel_passes * self.channel_split
+
+    @property
+    def output_channels_per_pass(self) -> int:
+        """Output channels completed per (row, channel) pass."""
+        return self.filters_per_segment * self.segments
+
+    def ideal_cycles(self) -> int:
+        """MAC-issue cycles assuming 1 sustained MAC/PE/cycle.
+
+        The per-mapping-type efficiency factor that turns this into the
+        Fig. 12 latency lives in :mod:`repro.perf.calibration` — smaller
+        segments mean proportionally more partial-sum motion, which the
+        ideal count does not capture.
+        """
+        return int(math.ceil(self.macs / max(self.compute_pes, 1)))
+
+
+def _rf_fallback_filters(spec: ConvSpec, array: ArrayConfig, split: int) -> int:
+    """RF-capacity estimate of filters per segment (non-paper shapes).
+
+    Accounts one double-buffered filter row per resident filter next to
+    one input row of the active channel split.
+    """
+    rf_words = array.pe.rf_words
+    in_row = spec.in_width * max(spec.in_channels // split, 1)
+    filter_row = 2 * spec.kernel * max(spec.in_channels // split, 1)
+    available = rf_words - in_row
+    if available <= 0 or filter_row <= 0:
+        return 1
+    return max(available // filter_row, 1)
+
+
+def map_conv_layer(spec: ConvSpec, array: ArrayConfig = PAPER_ARRAY) -> ConvMapping:
+    """Choose the Fig. 6 mapping for ``spec`` on ``array``."""
+    fh = spec.kernel
+    if fh > array.rows:
+        raise ValueError(
+            f"{spec.name}: filter height {fh} exceeds array rows {array.rows}"
+        )
+    segments_max = array.rows // fh
+
+    # Does one filter row with all input channels fit in the RF next to
+    # an input row?  (Type I test, Section IV.A.)
+    rf_words = array.pe.rf_words
+    needs_split = (spec.kernel * spec.in_channels + spec.in_width * spec.in_channels) > rf_words
+
+    # Can two sets sit side by side in the columns?  (Type III test.)
+    two_sets_fit = 2 * spec.out_width <= array.cols
+
+    if not needs_split:
+        mapping_type = MappingType.TYPE_I
+        sets, split = 1, 1
+        segments = segments_max
+        cols_used = min(array.cols, spec.out_height)
+        row_passes = math.ceil(spec.out_height / array.cols)
+    elif two_sets_fit and segments_max >= 2:
+        mapping_type = MappingType.TYPE_III
+        sets, split = 2, 2
+        segments = segments_max
+        cols_used = spec.out_width
+        row_passes = math.ceil(spec.out_height / spec.out_width)
+        # The two sets process the two input-channel halves in parallel,
+        # so the sequential split collapses back to 1.
+        split = 1
+    else:
+        mapping_type = MappingType.TYPE_II
+        sets = 1
+        split = math.ceil(
+            (spec.kernel * spec.in_channels + spec.in_width * spec.in_channels)
+            / rf_words
+        )
+        segments = segments_max
+        cols_used = min(spec.out_width, array.cols)
+        row_passes = math.ceil(spec.out_height / cols_used)
+
+    if spec.kernel in _PUBLISHED_FILTERS_PER_SEGMENT and spec.in_height in (227, 27, 13):
+        filters_per_segment = _PUBLISHED_FILTERS_PER_SEGMENT[spec.kernel]
+    else:
+        filters_per_segment = _rf_fallback_filters(spec, array, max(split, sets))
+    filters_per_segment = min(filters_per_segment, spec.out_channels)
+
+    per_pass = filters_per_segment * segments
+    # Final channel pass may be ragged (e.g. CONV2: 3 full passes of
+    # 6 x 14 = 84 channels cover 252 of 256; a fourth pass finishes up).
+    channel_passes = math.ceil(spec.out_channels / per_pass)
+
+    used_rows = segments * fh * (sets if 2 * spec.out_width > array.cols else 1)
+    used_rows = min(segments * fh, array.rows)
+    active_pes = used_rows * array.cols
+    compute_pes = segments * fh * cols_used * sets
+
+    return ConvMapping(
+        layer=spec.name,
+        mapping_type=mapping_type,
+        segment_rows=fh,
+        segments=segments,
+        sets=sets,
+        cols_used=cols_used,
+        filters_per_segment=filters_per_segment,
+        channel_split=split,
+        row_passes=row_passes,
+        channel_passes=channel_passes,
+        active_pes=active_pes,
+        compute_pes=compute_pes,
+        macs=spec.macs,
+    )

@@ -1,0 +1,115 @@
+"""Functional simulation of the FC dataflows (Figs. 7 and 8).
+
+Fig. 7: forward vector-matrix product — matrix tiles are loaded into the
+array, the input vector propagates row-wise, partial sums accumulate
+vertically (column-wise) into the first row.
+
+Fig. 8: backward vector-*transposed*-matrix product — the vector
+propagates column-wise and partial sums accumulate row-wise, computing
+``v @ W.T`` without materialising the transpose.  This is the trick that
+lets the same weight tile serve both directions.
+
+These simulators execute the tile schedule explicitly (per-tile loads,
+per-lane dot products, wavefront drains) and are validated against plain
+matrix algebra in the tests, grounding the FC pass-count model of
+:mod:`repro.perf.layer_cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.systolic.array import ArrayConfig, PAPER_ARRAY
+
+__all__ = ["FCSimResult", "simulate_fc_forward", "simulate_fc_backward_transposed"]
+
+
+@dataclass(frozen=True)
+class FCSimResult:
+    """Output and schedule statistics of one simulated FC pass."""
+
+    output: np.ndarray
+    tiles: int
+    mac_cycles: int
+    drain_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        """MAC + drain cycles of the simulated schedule."""
+        return self.mac_cycles + self.drain_cycles
+
+
+def _tile_ranges(size: int, tile: int):
+    for start in range(0, size, tile):
+        yield start, min(start + tile, size)
+
+
+def simulate_fc_forward(
+    vector: np.ndarray,
+    matrix: np.ndarray,
+    array: ArrayConfig = PAPER_ARRAY,
+) -> FCSimResult:
+    """Fig. 7: compute ``vector @ matrix`` tile by tile.
+
+    ``vector`` is (in_features,), ``matrix`` is (in_features,
+    out_features); rows of each tile hold matrix rows, the vector
+    element enters its row and multiplies across, products accumulate
+    down each column.
+    """
+    vector = np.asarray(vector, dtype=np.float64)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if vector.ndim != 1 or matrix.ndim != 2 or vector.size != matrix.shape[0]:
+        raise ValueError("need vector (I,) and matrix (I, O)")
+    in_f, out_f = matrix.shape
+    output = np.zeros(out_f)
+    tiles = 0
+    mac_cycles = 0
+    drain_cycles = 0
+    for r0, r1 in _tile_ranges(in_f, array.rows):
+        for c0, c1 in _tile_ranges(out_f, array.cols):
+            tiles += 1
+            tile = matrix[r0:r1, c0:c1]
+            # Row-wise vector propagation: each PE row multiplies its
+            # vector element into its matrix row (one MAC per PE).
+            partial = vector[r0:r1, None] * tile
+            # Vertical accumulation into the first row.
+            output[c0:c1] += partial.sum(axis=0)
+            mac_cycles += tile.size
+            drain_cycles += (r1 - r0) + (c1 - c0)
+    return FCSimResult(output, tiles, mac_cycles, drain_cycles)
+
+
+def simulate_fc_backward_transposed(
+    vector: np.ndarray,
+    matrix: np.ndarray,
+    array: ArrayConfig = PAPER_ARRAY,
+) -> FCSimResult:
+    """Fig. 8: compute ``vector @ matrix.T`` *without transposing*.
+
+    ``vector`` is (out_features,) — the upstream gradient — and
+    ``matrix`` is (in_features, out_features) exactly as stored for the
+    forward pass.  The vector propagates down the columns; partial sums
+    accumulate row-wise and drain from the last column.
+    """
+    vector = np.asarray(vector, dtype=np.float64)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if vector.ndim != 1 or matrix.ndim != 2 or vector.size != matrix.shape[1]:
+        raise ValueError("need vector (O,) and matrix (I, O)")
+    in_f, out_f = matrix.shape
+    output = np.zeros(in_f)
+    tiles = 0
+    mac_cycles = 0
+    drain_cycles = 0
+    for r0, r1 in _tile_ranges(in_f, array.rows):
+        for c0, c1 in _tile_ranges(out_f, array.cols):
+            tiles += 1
+            tile = matrix[r0:r1, c0:c1]
+            # Column-wise vector propagation: each PE column multiplies
+            # its vector element; sums accumulate along each row.
+            partial = tile * vector[None, c0:c1]
+            output[r0:r1] += partial.sum(axis=1)
+            mac_cycles += tile.size
+            drain_cycles += (r1 - r0) + (c1 - c0)
+    return FCSimResult(output, tiles, mac_cycles, drain_cycles)

@@ -1,0 +1,98 @@
+"""Inter-PE interconnect (NoC) data-movement accounting.
+
+Each PE has 128-bit links to its four neighbours plus a diagonal link
+(Fig. 4b).  The row-stationary mappings move partial sums and outputs
+over those links:
+
+* **vertical psum accumulation** — partial sums hop down a segment's
+  ``kernel_height`` rows to its first row (Fig. 6 step 4), once per
+  sequential channel split,
+* **cross-set transfer** — Type III only: set 2's accumulated psums hop
+  horizontally across the set boundary into set 1 before the final add
+  (the paper's "the output from PE at 14th column must be transferred to
+  the PE in the 1st column in set 1"),
+* **buffer drain** — completed outputs leave through the first row.
+
+Counting word-hops quantifies the interconnect's share of layer energy
+(at a per-word-hop energy typical of short 15 nm links).  Note the hop
+*volume* does not by itself predict the calibrated per-type efficiency
+factors — those are dominated by pipeline serialisation, which needs a
+cycle-accurate array model; the counts here bound the interconnect's
+energy contribution instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.specs import ConvSpec
+from repro.systolic.array import ArrayConfig, PAPER_ARRAY
+from repro.systolic.conv_mapping import ConvMapping, MappingType, map_conv_layer
+
+__all__ = ["CommunicationCost", "analyze_conv_communication"]
+
+#: Energy to move one 16-bit word one PE hop (short 15 nm link + FIFO).
+DEFAULT_HOP_ENERGY_J = 0.1e-12
+
+
+@dataclass(frozen=True)
+class CommunicationCost:
+    """Hop-level interconnect accounting for one conv layer."""
+
+    layer: str
+    mapping_type: MappingType
+    accumulation_hops: int     # vertical psum word-hops
+    cross_set_hops: int        # Type III set-2 -> set-1 word-hops
+    drain_hops: int            # outputs leaving through the first row
+    compute_macs: int
+
+    @property
+    def total_hops(self) -> int:
+        """All word-hops of the layer."""
+        return self.accumulation_hops + self.cross_set_hops + self.drain_hops
+
+    @property
+    def hops_per_mac(self) -> float:
+        """Interconnect words moved per MAC — a data-movement intensity."""
+        if self.compute_macs <= 0:
+            raise ValueError("layer has no compute")
+        return self.total_hops / self.compute_macs
+
+    def interconnect_energy_j(
+        self, hop_energy_j: float = DEFAULT_HOP_ENERGY_J
+    ) -> float:
+        """Total interconnect energy of the layer."""
+        if hop_energy_j < 0:
+            raise ValueError("hop energy must be non-negative")
+        return self.total_hops * hop_energy_j
+
+
+def analyze_conv_communication(
+    spec: ConvSpec, array: ArrayConfig = PAPER_ARRAY
+) -> CommunicationCost:
+    """Count the word-hops of one convolution layer's full execution."""
+    mapping: ConvMapping = map_conv_layer(spec, array)
+    fh = mapping.segment_rows
+    out_elems = spec.out_height * spec.out_width * spec.out_channels
+
+    # Vertical accumulation: each output element's psum traverses the
+    # segment's fh-1 inter-row links once per sequential channel split.
+    accumulation = out_elems * (fh - 1) * mapping.channel_split
+
+    # Type III: half of each output's partial sums cross the set
+    # boundary — on average out_width/2 horizontal hops.
+    cross_set = 0
+    if mapping.mapping_type is MappingType.TYPE_III:
+        cross_set = out_elems * spec.out_width // 2
+
+    # Drain: every completed output leaves via the first row.
+    drain = out_elems
+
+    return CommunicationCost(
+        layer=spec.name,
+        mapping_type=mapping.mapping_type,
+        accumulation_hops=accumulation,
+        cross_set_hops=cross_set,
+        drain_hops=drain,
+        compute_macs=spec.macs,
+    )

@@ -1,0 +1,120 @@
+"""Processing element configuration and functional model.
+
+Fig. 4b: each PE has a 4.5 KB register file, 8 MAC units, 8 comparators
+(for ReLU and max-pool), 128-bit links to its four neighbours plus a
+diagonal link to the upper-right PE, and runs at 1 GHz on 16-bit
+fixed-point data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PEConfig", "ProcessingElement"]
+
+
+@dataclass(frozen=True)
+class PEConfig:
+    """Static PE parameters."""
+
+    rf_bytes: int = 4608  # 4.5 KB
+    n_macs: int = 8
+    n_comparators: int = 8
+    link_bits: int = 128
+    word_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if min(self.rf_bytes, self.n_macs, self.n_comparators, self.link_bits) <= 0:
+            raise ValueError("PE parameters must be positive")
+        if self.word_bits not in (8, 16, 32):
+            raise ValueError("word_bits must be 8, 16 or 32")
+
+    @property
+    def rf_words(self) -> int:
+        """Register-file capacity in data words."""
+        return self.rf_bytes * 8 // self.word_bits
+
+    @property
+    def words_per_link_beat(self) -> int:
+        """Data words moved per cycle over one inter-PE link."""
+        return self.link_bits // self.word_bits
+
+
+class ProcessingElement:
+    """Functional PE used by the cycle-level simulator.
+
+    Holds a register file (filter row + input row + partial sums) and
+    performs one row of 1-D convolution — the row-stationary primitive.
+    The cycle accounting assumes one MAC issue per cycle sustained
+    (the 8 MAC units hide RF banking and the 16-bit multiply pipeline;
+    the sustained rate through one PE's row-conv loop is one result MAC
+    per cycle, which is what the Fig. 12 calibration reflects).
+    """
+
+    def __init__(self, config: PEConfig | None = None):
+        self.config = config or PEConfig()
+        self.filter_row: np.ndarray | None = None
+        self.input_row: np.ndarray | None = None
+        self.psum: np.ndarray | None = None
+        self.cycles = 0
+
+    def load_filter_row(self, filter_row: np.ndarray) -> None:
+        """Store one row of filter taps in the RF."""
+        self._check_rf(filter_row.size + (0 if self.input_row is None else self.input_row.size))
+        self.filter_row = np.asarray(filter_row, dtype=np.float64)
+
+    def load_input_row(self, input_row: np.ndarray) -> None:
+        """Store one row of input activations in the RF."""
+        self._check_rf(input_row.size + (0 if self.filter_row is None else self.filter_row.size))
+        self.input_row = np.asarray(input_row, dtype=np.float64)
+
+    def _check_rf(self, words: int) -> None:
+        if words > self.config.rf_words:
+            raise ValueError(
+                f"RF overflow: {words} words > capacity {self.config.rf_words}"
+            )
+
+    def row_conv(self, stride: int = 1) -> np.ndarray:
+        """1-D valid convolution of the stored input row with the filter
+        row, producing one row of partial sums.  Charges one cycle per
+        MAC performed."""
+        if self.filter_row is None or self.input_row is None:
+            raise RuntimeError("load filter and input rows first")
+        taps = self.filter_row.size
+        width = self.input_row.size
+        out_len = (width - taps) // stride + 1
+        if out_len <= 0:
+            raise ValueError("input row shorter than filter row")
+        out = np.empty(out_len)
+        for i in range(out_len):
+            start = i * stride
+            out[i] = float(
+                np.dot(self.input_row[start : start + taps], self.filter_row)
+            )
+        self.cycles += out_len * taps
+        self.psum = out if self.psum is None else self.psum + out
+        return out
+
+    def accumulate(self, incoming: np.ndarray) -> np.ndarray:
+        """Add a neighbour PE's partial sums into the local psum."""
+        if self.psum is None:
+            self.psum = np.asarray(incoming, dtype=np.float64).copy()
+        else:
+            if incoming.shape != self.psum.shape:
+                raise ValueError("psum shape mismatch")
+            self.psum = self.psum + incoming
+        self.cycles += int(np.ceil(self.psum.size / self.config.words_per_link_beat))
+        return self.psum
+
+    def relu(self, values: np.ndarray) -> np.ndarray:
+        """Comparator-unit ReLU; charges cycles at 8 comparisons/cycle."""
+        self.cycles += int(np.ceil(values.size / self.config.n_comparators))
+        return np.maximum(values, 0.0)
+
+    def clear(self) -> None:
+        """Reset state between passes (keeps the cycle counter)."""
+        self.filter_row = None
+        self.input_row = None
+        self.psum = None

@@ -1,0 +1,122 @@
+"""Pass-by-pass schedule generation for convolution mappings.
+
+A :class:`~repro.systolic.conv_mapping.ConvMapping` summarises geometry;
+this module expands it into the explicit sequence of array *passes* the
+hardware would execute: which output rows and output channels each pass
+produces, and how many weight/input bits the global buffer must deliver
+for it.  Tests verify **work conservation** — every output element of
+the layer is produced by exactly one pass — which is the property that
+makes the analytic cycle counts trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.specs import ConvSpec
+from repro.systolic.array import ArrayConfig, PAPER_ARRAY
+from repro.systolic.conv_mapping import ConvMapping, map_conv_layer
+
+__all__ = ["ArrayPass", "ConvSchedule", "build_conv_schedule"]
+
+
+@dataclass(frozen=True)
+class ArrayPass:
+    """One pass of the PE array over a slice of the output tensor."""
+
+    index: int
+    out_rows: tuple[int, int]        # half-open row range produced
+    out_channels: tuple[int, int]    # half-open channel range produced
+    channel_split: int               # which input-channel split (Type II)
+    weight_bits: int                 # filter bits loaded for this pass
+    input_bits: int                  # activation bits streamed
+
+    @property
+    def output_elements(self) -> int:
+        """Output elements this pass completes (0 for partial splits)."""
+        rows = self.out_rows[1] - self.out_rows[0]
+        chans = self.out_channels[1] - self.out_channels[0]
+        return rows * chans
+
+
+@dataclass(frozen=True)
+class ConvSchedule:
+    """The full pass sequence of one layer."""
+
+    layer: str
+    mapping: ConvMapping
+    passes: tuple[ArrayPass, ...]
+    out_height: int
+    out_width: int
+    out_channels: int
+
+    @property
+    def total_weight_bits(self) -> int:
+        """Filter bits streamed over the whole schedule."""
+        return sum(p.weight_bits for p in self.passes)
+
+    @property
+    def total_input_bits(self) -> int:
+        """Activation bits streamed over the whole schedule."""
+        return sum(p.input_bits for p in self.passes)
+
+    def covered_output_rows(self) -> set[tuple[int, int]]:
+        """(row, channel) pairs produced, for conservation checks.
+
+        Only the final channel split completes an output (earlier splits
+        leave partial sums), so coverage counts split index
+        ``mapping.channel_split - 1``.
+        """
+        covered = set()
+        final_split = self.mapping.channel_split - 1
+        for array_pass in self.passes:
+            if array_pass.channel_split != final_split:
+                continue
+            for row in range(*array_pass.out_rows):
+                for ch in range(*array_pass.out_channels):
+                    covered.add((row, ch))
+        return covered
+
+
+def build_conv_schedule(
+    spec: ConvSpec,
+    array: ArrayConfig = PAPER_ARRAY,
+    word_bits: int = 16,
+) -> ConvSchedule:
+    """Expand ``spec``'s mapping into its explicit pass sequence."""
+    mapping = map_conv_layer(spec, array)
+    rows_per_pass = (
+        array.cols if mapping.mapping_type.value == "I" else mapping.cols_used
+    )
+    channels_per_pass = mapping.output_channels_per_pass
+    split_channels = max(spec.in_channels // max(mapping.channel_split, 1), 1)
+    per_filter_bits = spec.kernel * spec.kernel * split_channels * word_bits
+    passes = []
+    index = 0
+    for row_start in range(0, spec.out_height, rows_per_pass):
+        row_end = min(row_start + rows_per_pass, spec.out_height)
+        # Input rows needed: the receptive field of the produced rows.
+        in_rows = (row_end - row_start - 1) * spec.stride + spec.kernel
+        input_bits = in_rows * spec.in_width * split_channels * word_bits
+        for ch_start in range(0, spec.out_channels, channels_per_pass):
+            ch_end = min(ch_start + channels_per_pass, spec.out_channels)
+            for split in range(mapping.channel_split):
+                passes.append(
+                    ArrayPass(
+                        index=index,
+                        out_rows=(row_start, row_end),
+                        out_channels=(ch_start, ch_end),
+                        channel_split=split,
+                        weight_bits=(ch_end - ch_start) * per_filter_bits,
+                        input_bits=input_bits,
+                    )
+                )
+                index += 1
+    return ConvSchedule(
+        layer=spec.name,
+        mapping=mapping,
+        passes=tuple(passes),
+        out_height=spec.out_height,
+        out_width=spec.out_width,
+        out_channels=spec.out_channels,
+    )

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import paper_platform
+from repro.nn import build_network, modified_alexnet_spec, scaled_drone_net_spec
+
+
+@pytest.fixture(scope="session")
+def alexnet_spec():
+    """Paper-scale modified AlexNet spec (shape arithmetic only)."""
+    return modified_alexnet_spec()
+
+
+@pytest.fixture(scope="session")
+def scaled_spec():
+    """Reduced drone-net spec used for functional training."""
+    return scaled_drone_net_spec(input_side=16)
+
+
+@pytest.fixture()
+def scaled_network(scaled_spec):
+    """A freshly initialised functional network (seeded)."""
+    return build_network(scaled_spec, seed=0)
+
+
+@pytest.fixture()
+def rng():
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def platform():
+    """The paper's hardware platform."""
+    return paper_platform()

@@ -1,0 +1,64 @@
+"""Tests pinning the reproduction's fidelity metrics.
+
+These are the repository's headline quality numbers: if a refactor
+degrades the cost model, these tests move first.
+"""
+
+import pytest
+
+from repro.analysis.compare import CellError, fidelity_summary, table_errors
+
+
+class TestCellError:
+    def test_relative_error(self):
+        cell = CellError("FC1", "latency", model=11.0, paper=10.0)
+        assert cell.relative_error == pytest.approx(0.1)
+        assert cell.abs_pct_error == pytest.approx(10.0)
+
+    def test_zero_paper_rejected(self):
+        cell = CellError("X", "latency", model=1.0, paper=0.0)
+        with pytest.raises(ValueError):
+            _ = cell.relative_error
+
+
+class TestTableErrors:
+    def test_forward_covers_nine_layers(self):
+        errors = table_errors("forward")
+        layers = {e.layer for e in errors}
+        assert len(layers) == 9  # FC5 skipped (sub-microsecond)
+        assert "FC5" not in layers
+
+    def test_backward_covers_nine_layers(self):
+        errors = table_errors("backward")
+        assert {e.layer for e in errors} == {
+            "FC4", "FC3", "FC2", "FC1",
+            "CONV1", "CONV2", "CONV3", "CONV4", "CONV5",
+        }
+
+    def test_unknown_direction(self):
+        with pytest.raises(ValueError):
+            table_errors("sideways")
+
+    def test_every_cell_within_50pct(self):
+        for error in table_errors("forward") + table_errors("backward"):
+            assert error.abs_pct_error < 50.0, (error.layer, error.quantity)
+
+
+class TestFidelitySummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return fidelity_summary()
+
+    def test_totals_tight(self, summary):
+        """The repository's headline fidelity: all four Fig. 12 totals
+        within 10 %, latencies within 5 %."""
+        assert summary["forward_total_latency_err_pct"] < 5.0
+        assert summary["backward_total_latency_err_pct"] < 5.0
+        assert summary["forward_total_energy_err_pct"] < 10.0
+        assert summary["backward_total_energy_err_pct"] < 10.0
+
+    def test_per_cell_mape_under_15pct(self, summary):
+        assert summary["per_cell_mape_pct"] < 15.0
+
+    def test_worst_cell_under_50pct(self, summary):
+        assert summary["worst_cell_err_pct"] < 50.0

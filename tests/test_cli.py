@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_rl_defaults(self):
+        args = build_parser().parse_args(["rl"])
+        assert args.env == "indoor-apartment"
+        assert args.iters == 800
+
+    def test_map_env_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["map", "--env", "mars"])
+
+
+class TestCommands:
+    @pytest.mark.parametrize(
+        "command,expected",
+        [
+            (["fig1"], "Indoor 1"),
+            (["fig3"], "FC1"),
+            (["fig5"], "NVM MB"),
+            (["fig6"], "CONV1"),
+            (["fig12"], "Lat paper"),
+            (["fig13"], "E2E"),
+            (["params"], "STT-MRAM"),
+            (["map", "--env", "outdoor-forest"], "outdoor-forest"),
+        ],
+    )
+    def test_artifact_commands(self, capsys, command, expected):
+        assert main(command) == 0
+        out = capsys.readouterr().out
+        assert expected in out
+
+    def test_rl_command_short(self, capsys):
+        assert main(["rl", "--env", "indoor-house", "--iters", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "SFD" in out and "E2E" in out

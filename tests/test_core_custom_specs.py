@@ -1,0 +1,109 @@
+"""Tests for CoDesign/perf on custom (non-paper) network specs.
+
+The library claims to be a general co-design tool, not a single-network
+script — these tests exercise the whole hardware stack against networks
+the paper never saw.
+"""
+
+import pytest
+
+from repro.core import CoDesign, paper_platform
+from repro.memory import WeightMapper
+from repro.nn import scaled_drone_net_spec
+from repro.nn.specs import ConvSpec, FCSpec, NetworkSpec
+from repro.perf import LayerCostModel, TrainingIterationModel
+from repro.rl import config_by_name
+
+
+def tiny_vision_spec():
+    conv = ConvSpec(
+        "CONV1", in_height=64, in_width=64, in_channels=3, out_channels=16,
+        kernel=5, stride=2, pad=0, pool=3,
+    )
+    flat = conv.pooled_height * conv.pooled_width * conv.out_channels
+    return NetworkSpec(
+        "tiny-vision",
+        (
+            conv,
+            FCSpec("FC1", in_features=flat, out_features=256),
+            FCSpec("FC2", in_features=256, out_features=64),
+            FCSpec("FC3", in_features=64, out_features=5),
+        ),
+        input_side=64,
+        input_channels=3,
+    )
+
+
+class TestCustomSpecCoDesign:
+    def test_codesign_accepts_custom_spec(self, platform):
+        cd = CoDesign("L2", platform=platform, spec=tiny_vision_spec())
+        hw = cd.evaluate_hardware(batch_size=4)
+        assert hw.fps > 0
+
+    def test_small_network_is_fast(self, platform):
+        tiny = CoDesign("E2E", platform=platform, spec=tiny_vision_spec())
+        paper = CoDesign("E2E", platform=platform)
+        assert (
+            tiny.evaluate_hardware(4).fps > 20 * paper.evaluate_hardware(4).fps
+        )
+
+    def test_scaled_drone_spec_codesign(self, platform):
+        spec = scaled_drone_net_spec(input_side=16)
+        cd = CoDesign("L3", platform=platform, spec=spec)
+        assert cd.mapping.sram_total_bytes < platform.buffer.capacity_bytes
+
+    def test_l_ordering_holds_for_custom_specs(self, platform):
+        spec = tiny_vision_spec()
+        fps = {}
+        for name in ("L2", "L3", "E2E"):
+            cd = CoDesign(name, platform=platform, spec=spec)
+            fps[name] = cd.evaluate_hardware(4).fps
+        assert fps["L2"] >= fps["L3"] > fps["E2E"]
+
+    def test_mapper_fig5_logic_generalises(self):
+        spec = tiny_vision_spec()
+        report = WeightMapper(spec, config_by_name("L2")).build()
+        by_name = {p.layer: p for p in report.placements}
+        assert by_name["FC2"].device == "sram"
+        assert by_name["FC3"].device == "sram"
+        assert by_name["FC1"].device == "nvm"
+        assert by_name["CONV1"].device == "nvm"
+
+    def test_layer_costs_cover_custom_layers(self):
+        spec = tiny_vision_spec()
+        model = LayerCostModel(spec, config_by_name("E2E"))
+        costs = model.forward_costs()
+        assert [c.layer for c in costs] == ["CONV1", "FC1", "FC2", "FC3"]
+        assert all(c.latency_s > 0 for c in costs)
+
+    def test_update_cost_scales_with_config(self):
+        spec = tiny_vision_spec()
+        l2 = LayerCostModel(spec, config_by_name("L2")).update_cost()
+        e2e = LayerCostModel(spec, config_by_name("E2E")).update_cost()
+        assert e2e.latency_s > l2.latency_s
+
+    def test_training_model_end_to_end(self):
+        spec = tiny_vision_spec()
+        trainer = TrainingIterationModel(
+            LayerCostModel(spec, config_by_name("L2"))
+        )
+        cost = trainer.iteration_cost(8)
+        assert cost.fps > 0
+        assert cost.energy_per_frame_j > 0
+
+
+class TestPlatformVariants:
+    def test_tiny_buffer_rejects_everything_but_nothing(self):
+        platform = paper_platform(buffer_mb=4.3)
+        with pytest.raises(ValueError):
+            CoDesign("L2", platform=platform)
+
+    def test_custom_spec_with_small_platform(self):
+        platform = paper_platform(buffer_mb=8.0, nvm_mb=16.0)
+        cd = CoDesign("L2", platform=platform, spec=tiny_vision_spec())
+        assert cd.evaluate_hardware(2).fps > 0
+
+    def test_nvm_too_small_for_paper_model(self):
+        platform = paper_platform(nvm_mb=32.0)
+        with pytest.raises(ValueError, match="NVM demand"):
+            CoDesign("L3", platform=platform)

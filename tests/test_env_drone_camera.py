@@ -1,0 +1,168 @@
+"""Tests for drone kinematics and the depth camera."""
+
+import numpy as np
+import pytest
+
+from repro.env.camera import DepthCamera, StereoNoiseModel
+from repro.env.drone import ACTIONS, Action, Drone, TURN_ANGLES_DEG
+from repro.env.geometry import Box
+from repro.env.world import Pose, World
+
+
+def open_world(indoor=False):
+    return World(
+        name="open", bounds=Box(0, 0, 100, 100), d_min=1.0,
+        max_range=20.0, is_indoor=indoor,
+    )
+
+
+class TestDrone:
+    def test_five_actions(self):
+        assert len(ACTIONS) == 5
+        assert [int(a) for a in ACTIONS] == [0, 1, 2, 3, 4]
+
+    def test_turn_angles_match_paper(self):
+        assert TURN_ANGLES_DEG[Action.LEFT_25] == 25.0
+        assert TURN_ANGLES_DEG[Action.RIGHT_25] == -25.0
+        assert TURN_ANGLES_DEG[Action.LEFT_55] == 55.0
+        assert TURN_ANGLES_DEG[Action.RIGHT_55] == -55.0
+        assert TURN_ANGLES_DEG[Action.FORWARD] == 0.0
+
+    def test_forward_moves_dframe(self):
+        drone = Drone(Pose(0, 0, 0), d_frame=0.5)
+        pose = drone.apply_action(Action.FORWARD)
+        assert pose.x == pytest.approx(0.5)
+        assert pose.y == pytest.approx(0.0)
+        assert pose.heading == pytest.approx(0.0)
+
+    def test_left_turn_changes_heading_then_moves(self):
+        drone = Drone(Pose(0, 0, 0), d_frame=1.0)
+        pose = drone.apply_action(Action.LEFT_25)
+        assert pose.heading == pytest.approx(np.deg2rad(25))
+        assert pose.x == pytest.approx(np.cos(np.deg2rad(25)))
+        assert pose.y == pytest.approx(np.sin(np.deg2rad(25)))
+
+    def test_right_turn_is_negative(self):
+        drone = Drone(Pose(0, 0, 0), d_frame=1.0)
+        pose = drone.apply_action(Action.RIGHT_55)
+        assert pose.heading == pytest.approx(-np.deg2rad(55))
+
+    def test_heading_wraps(self):
+        drone = Drone(Pose(0, 0, np.pi - 0.01), d_frame=0.1)
+        pose = drone.apply_action(Action.LEFT_55)
+        assert -np.pi < pose.heading <= np.pi
+
+    def test_every_action_travels_dframe(self):
+        for action in ACTIONS:
+            drone = Drone(Pose(0, 0, 0.3), d_frame=0.7)
+            before = drone.pose
+            after = drone.apply_action(action)
+            dist = np.hypot(after.x - before.x, after.y - before.y)
+            assert dist == pytest.approx(0.7)
+
+    def test_teleport(self):
+        drone = Drone(Pose(0, 0, 0))
+        drone.teleport(Pose(3, 4, 1.0))
+        assert (drone.pose.x, drone.pose.y, drone.pose.heading) == (3, 4, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Drone(Pose(0, 0, 0), radius=0.0)
+        with pytest.raises(ValueError):
+            Drone(Pose(0, 0, 0), d_frame=0.0)
+
+
+class TestStereoNoise:
+    def test_sigma_grows_quadratically(self):
+        noise = StereoNoiseModel(disparity_sigma_px=0.25, fb=60.0)
+        s1 = noise.sigma(np.array([2.0]))[0]
+        s2 = noise.sigma(np.array([4.0]))[0]
+        assert s2 == pytest.approx(4 * s1)
+
+    def test_zero_sigma_is_noiseless(self, rng):
+        noise = StereoNoiseModel(disparity_sigma_px=0.0)
+        depth = np.full((4, 4), 5.0)
+        assert np.array_equal(noise.corrupt(depth, rng), depth)
+
+    def test_corrupt_statistics(self, rng):
+        noise = StereoNoiseModel(disparity_sigma_px=0.5, fb=10.0)
+        depth = np.full(20000, 4.0)
+        out = noise.corrupt(depth, rng)
+        expected_sigma = 0.5 * 16.0 / 10.0
+        assert np.std(out - depth) == pytest.approx(expected_sigma, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StereoNoiseModel(disparity_sigma_px=-1.0)
+        with pytest.raises(ValueError):
+            StereoNoiseModel(fb=0.0)
+
+
+class TestDepthCamera:
+    def test_image_shape_and_range(self):
+        cam = DepthCamera(width=24, height=16)
+        img = cam.render(open_world(), Pose(50, 50, 0.0))
+        assert img.shape == (16, 24)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_unnormalised_depths_in_metres(self):
+        cam = DepthCamera(width=8, height=8)
+        img = cam.render(open_world(), Pose(50, 50, 0.0), normalized=False)
+        assert img.max() <= 20.0
+
+    def test_wall_ahead_reduces_centre_depth(self):
+        world = open_world()
+        cam = DepthCamera(width=16, height=16)
+        far = cam.render(world, Pose(50, 50, 0.0))
+        near = cam.render(world, Pose(95, 50, 0.0))  # 5 m from the x=100 wall
+        centre = (slice(6, 10), slice(6, 10))
+        assert near[centre].mean() < far[centre].mean()
+
+    def test_closer_wall_monotone(self):
+        world = open_world()
+        cam = DepthCamera(width=16, height=16)
+        depths = [
+            cam.render(world, Pose(x, 50, 0.0))[8, 8] for x in (60, 80, 90, 95)
+        ]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_floor_visible_in_bottom_rows(self):
+        cam = DepthCamera(width=8, height=16, mount_height=1.0)
+        img = cam.render(open_world(), Pose(50, 50, 0.0), normalized=False)
+        # The bottom row looks steeply down at the floor: distance ~
+        # mount_height / sin(vfov/2) = 1 / sin(30deg) = 2.
+        assert img[-1].mean() == pytest.approx(2.0, rel=0.1)
+
+    def test_ceiling_only_indoors(self):
+        outdoor = DepthCamera(width=8, height=16).render(
+            open_world(indoor=False), Pose(50, 50, 0.0), normalized=False
+        )
+        indoor = DepthCamera(width=8, height=16).render(
+            open_world(indoor=True), Pose(50, 50, 0.0), normalized=False
+        )
+        # Outdoors the top row sees sky (max_range); indoors, the ceiling.
+        assert outdoor[0].mean() == pytest.approx(20.0)
+        assert indoor[0].mean() < 20.0
+
+    def test_noise_requires_rng(self):
+        cam = DepthCamera(width=8, height=8, noise=StereoNoiseModel(0.5, fb=10))
+        clean = cam.render(open_world(), Pose(50, 50, 0.0))
+        noisy = cam.render(
+            open_world(), Pose(50, 50, 0.0), rng=np.random.default_rng(0)
+        )
+        assert np.array_equal(clean, DepthCamera(width=8, height=8).render(open_world(), Pose(50, 50, 0.0)))
+        assert not np.array_equal(noisy, clean)
+
+    def test_column_angles_span_fov(self):
+        cam = DepthCamera(width=9, fov_deg=90)
+        angles = cam.column_angles()
+        assert angles[0] == pytest.approx(np.pi / 4)
+        assert angles[-1] == pytest.approx(-np.pi / 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DepthCamera(width=1)
+        with pytest.raises(ValueError):
+            DepthCamera(fov_deg=200)
+        with pytest.raises(ValueError):
+            DepthCamera(mount_height=5.0, ceiling_height=3.0)

@@ -1,0 +1,139 @@
+"""Tests for ray casting and clearance geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.env.geometry import Box, Circle, RayCaster, Segment
+
+
+class TestPrimitives:
+    def test_degenerate_segment_raises(self):
+        with pytest.raises(ValueError):
+            Segment(1.0, 1.0, 1.0, 1.0)
+
+    def test_segment_length(self):
+        assert Segment(0, 0, 3, 4).length == pytest.approx(5.0)
+
+    def test_circle_radius_validation(self):
+        with pytest.raises(ValueError):
+            Circle(0, 0, 0.0)
+
+    def test_box_validation(self):
+        with pytest.raises(ValueError):
+            Box(0, 0, 0, 1)
+
+    def test_box_segments(self):
+        segs = Box(0, 0, 2, 3).segments()
+        assert len(segs) == 4
+        assert sum(s.length for s in segs) == pytest.approx(10.0)
+
+    def test_box_contains_with_margin(self):
+        box = Box(0, 0, 1, 1)
+        assert box.contains(1.2, 0.5, margin=0.3)
+        assert not box.contains(1.2, 0.5)
+
+
+class TestRayCasting:
+    def test_needs_obstacles(self):
+        with pytest.raises(ValueError):
+            RayCaster([], [])
+
+    def test_hits_wall_straight_on(self):
+        caster = RayCaster([Segment(5.0, -10.0, 5.0, 10.0)], [])
+        d = caster.cast((0.0, 0.0), np.array([0.0]), max_range=100.0)
+        assert d[0] == pytest.approx(5.0)
+
+    def test_misses_wall_behind(self):
+        caster = RayCaster([Segment(5.0, -10.0, 5.0, 10.0)], [])
+        d = caster.cast((0.0, 0.0), np.array([np.pi]), max_range=100.0)
+        assert d[0] == pytest.approx(100.0)
+
+    def test_diagonal_hit_distance(self):
+        caster = RayCaster([Segment(0.0, 4.0, 8.0, 4.0)], [])
+        d = caster.cast((0.0, 0.0), np.array([np.pi / 4]), max_range=100.0)
+        assert d[0] == pytest.approx(4.0 * np.sqrt(2.0))
+
+    def test_circle_hit(self):
+        caster = RayCaster([], [Circle(10.0, 0.0, 2.0)])
+        d = caster.cast((0.0, 0.0), np.array([0.0]), max_range=100.0)
+        assert d[0] == pytest.approx(8.0)
+
+    def test_circle_tangent_grazes(self):
+        caster = RayCaster([], [Circle(10.0, 2.0, 2.0)])
+        d = caster.cast((0.0, 0.0), np.array([0.0]), max_range=100.0)
+        assert d[0] == pytest.approx(10.0, abs=1e-6)
+
+    def test_inside_circle_hits_far_wall(self):
+        caster = RayCaster([], [Circle(0.0, 0.0, 3.0)])
+        d = caster.cast((0.0, 0.0), np.array([0.0]), max_range=100.0)
+        assert d[0] == pytest.approx(3.0)
+
+    def test_nearest_of_many(self):
+        caster = RayCaster(
+            [Segment(7.0, -1.0, 7.0, 1.0)], [Circle(3.0, 0.0, 1.0)]
+        )
+        d = caster.cast((0.0, 0.0), np.array([0.0]), max_range=100.0)
+        assert d[0] == pytest.approx(2.0)
+
+    def test_many_rays_vectorised(self):
+        caster = RayCaster([Segment(5.0, -100.0, 5.0, 100.0)], [])
+        angles = np.linspace(-np.pi / 4, np.pi / 4, 33)
+        d = caster.cast((0.0, 0.0), angles, max_range=100.0)
+        assert d.shape == (33,)
+        # Straight ahead is the closest approach to the wall.
+        assert d.argmin() == 16
+        assert np.allclose(d, 5.0 / np.cos(angles))
+
+    def test_max_range_validation(self):
+        caster = RayCaster([Segment(5.0, -1.0, 5.0, 1.0)], [])
+        with pytest.raises(ValueError):
+            caster.cast((0, 0), np.array([0.0]), max_range=0.0)
+
+    def test_angles_must_be_1d(self):
+        caster = RayCaster([Segment(5.0, -1.0, 5.0, 1.0)], [])
+        with pytest.raises(ValueError):
+            caster.cast((0, 0), np.zeros((2, 2)), max_range=10.0)
+
+
+class TestMinDistance:
+    def test_to_segment_perpendicular(self):
+        caster = RayCaster([Segment(0.0, 5.0, 10.0, 5.0)], [])
+        assert caster.min_distance((5.0, 0.0)) == pytest.approx(5.0)
+
+    def test_to_segment_endpoint(self):
+        caster = RayCaster([Segment(3.0, 4.0, 10.0, 4.0)], [])
+        assert caster.min_distance((0.0, 0.0)) == pytest.approx(5.0)
+
+    def test_to_circle_surface(self):
+        caster = RayCaster([], [Circle(10.0, 0.0, 3.0)])
+        assert caster.min_distance((0.0, 0.0)) == pytest.approx(7.0)
+
+    def test_inside_circle_is_negative(self):
+        caster = RayCaster([], [Circle(0.0, 0.0, 3.0)])
+        assert caster.min_distance((1.0, 0.0)) == pytest.approx(-2.0)
+
+
+@settings(max_examples=60)
+@given(
+    ox=st.floats(-5, 5),
+    oy=st.floats(-5, 5),
+    angle=st.floats(-np.pi, np.pi),
+)
+def test_cast_always_within_range(ox, oy, angle):
+    caster = RayCaster(
+        Box(-20.0, -20.0, 20.0, 20.0).segments(), [Circle(8.0, 8.0, 2.0)]
+    )
+    d = caster.cast((ox, oy), np.array([angle]), max_range=15.0)
+    assert 0.0 < d[0] <= 15.0
+
+
+@settings(max_examples=60)
+@given(
+    angle=st.floats(-np.pi, np.pi),
+    radius=st.floats(0.5, 5.0),
+)
+def test_ray_from_circle_centre_hits_at_radius(angle, radius):
+    caster = RayCaster([], [Circle(0.0, 0.0, radius)])
+    d = caster.cast((0.0, 0.0), np.array([angle]), max_range=100.0)
+    assert d[0] == pytest.approx(radius, rel=1e-9)

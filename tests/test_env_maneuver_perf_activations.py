@@ -1,0 +1,99 @@
+"""Tests for the manoeuvre analysis and activation footprints."""
+
+import pytest
+
+from repro.env.maneuver import (
+    evasive_maneuver_distance,
+    fig1_law_is_perception_limited,
+    required_sighting_distance,
+)
+from repro.nn import modified_alexnet_spec, scaled_drone_net_spec
+from repro.perf.activations import activation_report, peak_activation_bytes
+
+
+class TestEvasiveManeuver:
+    def test_monotone_in_obstacle_width(self):
+        narrow = evasive_maneuver_distance(0.3, d_frame=0.2)
+        wide = evasive_maneuver_distance(2.0, d_frame=0.2)
+        assert wide > narrow
+
+    def test_more_turn_authority_shortens_evasion(self):
+        agile = evasive_maneuver_distance(1.0, 0.2, max_turn_deg=55.0)
+        sluggish = evasive_maneuver_distance(1.0, 0.2, max_turn_deg=25.0)
+        assert agile < sluggish
+
+    def test_lateral_requirement_includes_drone_radius(self):
+        small = evasive_maneuver_distance(0.5, 0.2, drone_radius=0.1)
+        big = evasive_maneuver_distance(0.5, 0.2, drone_radius=0.6)
+        assert big >= small
+
+    def test_sideways_saturates(self):
+        """Once heading hits 90 degrees no further forward distance
+        accrues, so even huge obstacles cost finite forward distance."""
+        d = evasive_maneuver_distance(50.0, d_frame=0.5)
+        # Forward motion only during the first two turning frames.
+        assert d < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            evasive_maneuver_distance(0.0, 0.2)
+        with pytest.raises(ValueError):
+            evasive_maneuver_distance(0.5, 0.0)
+        with pytest.raises(ValueError):
+            evasive_maneuver_distance(0.5, 0.2, max_turn_deg=120.0)
+
+
+class TestSightingDistance:
+    def test_latency_adds_linearly(self):
+        base = required_sighting_distance(0.5, 0.2, latency_frames=1)
+        slow = required_sighting_distance(0.5, 0.2, latency_frames=4)
+        assert slow - base == pytest.approx(3 * 0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_sighting_distance(0.5, 0.2, latency_frames=-1)
+
+    @pytest.mark.parametrize("d_min,halfwidth", [(0.7, 0.5), (1.0, 0.6), (1.3, 0.7)])
+    def test_fig1_law_perception_limited_indoors(self, d_min, halfwidth):
+        """At the paper's indoor d_min settings, the one-frame
+        perception budget dominates the physical dodge."""
+        assert fig1_law_is_perception_limited(d_min, halfwidth)
+
+    def test_fig1_validation(self):
+        with pytest.raises(ValueError):
+            fig1_law_is_perception_limited(0.0, 0.5)
+
+
+class TestActivationFootprints:
+    def test_paper_network_fits_scratchpad_untiled(self):
+        """Every layer boundary of the modified AlexNet fits the 4.2 MB
+        scratchpad without tiling — consistent with Fig. 5 reserving a
+        single flat scratch allocation."""
+        spec = modified_alexnet_spec()
+        for footprint in activation_report(spec):
+            assert footprint.fits_untiled, footprint.layer
+
+    def test_peak_is_conv1(self):
+        spec = modified_alexnet_spec()
+        report = activation_report(spec)
+        peak_layer = max(report, key=lambda f: f.total_bytes)
+        assert peak_layer.layer == "CONV1"
+        assert peak_activation_bytes(spec) == peak_layer.total_bytes
+
+    def test_peak_well_under_scratchpad(self):
+        # ~0.45 MB vs 4.2 MB: an order of magnitude of headroom for
+        # double buffering and weight tiles.
+        assert peak_activation_bytes(modified_alexnet_spec()) < 1_000_000
+
+    def test_tiling_kicks_in_for_tiny_scratchpad(self):
+        spec = modified_alexnet_spec()
+        report = activation_report(spec, scratchpad_bytes=100_000)
+        assert any(f.tiling_factor > 1 for f in report)
+
+    def test_scaled_network_is_tiny(self):
+        spec = scaled_drone_net_spec(input_side=16)
+        assert peak_activation_bytes(spec) < 20_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            activation_report(modified_alexnet_spec(), scratchpad_bytes=0)

@@ -1,0 +1,170 @@
+"""Tests for World and the procedural environment generators."""
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    ENVIRONMENTS,
+    META_ENVIRONMENTS,
+    TEST_ENVIRONMENTS,
+    make_environment,
+)
+from repro.env.generators import META_FOR_TEST, _scatter_circles, _wall_with_door
+from repro.env.geometry import Box
+from repro.env.world import Pose, World
+
+
+class TestWorld:
+    def make_world(self):
+        return World(
+            name="test",
+            bounds=Box(0, 0, 10, 10),
+            boxes=[Box(4, 4, 6, 6)],
+            d_min=1.0,
+            max_range=20.0,
+        )
+
+    def test_clearance_outside_bounds_is_zero(self):
+        assert self.make_world().clearance(-1.0, 5.0) == 0.0
+
+    def test_clearance_inside_obstacle_is_zero(self):
+        assert self.make_world().clearance(5.0, 5.0) == 0.0
+
+    def test_clearance_near_wall(self):
+        w = self.make_world()
+        assert w.clearance(0.5, 5.0) == pytest.approx(0.5)
+
+    def test_in_collision_radius(self):
+        w = self.make_world()
+        assert w.in_collision(3.8, 5.0, radius=0.3)
+        assert not w.in_collision(3.0, 5.0, radius=0.3)
+
+    def test_in_collision_validates_radius(self):
+        with pytest.raises(ValueError):
+            self.make_world().in_collision(1, 1, radius=0.0)
+
+    def test_random_free_pose_is_free(self):
+        w = self.make_world()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            pose = w.random_free_pose(rng, clearance=0.4)
+            assert w.clearance(pose.x, pose.y) >= 0.4
+
+    def test_cast_rays_relative_to_heading(self):
+        w = World(name="t", bounds=Box(0, 0, 10, 10), d_min=1, max_range=20)
+        # Facing +x from the centre: straight ray hits the x=10 wall at 5.
+        d = w.cast_rays(Pose(5.0, 5.0, 0.0), np.array([0.0]))
+        assert d[0] == pytest.approx(5.0)
+        # Facing +y instead.
+        d = w.cast_rays(Pose(5.0, 5.0, np.pi / 2), np.array([0.0]))
+        assert d[0] == pytest.approx(5.0)
+
+    def test_invalid_dmin(self):
+        with pytest.raises(ValueError):
+            World(name="t", bounds=Box(0, 0, 1, 1), d_min=0.0)
+
+    def test_area(self):
+        assert self.make_world().area == 100.0
+
+
+class TestGeneratorHelpers:
+    def test_wall_with_door_leaves_gap(self):
+        walls = _wall_with_door(0, 0, 10, 0, door_at=0.5, door_width=2.0)
+        assert len(walls) == 2
+        total = sum(w.length for w in walls)
+        assert total == pytest.approx(8.0)
+
+    def test_wall_with_door_validations(self):
+        with pytest.raises(ValueError):
+            _wall_with_door(0, 0, 10, 0, door_at=1.5, door_width=1.0)
+        with pytest.raises(ValueError):
+            _wall_with_door(0, 0, 2, 0, door_at=0.5, door_width=5.0)
+
+    def test_scatter_circles_respects_gap(self):
+        rng = np.random.default_rng(0)
+        circles = _scatter_circles(
+            rng, Box(0, 0, 50, 50), count=20, radius_range=(0.5, 1.0),
+            min_gap=2.0, margin=1.0,
+        )
+        assert len(circles) >= 10
+        for i, a in enumerate(circles):
+            for b in circles[i + 1 :]:
+                centre_dist = np.hypot(a.cx - b.cx, a.cy - b.cy)
+                assert centre_dist >= a.radius + b.radius + 2.0 - 1e-9
+
+
+class TestEnvironmentRegistry:
+    def test_four_test_environments(self):
+        assert set(TEST_ENVIRONMENTS) == {
+            "indoor-apartment",
+            "indoor-house",
+            "outdoor-forest",
+            "outdoor-town",
+        }
+
+    def test_two_meta_environments(self):
+        assert set(META_ENVIRONMENTS) == {"meta-indoor", "meta-outdoor"}
+
+    def test_two_extra_environments(self):
+        from repro.env.generators import EXTRA_ENVIRONMENTS
+
+        assert set(EXTRA_ENVIRONMENTS) == {"indoor-warehouse", "outdoor-suburb"}
+
+    def test_every_test_env_has_a_meta(self):
+        from repro.env.generators import EXTRA_ENVIRONMENTS
+
+        assert set(META_FOR_TEST) == set(TEST_ENVIRONMENTS) | set(EXTRA_ENVIRONMENTS)
+        assert all(m in META_ENVIRONMENTS for m in META_FOR_TEST.values())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown environment"):
+            make_environment("atlantis")
+
+    @pytest.mark.parametrize("name", sorted(ENVIRONMENTS))
+    def test_generators_are_deterministic(self, name):
+        a = make_environment(name, seed=3)
+        b = make_environment(name, seed=3)
+        assert a.obstacle_count() == b.obstacle_count()
+        assert [c.cx for c in a.circles] == [c.cx for c in b.circles]
+
+    @pytest.mark.parametrize("name", sorted(ENVIRONMENTS))
+    def test_different_seeds_differ(self, name):
+        a = make_environment(name, seed=1)
+        b = make_environment(name, seed=2)
+        if a.circles and b.circles:
+            assert [c.cx for c in a.circles] != [c.cx for c in b.circles]
+        elif a.boxes and b.boxes:
+            assert [x.xmin for x in a.boxes] != [x.xmin for x in b.boxes]
+
+    def test_paper_dmin_values(self):
+        # Fig. 1c: the full six-environment d_min ladder.
+        assert make_environment("indoor-apartment").d_min == 0.7   # Indoor 1
+        assert make_environment("indoor-house").d_min == 1.0       # Indoor 2
+        assert make_environment("indoor-warehouse").d_min == 1.3   # Indoor 3
+        assert make_environment("outdoor-forest").d_min == 3.0     # Outdoor 1
+        assert make_environment("outdoor-suburb").d_min == 4.0     # Outdoor 2
+        assert make_environment("outdoor-town").d_min == 5.0       # Outdoor 3
+
+    def test_indoor_flag(self):
+        assert make_environment("indoor-apartment").is_indoor
+        assert not make_environment("outdoor-forest").is_indoor
+
+    @pytest.mark.parametrize("name", sorted(ENVIRONMENTS))
+    def test_spawnable(self, name):
+        world = make_environment(name, seed=0)
+        rng = np.random.default_rng(0)
+        pose = world.random_free_pose(rng, clearance=0.5)
+        assert world.clearance(pose.x, pose.y) >= 0.5
+
+    def test_meta_larger_than_tests(self):
+        meta = make_environment("meta-indoor")
+        test = make_environment("indoor-apartment")
+        assert meta.area > test.area
+        assert meta.obstacle_count() > test.obstacle_count()
+
+    def test_outdoor_sparser_than_indoor(self):
+        indoor = make_environment("indoor-apartment")
+        outdoor = make_environment("outdoor-town")
+        assert (indoor.obstacle_count() / indoor.area) > (
+            outdoor.obstacle_count() / outdoor.area
+        )

@@ -1,0 +1,134 @@
+"""Tests for repro.fixedpoint."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint import Q2_13, Q8_8, QFormat, quantization_stats
+
+
+class TestQFormatBasics:
+    def test_total_bits_signed(self):
+        assert Q8_8.total_bits == 16
+        assert Q2_13.total_bits == 16
+
+    def test_total_bits_unsigned(self):
+        fmt = QFormat(8, 8, signed=False)
+        assert fmt.total_bits == 16
+        assert fmt.min_raw == 0
+        assert fmt.max_raw == 65535
+
+    def test_scale_is_lsb(self):
+        assert Q8_8.scale == 2.0**-8
+        assert Q2_13.scale == 2.0**-13
+
+    def test_range_signed(self):
+        assert Q8_8.max_value == pytest.approx(127.99609375)
+        assert Q8_8.min_value == pytest.approx(-128.0)
+
+    def test_invalid_negative_bits(self):
+        with pytest.raises(ValueError):
+            QFormat(-1, 8)
+
+    def test_invalid_zero_width(self):
+        with pytest.raises(ValueError):
+            QFormat(0, 0, signed=False)
+
+    def test_invalid_too_wide(self):
+        with pytest.raises(ValueError):
+            QFormat(40, 40)
+
+
+class TestQuantize:
+    def test_exact_values_roundtrip(self):
+        values = np.array([0.0, 1.0, -1.0, 0.5, -0.25])
+        assert np.array_equal(Q8_8.quantize(values), values)
+
+    def test_rounding_to_nearest(self):
+        # 0.3 is not representable in Q8.8; nearest code is 77/256.
+        assert Q8_8.quantize(0.3) == pytest.approx(77 / 256)
+
+    def test_saturation_positive(self):
+        assert Q8_8.quantize(1e6) == Q8_8.max_value
+
+    def test_saturation_negative(self):
+        assert Q8_8.quantize(-1e6) == Q8_8.min_value
+
+    def test_representable_mask(self):
+        mask = Q8_8.representable(np.array([0.5, 0.3]))
+        assert mask.tolist() == [True, False]
+
+    def test_to_raw_dtype(self):
+        assert Q8_8.to_raw(np.ones(3)).dtype == np.int64
+
+
+class TestSaturatingArithmetic:
+    def test_add_saturates(self):
+        raw = Q8_8.add_raw(Q8_8.max_raw, 100)
+        assert raw == Q8_8.max_raw
+
+    def test_sub_saturates(self):
+        raw = Q8_8.sub_raw(Q8_8.min_raw, 100)
+        assert raw == Q8_8.min_raw
+
+    def test_mul_matches_float_for_small_values(self):
+        a, b = 1.5, -2.25
+        assert Q8_8.multiply(a, b) == pytest.approx(a * b, abs=Q8_8.scale)
+
+    def test_mul_saturates(self):
+        out = Q8_8.multiply(100.0, 100.0)
+        assert out == Q8_8.max_value
+
+    def test_mul_raw_rounds(self):
+        # 0.5 * 0.5 = 0.25 exactly representable.
+        raw = Q8_8.mul_raw(Q8_8.to_raw(0.5), Q8_8.to_raw(0.5))
+        assert Q8_8.from_raw(raw) == 0.25
+
+
+class TestQuantizationStats:
+    def test_zero_error_for_representable(self):
+        stats = quantization_stats(np.array([0.5, 1.0, -2.0]), Q8_8)
+        assert stats.max_abs_error == 0.0
+        assert stats.saturated_fraction == 0.0
+        assert stats.snr_db == float("inf")
+
+    def test_error_bounded_by_half_lsb(self, rng):
+        values = rng.uniform(-100, 100, size=1000)
+        stats = quantization_stats(values, Q8_8)
+        assert stats.max_abs_error <= Q8_8.scale / 2 + 1e-12
+
+    def test_saturated_fraction(self):
+        values = np.array([0.0, 500.0, -500.0, 1.0])
+        stats = quantization_stats(values, Q8_8)
+        assert stats.saturated_fraction == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantization_stats(np.array([]), Q8_8)
+
+    def test_snr_improves_with_more_fraction_bits(self, rng):
+        values = rng.uniform(-1, 1, size=2000)
+        coarse = quantization_stats(values, QFormat(2, 6))
+        fine = quantization_stats(values, QFormat(2, 13))
+        assert fine.snr_db > coarse.snr_db + 30  # ~6 dB per bit
+
+
+@given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False))
+def test_quantize_idempotent(x):
+    once = Q8_8.quantize(x)
+    assert Q8_8.quantize(once) == once
+
+
+@given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False))
+def test_quantize_within_range(x):
+    q = float(Q8_8.quantize(x))
+    assert Q8_8.min_value <= q <= Q8_8.max_value
+
+
+@given(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+def test_quantize_monotone(a, b):
+    if a <= b:
+        assert Q8_8.quantize(a) <= Q8_8.quantize(b)

@@ -1,0 +1,152 @@
+"""Integration tests: the full paper protocol end to end (scaled)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoDesign, paper_platform
+from repro.env import DepthCamera, NavigationEnv, make_environment
+from repro.nn import build_network, scaled_drone_net_spec
+from repro.rl import (
+    QLearningAgent,
+    config_by_name,
+    meta_train,
+    online_adapt,
+    run_transfer_experiment,
+)
+from repro.rl.experiment import train_agent
+
+
+@pytest.fixture(scope="module")
+def meta_result():
+    """One shared (short) meta-training run."""
+    return meta_train("meta-indoor", iterations=500, seed=0, image_side=16)
+
+
+class TestMetaTraining:
+    def test_produces_state_and_curves(self, meta_result):
+        assert meta_result.config_name == "E2E"
+        assert meta_result.environment == "meta-indoor"
+        assert len(meta_result.final_state) > 0
+        assert len(meta_result.curves.reward_curve) == 500
+
+    def test_reward_is_finite(self, meta_result):
+        assert np.isfinite(meta_result.final_reward)
+
+
+class TestOnlineAdaptation:
+    def test_adapts_all_configs(self, meta_result):
+        for name in ("L2", "L3", "L4", "E2E"):
+            result = online_adapt(
+                meta_result.final_state,
+                "indoor-apartment",
+                config_by_name(name),
+                iterations=300,
+                seed=1,
+                image_side=16,
+            )
+            assert result.config_name == name
+            assert result.iterations == 300
+            assert result.safe_flight_distance >= 0.0
+
+    def test_partial_configs_keep_conv_weights(self, meta_result):
+        result = online_adapt(
+            meta_result.final_state,
+            "indoor-apartment",
+            config_by_name("L2"),
+            iterations=300,
+            seed=1,
+            image_side=16,
+        )
+        # Frozen conv weights must be bit-identical to the meta-model.
+        for key, value in result.final_state.items():
+            if key.startswith("CONV"):
+                assert np.array_equal(value, meta_result.final_state[key]), key
+
+    def test_e2e_changes_conv_weights(self, meta_result):
+        result = online_adapt(
+            meta_result.final_state,
+            "indoor-apartment",
+            config_by_name("E2E"),
+            iterations=300,
+            seed=1,
+            image_side=16,
+        )
+        changed = any(
+            not np.array_equal(value, meta_result.final_state[key])
+            for key, value in result.final_state.items()
+            if key.startswith("CONV")
+        )
+        assert changed
+
+
+class TestTransferBenefit:
+    def test_transfer_beats_scratch_reward(self):
+        """A TL-initialised L3 agent should out-earn a from-scratch agent
+        over a short adaptation window (the paper's motivation for TL)."""
+        meta = meta_train("meta-indoor", iterations=1200, seed=2, image_side=16)
+        adapted = online_adapt(
+            meta.final_state, "indoor-apartment", config_by_name("L3"),
+            iterations=600, seed=3, image_side=16,
+        )
+        # From-scratch baseline: same budget, random init, E2E.
+        spec = scaled_drone_net_spec(input_side=16)
+        net = build_network(spec, seed=99)
+        world = make_environment("indoor-apartment", seed=3)
+        env = NavigationEnv(
+            world, camera=DepthCamera(width=16, height=16), seed=10
+        )
+        agent = QLearningAgent(net, config=config_by_name("E2E"), seed=3)
+        scratch = train_agent(agent, env, iterations=600)
+        assert adapted.final_reward > scratch.final_reward
+
+
+class TestFullExperiment:
+    def test_run_transfer_experiment_structure(self):
+        results = run_transfer_experiment(
+            "indoor-house",
+            meta_iterations=300,
+            adapt_iterations=300,
+            seed=0,
+            image_side=16,
+        )
+        assert set(results) == {"L2", "L3", "L4", "E2E"}
+        for result in results.values():
+            assert result.environment == "indoor-house"
+            assert len(result.curves.reward_curve) == 300
+            assert np.isfinite(result.final_reward)
+
+
+class TestCoDesignTaskEvaluation:
+    def test_evaluate_task_runs(self, platform):
+        cd = CoDesign("L2", platform=platform)
+        result = cd.evaluate_task(
+            "indoor-apartment", meta_iterations=200, adapt_iterations=200
+        )
+        assert result.config_name == "L2"
+        assert result.crash_count >= 0
+
+
+class TestCrossModuleConsistency:
+    def test_mapping_report_matches_cost_model_residency(self, platform):
+        cd = CoDesign("L3", platform=platform)
+        by_name = {p.layer: p for p in cd.mapping.placements}
+        for name, placement in by_name.items():
+            assert cd.cost_model.is_nvm_resident(name) == (
+                placement.device == "nvm"
+            )
+
+    def test_hardware_eval_consistent_with_perf_model(self, platform):
+        cd = CoDesign("L3", platform=platform)
+        hw = cd.evaluate_hardware(batch_size=8)
+        direct = cd.trainer.iteration_cost(8)
+        assert hw.fps == pytest.approx(direct.fps)
+
+    def test_trainable_fraction_consistency(self, platform):
+        """Spec-level and network-level trainable fractions must agree."""
+        spec = scaled_drone_net_spec(input_side=16)
+        net = build_network(spec, seed=0)
+        for name in ("L2", "L3", "L4"):
+            config = config_by_name(name)
+            spec_frac = config.trainable_fraction(spec)
+            net_frac = net.trainable_fraction(config.first_trainable_layer(net))
+            assert spec_frac == pytest.approx(net_frac)

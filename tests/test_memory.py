@@ -1,0 +1,187 @@
+"""Tests for the memory hierarchy: technologies, devices, mapping."""
+
+import numpy as np
+import pytest
+
+from repro.memory import (
+    CameraDram,
+    GlobalBuffer,
+    MemoryDevice,
+    MemoryTechnology,
+    NVM_TECHNOLOGIES,
+    ON_DIE_SRAM,
+    PCM_LIKE,
+    RRAM_LIKE,
+    STT_MRAM,
+    SttMramStack,
+    WeightMapper,
+)
+from repro.rl import config_by_name
+
+MB = 1e6
+
+
+class TestTechnology:
+    def test_table1_stt_mram_values(self):
+        # Table 1 verbatim.
+        assert STT_MRAM.write_latency_s == 30e-9
+        assert STT_MRAM.read_latency_s == 10e-9
+        assert STT_MRAM.write_energy_per_bit_j == 4.5e-12
+        assert STT_MRAM.read_energy_per_bit_j == 0.7e-12
+        assert STT_MRAM.non_volatile
+
+    def test_stt_mram_write_penalties(self):
+        assert STT_MRAM.write_read_latency_ratio == pytest.approx(3.0)
+        assert STT_MRAM.write_read_energy_ratio == pytest.approx(4.5 / 0.7)
+
+    def test_sram_is_symmetric_and_volatile(self):
+        assert ON_DIE_SRAM.write_read_latency_ratio == 1.0
+        assert not ON_DIE_SRAM.non_volatile
+
+    def test_ablation_corners_are_worse_than_stt(self):
+        for tech in (PCM_LIKE, RRAM_LIKE):
+            assert tech.write_latency_s > STT_MRAM.write_latency_s
+            assert tech.write_energy_per_bit_j > STT_MRAM.write_energy_per_bit_j
+
+    def test_nvm_registry(self):
+        assert set(NVM_TECHNOLOGIES) == {"STT-MRAM", "PCM-like", "RRAM-like"}
+        assert all(t.non_volatile for t in NVM_TECHNOLOGIES.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryTechnology("bad", 0.0, 1e-9, 1e-12, 1e-12, True)
+        with pytest.raises(ValueError):
+            MemoryTechnology("bad", 1e-9, 1e-9, -1e-12, 1e-12, True)
+
+
+class TestDevices:
+    def test_read_latency_arithmetic(self):
+        dev = MemoryDevice("d", STT_MRAM, int(MB), read_bandwidth_bps=1e9)
+        result = dev.read(1_000_000)
+        assert result.latency_s == pytest.approx(10e-9 + 1e-3)
+        assert result.energy_j == pytest.approx(1e6 * 0.7e-12)
+
+    def test_write_bandwidth_defaults_to_latency_ratio(self):
+        dev = MemoryDevice("d", STT_MRAM, int(MB), read_bandwidth_bps=3e9)
+        assert dev.write_bandwidth_bps == pytest.approx(1e9)
+
+    def test_write_energy(self):
+        dev = MemoryDevice("d", STT_MRAM, int(MB), read_bandwidth_bps=1e9)
+        assert dev.write(1000).energy_j == pytest.approx(1000 * 4.5e-12)
+
+    def test_counters_accumulate(self):
+        dev = MemoryDevice("d", STT_MRAM, int(MB), read_bandwidth_bps=1e9)
+        dev.read(100)
+        dev.read(200)
+        dev.write(50)
+        assert dev.counters.read_bits == 300
+        assert dev.counters.write_bits == 50
+        assert dev.counters.total_bits == 350
+        assert dev.counters.total_energy_j > 0
+        dev.reset_counters()
+        assert dev.counters.total_bits == 0
+
+    def test_negative_bits_rejected(self):
+        dev = MemoryDevice("d", STT_MRAM, int(MB), read_bandwidth_bps=1e9)
+        with pytest.raises(ValueError):
+            dev.read(-1)
+
+    def test_capacity_check(self):
+        dev = MemoryDevice("d", STT_MRAM, int(MB), read_bandwidth_bps=1e9)
+        dev.check_fits(int(MB))
+        with pytest.raises(ValueError, match="capacity"):
+            dev.check_fits(int(2 * MB))
+
+    def test_access_result_addition(self):
+        dev = MemoryDevice("d", STT_MRAM, int(MB), read_bandwidth_bps=1e9)
+        total = dev.read(100) + dev.write(100)
+        assert total.bits == 200
+
+    def test_stt_stack_paper_bandwidth(self):
+        stack = SttMramStack()
+        # 1024 I/Os x 2 Gb/s = 2 Tb/s aggregate.
+        assert stack.read_bandwidth_bps == pytest.approx(2048e9)
+        assert stack.write_bandwidth_bps < stack.read_bandwidth_bps
+
+    def test_global_buffer_paper_sizes(self):
+        buf = GlobalBuffer()
+        assert buf.capacity_bytes == 30 * int(MB)
+        assert buf.scratchpad_bytes == int(4.2 * MB)
+        assert buf.weight_capacity_bytes == 30 * int(MB) - int(4.2 * MB)
+
+    def test_global_buffer_scratchpad_validation(self):
+        with pytest.raises(ValueError):
+            GlobalBuffer(capacity_bytes=int(MB), scratchpad_bytes=int(2 * MB))
+
+    def test_camera_dram_link(self):
+        dram = CameraDram(link_gbytes_per_s=32.0)
+        assert dram.read_bandwidth_bps == pytest.approx(256e9)
+
+
+class TestWeightMapper:
+    def test_fig5_l3_arithmetic(self, alexnet_spec):
+        """The paper's proposed design: last three FC layers in SRAM."""
+        report = WeightMapper(alexnet_spec, config_by_name("L3")).build()
+        assert report.sram_weight_bytes / MB == pytest.approx(12.6, abs=0.05)
+        assert report.sram_gradient_bytes / MB == pytest.approx(12.6, abs=0.05)
+        assert report.sram_scratchpad_bytes / MB == pytest.approx(4.2, abs=0.01)
+        assert report.sram_total_mb == pytest.approx(29.4, abs=0.1)
+        assert report.nvm_mb == pytest.approx(99.8, abs=0.5)  # "100 MB"
+
+    def test_l2_arithmetic(self, alexnet_spec):
+        report = WeightMapper(alexnet_spec, config_by_name("L2")).build()
+        # 4% of weights: FC4+FC5 = 2 103 301 weights = 4.2 MB.
+        assert report.sram_weight_bytes / MB == pytest.approx(4.2, abs=0.05)
+
+    def test_l4_needs_more_sram_than_paper_buffer(self, alexnet_spec):
+        report = WeightMapper(alexnet_spec, config_by_name("L4")).build()
+        assert report.sram_total_bytes > 30 * MB
+
+    def test_placements_cover_all_layers(self, alexnet_spec):
+        report = WeightMapper(alexnet_spec, config_by_name("L3")).build()
+        assert len(report.placements) == 10
+        assert sum(p.weights for p in report.placements) == alexnet_spec.total_weights
+
+    def test_l3_device_assignment(self, alexnet_spec):
+        report = WeightMapper(alexnet_spec, config_by_name("L3")).build()
+        by_name = {p.layer: p for p in report.placements}
+        for conv in ("CONV1", "CONV2", "CONV3", "CONV4", "CONV5"):
+            assert by_name[conv].device == "nvm"
+            assert not by_name[conv].trainable
+        assert by_name["FC1"].device == "nvm"
+        assert by_name["FC2"].device == "nvm"
+        for fc in ("FC3", "FC4", "FC5"):
+            assert by_name[fc].device == "sram"
+            assert by_name[fc].trainable
+
+    def test_e2e_keeps_proposed_residency_but_trains_all(self, alexnet_spec):
+        report = WeightMapper(alexnet_spec, config_by_name("E2E")).build()
+        by_name = {p.layer: p for p in report.placements}
+        assert by_name["CONV1"].device == "nvm"
+        assert by_name["CONV1"].trainable  # E2E trains NVM-resident layers
+        assert by_name["FC5"].device == "sram"
+
+    def test_nvm_resident_layers(self, alexnet_spec):
+        mapper = WeightMapper(alexnet_spec, config_by_name("L2"))
+        resident = mapper.nvm_resident_layers()
+        assert "FC4" not in resident and "FC5" not in resident
+        assert "FC3" in resident
+
+    def test_validate_raises_on_small_sram(self, alexnet_spec):
+        mapper = WeightMapper(alexnet_spec, config_by_name("L4"))
+        with pytest.raises(ValueError, match="SRAM demand"):
+            mapper.validate(int(30 * MB), int(128 * MB))
+
+    def test_validate_raises_on_small_nvm(self, alexnet_spec):
+        mapper = WeightMapper(alexnet_spec, config_by_name("L3"))
+        with pytest.raises(ValueError, match="NVM demand"):
+            mapper.validate(int(30 * MB), int(50 * MB))
+
+    def test_validate_passes_paper_design(self, alexnet_spec):
+        mapper = WeightMapper(alexnet_spec, config_by_name("L3"))
+        report = mapper.validate(int(30 * MB), int(128 * MB))
+        assert report.sram_total_mb < 30.0
+
+    def test_scaled_spec_mapping(self, scaled_spec):
+        report = WeightMapper(scaled_spec, config_by_name("L3")).build()
+        assert report.sram_total_bytes < report.nvm_bytes + report.sram_total_bytes

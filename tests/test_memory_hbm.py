@@ -1,0 +1,113 @@
+"""Tests for the HBM-style stack organisation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import HbmOrganization
+
+
+class TestGeometry:
+    def test_paper_totals(self):
+        org = HbmOrganization()
+        assert org.total_ios == 1024            # Fig. 4: 1024 I/Os
+        assert org.peak_bandwidth_bps == pytest.approx(2048e9)  # 2 Tb/s
+        assert org.channel_bandwidth_bps == pytest.approx(256e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HbmOrganization(channels=0)
+        with pytest.raises(ValueError):
+            HbmOrganization(row_bytes=1000, interleave_bytes=256)
+        with pytest.raises(ValueError):
+            HbmOrganization(interleave_bytes=0)
+
+
+class TestAddressDecode:
+    def test_first_byte(self):
+        addr = HbmOrganization().decode(0)
+        assert (addr.channel, addr.bank, addr.row, addr.column) == (0, 0, 0, 0)
+
+    def test_channel_interleave(self):
+        org = HbmOrganization(interleave_bytes=256)
+        assert org.decode(0).channel == 0
+        assert org.decode(256).channel == 1
+        assert org.decode(256 * 8).channel == 0  # wraps after 8 channels
+
+    def test_column_within_unit(self):
+        org = HbmOrganization()
+        assert org.decode(10).column == 10
+        assert org.decode(256 + 10).column == 10  # next channel, same offset
+
+    def test_bank_rotation(self):
+        org = HbmOrganization(
+            channels=2, banks_per_channel=2, row_bytes=256, interleave_bytes=256
+        )
+        # Rows within one channel rotate across banks.
+        assert org.decode(0).bank == 0
+        assert org.decode(2 * 256).bank == 1
+        assert org.decode(4 * 256).bank == 0
+        assert org.decode(4 * 256).row == 1
+
+    def test_negative_address(self):
+        with pytest.raises(ValueError):
+            HbmOrganization().decode(-1)
+
+
+class TestAccessPatterns:
+    def test_sequential_stream_touches_all_channels(self):
+        org = HbmOrganization()
+        assert org.channels_touched(0, length=4096, stride=1) == 8
+
+    def test_pathological_stride_hits_one_channel(self):
+        org = HbmOrganization()
+        stride = org.interleave_bytes * org.channels  # full rotation
+        assert org.channels_touched(0, length=64, stride=stride) == 1
+
+    def test_effective_bandwidth_ratio(self):
+        org = HbmOrganization()
+        seq = org.effective_bandwidth_bps(0, 4096, stride=1)
+        bad = org.effective_bandwidth_bps(
+            0, 64, stride=org.interleave_bytes * org.channels
+        )
+        assert seq == pytest.approx(org.peak_bandwidth_bps)
+        assert bad == pytest.approx(org.peak_bandwidth_bps / 8)
+
+    def test_row_activations_amortised(self):
+        org = HbmOrganization()
+        small = org.row_activations(0, 16 * 1024)
+        large = org.row_activations(0, 16 * 1024 * 1024)
+        assert large > small
+        # Sequential streaming opens far fewer rows than bytes/row_bytes
+        # thanks to channel parallelism.
+        assert large < 16 * 1024 * 1024 // org.row_bytes * 2
+
+    def test_validation(self):
+        org = HbmOrganization()
+        with pytest.raises(ValueError):
+            org.channels_touched(0, 0)
+        with pytest.raises(ValueError):
+            org.channels_touched(0, 10, stride=0)
+        with pytest.raises(ValueError):
+            org.row_activations(0, 0)
+
+
+@settings(max_examples=60)
+@given(address=st.integers(0, 10**9))
+def test_decode_fields_in_range(address):
+    org = HbmOrganization()
+    addr = org.decode(address)
+    assert 0 <= addr.channel < org.channels
+    assert 0 <= addr.bank < org.banks_per_channel
+    assert addr.row >= 0
+    assert 0 <= addr.column < org.row_bytes
+
+
+@settings(max_examples=40)
+@given(address=st.integers(0, 10**8))
+def test_decode_is_injective_within_rotation(address):
+    """Two addresses one interleave unit apart land on different
+    channels (until the rotation wraps)."""
+    org = HbmOrganization()
+    a = org.decode(address)
+    b = org.decode(address + org.interleave_bytes)
+    assert (a.channel + 1) % org.channels == b.channel

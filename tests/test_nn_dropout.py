@@ -1,0 +1,55 @@
+"""Tests for the Dropout layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout
+
+
+class TestDropout:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(rate=1.0)
+        with pytest.raises(ValueError):
+            Dropout(rate=-0.1)
+
+    def test_inference_is_identity(self, rng):
+        layer = Dropout(rate=0.5)
+        x = rng.normal(size=(4, 10))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_zero_rate_is_identity_in_training(self, rng):
+        layer = Dropout(rate=0.0)
+        x = rng.normal(size=(4, 10))
+        assert np.array_equal(layer.forward(x, training=True), x)
+
+    def test_training_zeroes_about_rate_fraction(self):
+        layer = Dropout(rate=0.5, seed=1)
+        x = np.ones((100, 100))
+        out = layer.forward(x, training=True)
+        dropped = np.mean(out == 0.0)
+        assert dropped == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_scaling_preserves_expectation(self):
+        layer = Dropout(rate=0.3, seed=2)
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_backward_routes_through_mask(self):
+        layer = Dropout(rate=0.5, seed=3)
+        x = np.ones((10, 10))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        # Gradient is zero exactly where the forward output was zero.
+        assert np.array_equal(grad == 0.0, out == 0.0)
+
+    def test_backward_identity_in_inference(self, rng):
+        layer = Dropout(rate=0.5)
+        x = rng.normal(size=(3, 3))
+        layer.forward(x, training=False)
+        g = rng.normal(size=(3, 3))
+        assert np.array_equal(layer.backward(g), g)
+
+    def test_no_parameters(self):
+        assert Dropout().parameters() == []

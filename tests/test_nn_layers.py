@@ -1,0 +1,229 @@
+"""Tests for repro.nn.layers: shapes, gradients, errors."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    LocalResponseNorm,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    col2im,
+    im2col,
+)
+
+
+def numerical_gradient(f, x, eps=1e-5):
+    """Central-difference gradient of scalar f at array x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        hi = f()
+        flat[i] = old - eps
+        lo = f()
+        flat[i] = old
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def layer_grad_check(layer, x, atol=1e-6):
+    """Compare analytic input/param gradients with numerical ones."""
+    out = layer.forward(x, training=True)
+    upstream = np.random.default_rng(0).normal(size=out.shape)
+
+    def loss():
+        return float(np.sum(layer.forward(x, training=False) * upstream))
+
+    dx = layer.backward(upstream)
+    num_dx = numerical_gradient(loss, x)
+    assert np.allclose(dx, num_dx, atol=atol), "input gradient mismatch"
+    for p in layer.parameters():
+        analytic = p.grad.copy()
+        num = numerical_gradient(loss, p.value)
+        assert np.allclose(analytic, num, atol=atol), f"{p.name} gradient mismatch"
+
+
+class TestIm2Col:
+    def test_roundtrip_counts_overlaps(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = im2col(x, 3, 3, 1, 0)
+        back = col2im(cols, x.shape, 3, 3, 1, 0)
+        # Each pixel is restored multiplied by the number of windows
+        # covering it; the centre pixel of a 6x6 with 3x3/stride1 is in 9.
+        assert back[0, 0, 3, 3] == pytest.approx(9 * x[0, 0, 3, 3])
+
+    def test_shapes(self, rng):
+        x = rng.normal(size=(1, 2, 8, 8))
+        cols = im2col(x, 3, 3, 2, 1)
+        oh = (8 + 2 - 3) // 2 + 1
+        assert cols.shape == (1, 2 * 9, oh * oh)
+
+    def test_stride_matches_direct(self, rng):
+        x = rng.normal(size=(1, 1, 7, 7))
+        cols = im2col(x, 3, 3, 2, 0)
+        # First column is the top-left window.
+        assert np.allclose(cols[0, :, 0], x[0, 0, :3, :3].reshape(-1))
+
+
+class TestConv2D:
+    def test_output_shape(self, rng):
+        layer = Conv2D(3, 8, 3, stride=1, pad=1, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_output_shape_stride(self, rng):
+        layer = Conv2D(3, 4, 5, stride=2, pad=0, rng=rng)
+        out = layer.forward(rng.normal(size=(1, 3, 11, 11)))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_known_value(self):
+        layer = Conv2D(1, 1, 2)
+        layer.weight.value = np.ones((1, 1, 2, 2))
+        layer.bias.value = np.array([1.0])
+        x = np.arange(9, dtype=float).reshape(1, 1, 3, 3)
+        out = layer.forward(x)
+        # Top-left window sums 0+1+3+4 = 8, plus bias 1.
+        assert out[0, 0, 0, 0] == pytest.approx(9.0)
+
+    def test_gradcheck(self, rng):
+        layer = Conv2D(2, 3, 3, stride=1, pad=1, rng=rng)
+        layer_grad_check(layer, rng.normal(size=(2, 2, 5, 5)))
+
+    def test_gradcheck_strided(self, rng):
+        layer = Conv2D(1, 2, 3, stride=2, pad=0, rng=rng)
+        layer_grad_check(layer, rng.normal(size=(1, 1, 7, 7)))
+
+    def test_channel_mismatch_raises(self, rng):
+        layer = Conv2D(3, 4, 3, rng=rng)
+        with pytest.raises(ValueError, match="channels"):
+            layer.forward(rng.normal(size=(1, 2, 5, 5)))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Conv2D(1, 1, 3, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 1, 3, 3)))
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, 0)
+
+    def test_weight_count(self, rng):
+        layer = Conv2D(3, 8, 5, rng=rng)
+        assert layer.weight_count == 8 * 3 * 25 + 8
+
+
+class TestDense:
+    def test_forward_value(self):
+        layer = Dense(2, 2)
+        layer.weight.value = np.array([[1.0, 2.0], [3.0, 4.0]])
+        layer.bias.value = np.array([0.5, -0.5])
+        out = layer.forward(np.array([[1.0, 1.0]]))
+        assert np.allclose(out, [[4.5, 5.5]])
+
+    def test_gradcheck(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        layer_grad_check(layer, rng.normal(size=(5, 4)))
+
+    def test_shape_validation(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(2, 5)))
+
+    def test_gradient_accumulates_across_calls(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(2, 3))
+        layer.forward(x, training=True)
+        layer.backward(np.ones((2, 2)))
+        first = layer.weight.grad.copy()
+        layer.forward(x, training=True)
+        layer.backward(np.ones((2, 2)))
+        assert np.allclose(layer.weight.grad, 2 * first)
+
+
+class TestReLU:
+    def test_forward(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        assert np.allclose(out, [0.0, 0.0, 2.0])
+
+    def test_backward_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([-1.0, 3.0]), training=True)
+        grad = layer.backward(np.array([5.0, 5.0]))
+        assert np.allclose(grad, [0.0, 5.0])
+
+    def test_gradcheck(self, rng):
+        layer_grad_check(ReLU(), rng.normal(size=(3, 4)) + 0.5)
+
+
+class TestLocalResponseNorm:
+    def test_identity_for_zero_alpha(self, rng):
+        layer = LocalResponseNorm(size=5, alpha=0.0, beta=0.75, k=1.0)
+        x = rng.normal(size=(1, 8, 3, 3))
+        assert np.allclose(layer.forward(x), x)
+
+    def test_suppresses_large_neighbourhoods(self):
+        layer = LocalResponseNorm(size=3, alpha=1.0, beta=0.75, k=1.0)
+        quiet = layer.forward(np.full((1, 3, 1, 1), 0.1))
+        loud = layer.forward(np.full((1, 3, 1, 1), 10.0))
+        # Normalisation compresses: the loud output is much less than
+        # 100x the quiet output.
+        assert loud[0, 1, 0, 0] < 100 * quiet[0, 1, 0, 0]
+
+    def test_gradcheck(self, rng):
+        layer = LocalResponseNorm(size=3)
+        layer_grad_check(layer, rng.normal(size=(2, 5, 2, 2)), atol=1e-5)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LocalResponseNorm(size=0)
+
+
+class TestMaxPool2D:
+    def test_forward_value(self):
+        layer = MaxPool2D(2, 2)
+        x = np.array([[1.0, 2.0], [3.0, 4.0]]).reshape(1, 1, 2, 2)
+        assert layer.forward(x)[0, 0, 0, 0] == 4.0
+
+    def test_overlapping_alexnet_pool(self, rng):
+        layer = MaxPool2D(3, 2)
+        out = layer.forward(rng.normal(size=(1, 2, 13, 13)))
+        assert out.shape == (1, 2, 6, 6)
+
+    def test_gradcheck(self, rng):
+        # Use well-separated values so argmax is stable under eps.
+        x = rng.permutation(np.arange(36, dtype=float)).reshape(1, 1, 6, 6)
+        layer_grad_check(MaxPool2D(2, 2), x)
+
+    def test_gradient_routes_to_max(self):
+        layer = MaxPool2D(2, 2)
+        x = np.array([[1.0, 2.0], [3.0, 4.0]]).reshape(1, 1, 2, 2)
+        layer.forward(x, training=True)
+        dx = layer.backward(np.array([[[[7.0]]]]))
+        assert dx[0, 0, 1, 1] == 7.0
+        assert dx.sum() == 7.0
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 48)
+        assert np.allclose(layer.backward(out), x)
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        p = Parameter("w", np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        assert np.allclose(p.grad, 0.0)
+
+    def test_size(self):
+        assert Parameter("w", np.ones((2, 3))).size == 6

@@ -1,0 +1,179 @@
+"""Tests for the Network container and partial backpropagation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Network, ReLU, build_network
+
+
+def small_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Network(
+        [
+            Dense(4, 8, name="FC1", rng=rng),
+            ReLU(),
+            Dense(8, 6, name="FC2", rng=rng),
+            ReLU(),
+            Dense(6, 3, name="FC3", rng=rng),
+        ],
+        name="small",
+    )
+
+
+class TestStructure:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Network([])
+
+    def test_parametric_layers(self):
+        net = small_net()
+        names = [l.name for _, l in net.parametric_layers()]
+        assert names == ["FC1", "FC2", "FC3"]
+
+    def test_weight_count(self):
+        net = small_net()
+        assert net.weight_count == (4 * 8 + 8) + (8 * 6 + 6) + (6 * 3 + 3)
+
+    def test_trainable_boundary_last_one(self):
+        net = small_net()
+        idx = net.trainable_boundary(1)
+        assert net.layers[idx].name == "FC3"
+
+    def test_trainable_boundary_last_two(self):
+        net = small_net()
+        idx = net.trainable_boundary(2)
+        assert net.layers[idx].name == "FC2"
+
+    def test_trainable_boundary_none_is_e2e(self):
+        assert small_net().trainable_boundary(None) == 0
+
+    def test_trainable_boundary_too_many_is_e2e(self):
+        assert small_net().trainable_boundary(10) == 0
+
+    def test_trainable_boundary_zero_raises(self):
+        with pytest.raises(ValueError):
+            small_net().trainable_boundary(0)
+
+    def test_trainable_fraction_monotone(self):
+        net = small_net()
+        f1 = net.trainable_fraction(net.trainable_boundary(1))
+        f2 = net.trainable_fraction(net.trainable_boundary(2))
+        assert 0 < f1 < f2 < 1
+
+
+class TestPartialBackprop:
+    def test_frozen_params_receive_no_gradient(self, rng):
+        net = small_net()
+        boundary = net.trainable_boundary(1)
+        x = rng.normal(size=(3, 4))
+        out = net.forward(x, training=True)
+        net.backward(np.ones_like(out), first_trainable=boundary)
+        fc1, fc2, fc3 = (l for _, l in net.parametric_layers())
+        assert np.allclose(fc1.weight.grad, 0.0)
+        assert np.allclose(fc2.weight.grad, 0.0)
+        assert not np.allclose(fc3.weight.grad, 0.0)
+
+    def test_partial_matches_full_on_tail(self, rng):
+        """The tail gradient must be identical whether or not the prefix
+        also backpropagates — partial training changes *what* updates,
+        not the gradient values."""
+        x = rng.normal(size=(3, 4))
+        net_a, net_b = small_net(), small_net()
+        for net, boundary_k in ((net_a, None), (net_b, 1)):
+            out = net.forward(x, training=True)
+            net.backward(
+                np.ones_like(out),
+                first_trainable=net.trainable_boundary(boundary_k),
+            )
+        tail_a = [l for _, l in net_a.parametric_layers()][-1]
+        tail_b = [l for _, l in net_b.parametric_layers()][-1]
+        assert np.allclose(tail_a.weight.grad, tail_b.weight.grad)
+
+    def test_out_of_range_boundary_raises(self, rng):
+        net = small_net()
+        out = net.forward(rng.normal(size=(1, 4)), training=True)
+        with pytest.raises(ValueError):
+            net.backward(np.ones_like(out), first_trainable=99)
+
+    def test_zero_grad(self, rng):
+        net = small_net()
+        out = net.forward(rng.normal(size=(2, 4)), training=True)
+        net.backward(np.ones_like(out))
+        net.zero_grad()
+        assert all(np.allclose(p.grad, 0) for p in net.parameters())
+
+
+class TestStateTransfer:
+    def test_state_dict_roundtrip(self, rng):
+        net_a, net_b = small_net(0), small_net(1)
+        x = rng.normal(size=(2, 4))
+        assert not np.allclose(net_a.predict(x), net_b.predict(x))
+        net_b.load_state_dict(net_a.state_dict())
+        assert np.allclose(net_a.predict(x), net_b.predict(x))
+
+    def test_state_dict_is_a_copy(self):
+        net = small_net()
+        state = net.state_dict()
+        state["FC1.weight"][:] = 0.0
+        assert not np.allclose(
+            [p for p in net.parameters() if p.name == "FC1.weight"][0].value, 0.0
+        )
+
+    def test_load_missing_key_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        del state["FC1.weight"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_extra_key_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_shape_mismatch_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        state["FC1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_copy_weights_from(self, rng):
+        net_a, net_b = small_net(0), small_net(1)
+        net_b.copy_weights_from(net_a)
+        x = rng.normal(size=(2, 4))
+        assert np.allclose(net_a.predict(x), net_b.predict(x))
+
+    def test_save_load_file(self, tmp_path, rng):
+        net_a, net_b = small_net(0), small_net(1)
+        path = tmp_path / "weights.npz"
+        net_a.save(path)
+        net_b.load(path)
+        x = rng.normal(size=(2, 4))
+        assert np.allclose(net_a.predict(x), net_b.predict(x))
+
+
+class TestBuiltNetworks:
+    def test_scaled_network_forward_shape(self, scaled_spec, rng):
+        net = build_network(scaled_spec, seed=0)
+        x = rng.normal(size=(2, 1, 16, 16))
+        out = net.predict(x)
+        assert out.shape == (2, 5)
+
+    def test_scaled_network_weight_count_matches_spec(self, scaled_spec):
+        net = build_network(scaled_spec, seed=0)
+        assert net.weight_count == scaled_spec.total_weights
+
+    def test_build_is_deterministic(self, scaled_spec, rng):
+        x = rng.normal(size=(1, 1, 16, 16))
+        a = build_network(scaled_spec, seed=7).predict(x)
+        b = build_network(scaled_spec, seed=7).predict(x)
+        assert np.allclose(a, b)
+
+    def test_training_forward_backward_runs(self, scaled_spec, rng):
+        net = build_network(scaled_spec, seed=0)
+        x = rng.normal(size=(2, 1, 16, 16))
+        out = net.forward(x, training=True)
+        net.backward(np.ones_like(out), first_trainable=net.trainable_boundary(2))

@@ -1,0 +1,84 @@
+"""Cross-validation of the NumPy layers against SciPy references.
+
+Independent implementations catching each other: our im2col convolution
+and pooling are checked against scipy.signal/scipy.ndimage, which share
+no code with repro.nn.
+"""
+
+import numpy as np
+import pytest
+
+scipy_signal = pytest.importorskip("scipy.signal")
+scipy_ndimage = pytest.importorskip("scipy.ndimage")
+
+from repro.nn.layers import Conv2D, MaxPool2D
+
+
+class TestConvAgainstScipy:
+    def test_single_channel_valid_conv(self, rng):
+        x = rng.normal(size=(5, 7))
+        kernel = rng.normal(size=(3, 3))
+        layer = Conv2D(1, 1, 3, rng=rng)
+        layer.weight.value = kernel[None, None]
+        layer.bias.value = np.zeros(1)
+        ours = layer.forward(x[None, None])[0, 0]
+        # CNN "convolution" is correlation in scipy terms.
+        ref = scipy_signal.correlate2d(x, kernel, mode="valid")
+        assert np.allclose(ours, ref)
+
+    def test_multi_channel_sums_correlations(self, rng):
+        x = rng.normal(size=(3, 8, 8))
+        weights = rng.normal(size=(2, 3, 3, 3))
+        layer = Conv2D(3, 2, 3, rng=rng)
+        layer.weight.value = weights
+        layer.bias.value = np.zeros(2)
+        ours = layer.forward(x[None])[0]
+        for oc in range(2):
+            ref = sum(
+                scipy_signal.correlate2d(x[c], weights[oc, c], mode="valid")
+                for c in range(3)
+            )
+            assert np.allclose(ours[oc], ref)
+
+    def test_padded_conv(self, rng):
+        x = rng.normal(size=(6, 6))
+        kernel = rng.normal(size=(3, 3))
+        layer = Conv2D(1, 1, 3, pad=1, rng=rng)
+        layer.weight.value = kernel[None, None]
+        layer.bias.value = np.zeros(1)
+        ours = layer.forward(x[None, None])[0, 0]
+        padded = np.pad(x, 1)
+        ref = scipy_signal.correlate2d(padded, kernel, mode="valid")
+        assert np.allclose(ours, ref)
+
+    def test_strided_conv_subsamples(self, rng):
+        x = rng.normal(size=(9, 9))
+        kernel = rng.normal(size=(3, 3))
+        layer = Conv2D(1, 1, 3, stride=2, rng=rng)
+        layer.weight.value = kernel[None, None]
+        layer.bias.value = np.zeros(1)
+        ours = layer.forward(x[None, None])[0, 0]
+        full = scipy_signal.correlate2d(x, kernel, mode="valid")
+        assert np.allclose(ours, full[::2, ::2])
+
+
+class TestPoolAgainstScipy:
+    def test_non_overlapping_pool(self, rng):
+        x = rng.normal(size=(8, 8))
+        ours = MaxPool2D(2, 2).forward(x[None, None])[0, 0]
+        ref = scipy_ndimage.maximum_filter(x, size=2, origin=(-1, -1))[::2, ::2][
+            : ours.shape[0], : ours.shape[1]
+        ]
+        assert np.allclose(ours, ref)
+
+    def test_overlapping_alexnet_pool(self, rng):
+        x = rng.normal(size=(13, 13))
+        ours = MaxPool2D(3, 2).forward(x[None, None])[0, 0]
+        # Reference: explicit window maxima.
+        expected = np.array(
+            [
+                [x[i : i + 3, j : j + 3].max() for j in range(0, 11, 2)]
+                for i in range(0, 11, 2)
+            ]
+        )
+        assert np.allclose(ours, expected)

@@ -1,0 +1,149 @@
+"""Tests validating the Fig. 3a network arithmetic exactly."""
+
+import pytest
+
+from repro.nn import (
+    ConvSpec,
+    FCSpec,
+    build_network,
+    modified_alexnet_spec,
+    parameter_table,
+    scaled_drone_net_spec,
+)
+
+# Fig. 3a ground truth.
+FIG3A_WEIGHTS = {
+    "FC1": 37_752_832,
+    "FC2": 8_390_656,
+    "FC3": 4_196_352,
+    "FC4": 2_098_176,
+    "FC5": 5_125,
+}
+FIG3A_NEURONS = {"FC1": 9216, "FC2": 4096, "FC3": 2048, "FC4": 2048, "FC5": 1024}
+FIG3A_PCT_TOTAL = {"FC1": 67.18, "FC2": 14.93, "FC3": 7.468, "FC4": 3.734, "FC5": 0.009}
+FIG3A_PCT_CUMULATIVE = {"FC1": 93.33, "FC2": 26.14, "FC3": 11.21, "FC4": 3.743, "FC5": 0.009}
+TOTAL_WEIGHTS = 56_190_341
+
+
+class TestPaperScaleSpec:
+    def test_total_weights(self, alexnet_spec):
+        assert alexnet_spec.total_weights == TOTAL_WEIGHTS
+
+    @pytest.mark.parametrize("layer,weights", FIG3A_WEIGHTS.items())
+    def test_fc_weight_counts(self, alexnet_spec, layer, weights):
+        assert alexnet_spec.layer(layer).weight_count == weights
+
+    @pytest.mark.parametrize("layer,neurons", FIG3A_NEURONS.items())
+    def test_fc_input_neurons(self, alexnet_spec, layer, neurons):
+        assert alexnet_spec.layer(layer).in_features == neurons
+
+    def test_conv_output_chain(self, alexnet_spec):
+        conv1, conv2, conv3, conv4, conv5 = alexnet_spec.conv_layers
+        assert (conv1.out_height, conv1.out_width) == (55, 55)
+        assert (conv1.pooled_height, conv1.pooled_width) == (27, 27)
+        assert (conv2.pooled_height, conv2.pooled_width) == (13, 13)
+        assert (conv3.out_height, conv3.out_width) == (13, 13)
+        assert (conv5.pooled_height, conv5.pooled_width) == (6, 6)
+
+    def test_flatten_matches_fc1(self, alexnet_spec):
+        conv5 = alexnet_spec.conv_layers[-1]
+        flat = conv5.pooled_height * conv5.pooled_width * conv5.out_channels
+        assert flat == alexnet_spec.layer("FC1").in_features == 9216
+
+    def test_conv_weight_total(self, alexnet_spec):
+        conv_total = sum(l.weight_count for l in alexnet_spec.conv_layers)
+        assert conv_total == 3_747_200
+
+    def test_output_actions(self, alexnet_spec):
+        assert alexnet_spec.layer("FC5").out_features == 5
+
+    def test_model_bytes_at_16_bits(self, alexnet_spec):
+        assert alexnet_spec.total_weight_bytes == TOTAL_WEIGHTS * 2
+
+    @pytest.mark.parametrize(
+        "k,pct", [(2, 3.743), (3, 11.21), (4, 26.14), (None, 100.0)]
+    )
+    def test_trainable_fractions_fig3b(self, alexnet_spec, k, pct):
+        assert 100 * alexnet_spec.trainable_fraction(k) == pytest.approx(pct, abs=0.01)
+
+    def test_last_fc_selection(self, alexnet_spec):
+        names = [l.name for l in alexnet_spec.last_fc(3)]
+        assert names == ["FC3", "FC4", "FC5"]
+
+    def test_last_fc_bounds(self, alexnet_spec):
+        with pytest.raises(ValueError):
+            alexnet_spec.last_fc(0)
+        with pytest.raises(ValueError):
+            alexnet_spec.last_fc(6)
+
+    def test_unknown_layer(self, alexnet_spec):
+        with pytest.raises(KeyError):
+            alexnet_spec.layer("FC9")
+
+
+class TestParameterTable:
+    def test_matches_fig3a(self, alexnet_spec):
+        rows = {r["layer"]: r for r in parameter_table(alexnet_spec)}
+        for layer in FIG3A_WEIGHTS:
+            assert rows[layer]["weights"] == FIG3A_WEIGHTS[layer]
+            assert rows[layer]["neurons"] == FIG3A_NEURONS[layer]
+            assert rows[layer]["pct_total"] == pytest.approx(
+                FIG3A_PCT_TOTAL[layer], abs=0.01
+            )
+            assert rows[layer]["pct_cumulative"] == pytest.approx(
+                FIG3A_PCT_CUMULATIVE[layer], abs=0.01
+            )
+
+
+class TestSpecs:
+    def test_conv_spec_validation(self):
+        with pytest.raises(ValueError):
+            ConvSpec("bad", in_height=0, in_width=8, in_channels=1, out_channels=1, kernel=3)
+        with pytest.raises(ValueError):
+            ConvSpec("bad", in_height=8, in_width=8, in_channels=1, out_channels=1, kernel=0)
+
+    def test_fc_spec_validation(self):
+        with pytest.raises(ValueError):
+            FCSpec("bad", in_features=0, out_features=5)
+
+    def test_conv_macs(self):
+        spec = ConvSpec(
+            "c", in_height=8, in_width=8, in_channels=2, out_channels=4,
+            kernel=3, stride=1, pad=0,
+        )
+        assert spec.macs == 6 * 6 * 4 * 9 * 2
+
+    def test_pool_shrinks_output(self):
+        spec = ConvSpec(
+            "c", in_height=13, in_width=13, in_channels=1, out_channels=1,
+            kernel=3, stride=1, pad=1, pool=3,
+        )
+        assert spec.pooled_height == 6
+
+
+class TestScaledSpec:
+    def test_has_five_fc_layers(self, scaled_spec):
+        assert len(scaled_spec.fc_layers) == 5
+
+    def test_output_actions(self, scaled_spec):
+        assert scaled_spec.fc_layers[-1].out_features == 5
+
+    def test_small_enough_to_train(self, scaled_spec):
+        assert scaled_spec.total_weights < 100_000
+
+    def test_trainable_fraction_ordering(self, scaled_spec):
+        fracs = [scaled_spec.trainable_fraction(k) for k in (2, 3, 4)]
+        assert fracs == sorted(fracs)
+        assert all(0 < f < 1 for f in fracs)
+
+    def test_buildable_and_consistent(self, scaled_spec):
+        net = build_network(scaled_spec, seed=0)
+        assert net.weight_count == scaled_spec.total_weights
+
+    def test_custom_input_side(self):
+        spec = scaled_drone_net_spec(input_side=32)
+        net = build_network(spec, seed=0)
+        import numpy as np
+
+        out = net.predict(np.zeros((1, 1, 32, 32)))
+        assert out.shape == (1, 5)

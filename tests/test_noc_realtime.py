@@ -1,0 +1,144 @@
+"""Tests for the NoC accounting and the real-time queue simulation."""
+
+import pytest
+
+from repro.env import max_realtime_velocity, simulate_frame_queue
+from repro.nn import modified_alexnet_spec
+from repro.systolic import MappingType, analyze_conv_communication
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return modified_alexnet_spec()
+
+
+class TestCommunicationAccounting:
+    def test_all_layers_analyzable(self, spec):
+        for conv in spec.conv_layers:
+            cost = analyze_conv_communication(conv)
+            assert cost.total_hops > 0
+            assert cost.hops_per_mac > 0
+
+    def test_cross_set_only_for_type_iii(self, spec):
+        for conv in spec.conv_layers:
+            cost = analyze_conv_communication(conv)
+            if cost.mapping_type is MappingType.TYPE_III:
+                assert cost.cross_set_hops > 0, conv.name
+            else:
+                assert cost.cross_set_hops == 0, conv.name
+
+    def test_accumulation_scales_with_filter_height(self, spec):
+        conv1 = analyze_conv_communication(spec.layer("CONV1"))  # 11 rows
+        conv3 = analyze_conv_communication(spec.layer("CONV3"))  # 3 rows
+        out1 = 55 * 55 * 96
+        out3 = 13 * 13 * 384
+        assert conv1.accumulation_hops / out1 == 10  # fh - 1
+        assert conv3.accumulation_hops / out3 == 2
+
+    def test_drain_equals_outputs(self, spec):
+        conv = spec.layer("CONV2")
+        cost = analyze_conv_communication(conv)
+        assert cost.drain_hops == conv.out_height * conv.out_width * conv.out_channels
+
+    def test_interconnect_energy_small_vs_fig12(self, spec):
+        """Interconnect energy must be a minor slice of the ~1-7 mJ
+        per-layer energies of Fig. 12a (sanity on the hop model)."""
+        for conv in spec.conv_layers:
+            energy = analyze_conv_communication(conv).interconnect_energy_j()
+            assert 0 < energy < 1e-3  # well under a millijoule
+
+    def test_energy_validation(self, spec):
+        cost = analyze_conv_communication(spec.layer("CONV1"))
+        with pytest.raises(ValueError):
+            cost.interconnect_energy_j(hop_energy_j=-1.0)
+
+
+class TestFrameQueue:
+    def test_underloaded_is_realtime(self):
+        report = simulate_frame_queue(
+            frame_rate_hz=5.0, iteration_time_s=0.05, duration_s=5.0
+        )
+        assert report.realtime
+        assert report.frames_dropped == 0
+        assert report.frames_processed == report.frames_offered
+
+    def test_overloaded_drops(self):
+        report = simulate_frame_queue(
+            frame_rate_hz=20.0, iteration_time_s=0.1, duration_s=5.0,
+            buffer_frames=4,
+        )
+        assert not report.realtime
+        assert report.frames_dropped > 0
+        # Long-run drop fraction approaches 1 - service/arrival = 0.5.
+        assert report.drop_fraction == pytest.approx(0.5, abs=0.1)
+
+    def test_queue_bounded_by_buffer(self):
+        report = simulate_frame_queue(
+            frame_rate_hz=50.0, iteration_time_s=0.1, duration_s=2.0,
+            buffer_frames=3,
+        )
+        assert report.max_queue_depth <= 3
+
+    def test_subcapacity_periodic_arrivals_never_queue(self):
+        """D/D/1 reality: any sub-capacity periodic arrival stream sees
+        exactly the bare service latency — no queueing."""
+        light = simulate_frame_queue(2.0, 0.1, duration_s=5.0)
+        near = simulate_frame_queue(9.9, 0.1, duration_s=5.0)
+        assert light.max_latency_s == pytest.approx(0.1)
+        assert near.max_latency_s == pytest.approx(0.1)
+        assert near.max_queue_depth <= 1
+
+    def test_latency_grows_in_overload(self):
+        """Past capacity, waiting time builds until the buffer caps it."""
+        over = simulate_frame_queue(
+            12.0, 0.1, duration_s=5.0, buffer_frames=16
+        )
+        assert over.max_latency_s > 0.5
+        assert over.max_queue_depth > 4
+
+    def test_latency_at_least_service_time(self):
+        report = simulate_frame_queue(1.0, 0.25, duration_s=3.0)
+        assert report.max_latency_s >= 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_frame_queue(0.0, 0.1)
+        with pytest.raises(ValueError):
+            simulate_frame_queue(1.0, 0.1, duration_s=0.0)
+        with pytest.raises(ValueError):
+            simulate_frame_queue(1.0, 0.1, buffer_frames=0)
+
+
+class TestMaxRealtimeVelocity:
+    def test_matches_rate_arithmetic(self):
+        """With a small buffer and a long horizon, the feasible velocity
+        approaches the average-rate bound v = d_min / iteration_time
+        (a large buffer legitimately absorbs finite-horizon overload)."""
+        v = max_realtime_velocity(
+            iteration_time_s=0.1, d_min=1.0, buffer_frames=2, duration_s=60.0
+        )
+        assert v == pytest.approx(10.0, rel=0.08)
+
+    def test_scales_with_dmin(self):
+        v_small = max_realtime_velocity(0.1, d_min=0.7)
+        v_large = max_realtime_velocity(0.1, d_min=5.0)
+        assert v_large > 5 * v_small
+
+    def test_l3_vs_e2e_velocities(self):
+        """The paper's end-to-end story in one assertion: at batch-1
+        iteration times from the cost model, L3 sustains several times
+        E2E's velocity in the apartment."""
+        from repro.perf import LayerCostModel, TrainingIterationModel
+        from repro.rl import config_by_name
+
+        spec = modified_alexnet_spec()
+        velocities = {}
+        for name in ("L3", "E2E"):
+            model = LayerCostModel(spec, config_by_name(name))
+            t_iter = TrainingIterationModel(model).iteration_cost(1).iteration_latency_s
+            velocities[name] = max_realtime_velocity(t_iter, d_min=0.7)
+        assert velocities["L3"] > 3 * velocities["E2E"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_realtime_velocity(0.1, d_min=0.0)

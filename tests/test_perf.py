@@ -1,0 +1,274 @@
+"""Tests for the performance model against the published Fig. 12/13 data.
+
+Acceptance criteria follow DESIGN.md: *shape fidelity*.  Structural
+quantities (active PEs, pass counts, orderings, crossovers) must match
+exactly; calibrated latencies/energies must track the published cells
+within documented tolerances, and totals within a few percent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import modified_alexnet_spec
+from repro.perf import (
+    DEFAULT_CALIBRATION,
+    LayerCostModel,
+    PAPER_FIG12_BACKWARD,
+    PAPER_FIG12_FORWARD,
+    PowerModel,
+    TrainingIterationModel,
+    fps_vs_batch_table,
+    savings_vs_e2e,
+)
+from repro.rl import config_by_name
+
+PAPER_FWD = {r.layer: r for r in PAPER_FIG12_FORWARD}
+PAPER_BWD = {r.layer: r for r in PAPER_FIG12_BACKWARD}
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return modified_alexnet_spec()
+
+
+@pytest.fixture(scope="module")
+def models(spec):
+    return {
+        name: LayerCostModel(spec, config_by_name(name))
+        for name in ("L2", "L3", "L4", "E2E")
+    }
+
+
+class TestPaperTables:
+    def test_forward_totals_transcribed_correctly(self):
+        total_lat = sum(r.latency_ms for r in PAPER_FIG12_FORWARD)
+        total_energy = sum(r.energy_mj for r in PAPER_FIG12_FORWARD)
+        assert total_lat == pytest.approx(11.9285, abs=1e-3)
+        assert total_energy == pytest.approx(75.2259, abs=1e-3)
+
+    def test_backward_totals_transcribed_correctly(self):
+        total_lat = sum(r.latency_ms for r in PAPER_FIG12_BACKWARD)
+        total_energy = sum(r.energy_mj for r in PAPER_FIG12_BACKWARD)
+        assert total_lat == pytest.approx(94.2257, abs=1e-3)
+        assert total_energy == pytest.approx(445.331, abs=1e-2)
+
+    def test_energy_equals_power_times_latency(self):
+        for row in PAPER_FIG12_FORWARD:
+            if row.latency_ms > 0.01:  # tiny rows lose precision
+                assert row.energy_mj == pytest.approx(
+                    row.power_mw * row.latency_ms / 1e3, rel=0.02
+                )
+
+
+class TestPowerModel:
+    def test_fits_forward_rows_within_15pct(self):
+        power = PowerModel()
+        for row in PAPER_FIG12_FORWARD:
+            model = power.forward_power_w(row.active_pes) * 1e3
+            assert model == pytest.approx(row.power_mw, rel=0.15)
+
+    def test_fits_backward_rows_within_20pct(self):
+        power = PowerModel()
+        for row in PAPER_FIG12_BACKWARD:
+            model = power.backward_power_w(row.active_pes) * 1e3
+            assert model == pytest.approx(row.power_mw, rel=0.20)
+
+    def test_monotone_in_active_pes(self):
+        power = PowerModel()
+        assert power.forward_power_w(1024) > power.forward_power_w(160)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(forward_base_w=0.0)
+        with pytest.raises(ValueError):
+            PowerModel().forward_power_w(-1)
+
+
+class TestForwardCosts:
+    def test_active_pes_match_paper_exactly(self, models):
+        for cost in models["E2E"].forward_costs():
+            assert cost.active_pes == PAPER_FWD[cost.layer].active_pes
+
+    def test_per_layer_latency_within_30pct(self, models):
+        for cost in models["E2E"].forward_costs():
+            paper = PAPER_FWD[cost.layer].latency_ms
+            if paper < 0.01:
+                continue  # FC5 is sub-microsecond; absolute noise
+            assert cost.latency_ms == pytest.approx(paper, rel=0.30), cost.layer
+
+    def test_fc_latency_within_5pct(self, models):
+        """FC layers are purely streaming-bound — the model should be
+        tight there."""
+        for cost in models["E2E"].forward_costs():
+            paper = PAPER_FWD[cost.layer].latency_ms
+            if cost.layer.startswith("FC") and paper > 0.01:
+                assert cost.latency_ms == pytest.approx(paper, rel=0.05), cost.layer
+
+    def test_total_latency_within_5pct(self, models):
+        lat, _ = models["E2E"].forward_total()
+        assert lat * 1e3 == pytest.approx(11.9285, rel=0.05)
+
+    def test_total_energy_within_10pct(self, models):
+        _, energy = models["E2E"].forward_total()
+        assert energy * 1e3 == pytest.approx(75.2259, rel=0.10)
+
+    def test_forward_identical_across_configs(self, models):
+        """Forward propagation doesn't depend on the training topology."""
+        ref, ref_e = models["E2E"].forward_total()
+        for name in ("L2", "L3", "L4"):
+            lat, energy = models[name].forward_total()
+            assert lat == pytest.approx(ref, rel=1e-9)
+
+    def test_fc_layers_are_streaming_bound(self, models, spec):
+        """Every FC layer should land at ~8 GMAC/s (128-bit streaming)."""
+        for cost in models["E2E"].forward_costs():
+            if not cost.layer.startswith("FC"):
+                continue
+            layer = spec.layer(cost.layer)
+            if layer.macs < 1e6:
+                continue
+            gmacs = layer.macs / cost.latency_s / 1e9
+            assert 6.0 < gmacs < 9.0, cost.layer
+
+
+class TestBackwardCosts:
+    def test_e2e_covers_all_layers_reverse_order(self, models):
+        names = [c.layer for c in models["E2E"].backward_costs()]
+        assert names == [
+            "FC5", "FC4", "FC3", "FC2", "FC1",
+            "CONV5", "CONV4", "CONV3", "CONV2", "CONV1",
+        ]
+
+    def test_l3_covers_last_three_fc_only(self, models):
+        names = [c.layer for c in models["L3"].backward_costs()]
+        assert names == ["FC5", "FC4", "FC3"]
+
+    def test_per_layer_latency_within_30pct(self, models):
+        for cost in models["E2E"].backward_costs():
+            paper = PAPER_BWD[cost.layer].latency_ms
+            if paper < 0.01:
+                continue
+            assert cost.latency_ms == pytest.approx(paper, rel=0.30), cost.layer
+
+    def test_total_latency_within_5pct(self, models):
+        lat, _ = models["E2E"].backward_total()
+        assert lat * 1e3 == pytest.approx(94.2257, rel=0.05)
+
+    def test_total_energy_within_10pct(self, models):
+        _, energy = models["E2E"].backward_total()
+        assert energy * 1e3 == pytest.approx(445.331, rel=0.10)
+
+    def test_fc1_spills_and_dominates_fc_backprop(self, models, spec):
+        model = models["E2E"]
+        assert model._gradient_spills(spec.layer("FC1"))
+        assert not model._gradient_spills(spec.layer("FC2"))
+        costs = {c.layer: c for c in model.backward_costs()}
+        fc_costs = [c for l, c in costs.items() if l.startswith("FC")]
+        assert costs["FC1"].latency_s == max(c.latency_s for c in fc_costs)
+
+    def test_nvm_write_flags(self, models):
+        costs = {c.layer: c for c in models["E2E"].backward_costs()}
+        for layer in ("CONV1", "CONV5", "FC1", "FC2"):
+            assert costs[layer].nvm_write, layer
+        for layer in ("FC3", "FC4", "FC5"):
+            assert not costs[layer].nvm_write, layer
+
+    def test_sram_resident_fc_is_two_passes(self, models, spec):
+        """FC3/FC4 backward should be ~2x their forward streaming time."""
+        fwd = {c.layer: c for c in models["E2E"].forward_costs()}
+        bwd = {c.layer: c for c in models["E2E"].backward_costs()}
+        for layer in ("FC3", "FC4"):
+            ratio = bwd[layer].latency_s / fwd[layer].latency_s
+            assert 1.7 < ratio < 2.4, layer
+
+    def test_backward_more_expensive_than_forward(self, models):
+        fwd_lat, fwd_e = models["E2E"].forward_total()
+        bwd_lat, bwd_e = models["E2E"].backward_total()
+        assert bwd_lat > 5 * fwd_lat
+        assert bwd_e > 5 * fwd_e
+
+
+class TestUpdateCost:
+    def test_e2e_pays_nvm_write(self, models):
+        e2e = models["E2E"].update_cost()
+        l3 = models["L3"].update_cost()
+        assert e2e.nvm_write and not l3.nvm_write
+        assert e2e.latency_s > l3.latency_s
+        assert e2e.energy_j > l3.energy_j
+
+    def test_update_scales_with_trainable_weights(self, models):
+        l2 = models["L2"].update_cost()
+        l4 = models["L4"].update_cost()
+        assert l4.latency_s > l2.latency_s
+
+
+class TestTrainingModel:
+    def test_fps_decreases_with_batch(self, models):
+        table = fps_vs_batch_table(models)
+        for name, by_batch in table.items():
+            fps = [by_batch[n] for n in (4, 8, 16)]
+            assert fps == sorted(fps, reverse=True), name
+
+    def test_fps_ordering_l2_fastest_e2e_slowest(self, models):
+        table = fps_vs_batch_table(models)
+        for batch in (4, 8, 16):
+            fps = [table[n][batch] for n in ("L2", "L3", "L4", "E2E")]
+            assert fps == sorted(fps, reverse=True)
+
+    def test_fig13a_anchors(self, models):
+        """Batch 4: L4 ~15 fps, E2E ~3 fps (paper's bar heights)."""
+        table = fps_vs_batch_table(models)
+        assert 10.0 < table["L4"][4] < 18.0
+        assert 1.5 < table["E2E"][4] < 4.0
+
+    def test_l4_to_e2e_speedup_about_5x(self, models):
+        table = fps_vs_batch_table(models)
+        ratio = table["L4"][4] / table["E2E"][4]
+        assert 4.0 < ratio < 7.0  # paper: 15/3 = 5
+
+    def test_fig13b_savings_in_published_band(self, models):
+        """The paper quotes 79.4 % / 83.45 % (its own Fig. 12 arithmetic
+        gives 83.5 % latency / 79.4 % energy for L4); require both
+        savings to land in the 75-90 % band."""
+        savings = savings_vs_e2e(models["L4"], models["E2E"])
+        assert 75.0 < savings["latency_decrease_pct"] < 90.0
+        assert 75.0 < savings["energy_decrease_pct"] < 90.0
+
+    def test_smaller_tails_save_more(self, models):
+        s2 = savings_vs_e2e(models["L2"], models["E2E"])
+        s4 = savings_vs_e2e(models["L4"], models["E2E"])
+        assert s2["latency_decrease_pct"] > s4["latency_decrease_pct"]
+        assert s2["energy_decrease_pct"] > s4["energy_decrease_pct"]
+
+    def test_iteration_cost_arithmetic(self, models):
+        trainer = TrainingIterationModel(models["L3"])
+        cost = trainer.iteration_cost(4)
+        assert cost.iteration_latency_s == pytest.approx(
+            4 * cost.per_image_latency_s + cost.update_latency_s
+        )
+        assert cost.fps == pytest.approx(1.0 / cost.iteration_latency_s)
+        assert cost.energy_per_frame_j == pytest.approx(
+            cost.iteration_energy_j / 4
+        )
+
+    def test_batch_validation(self, models):
+        with pytest.raises(ValueError):
+            TrainingIterationModel(models["L3"]).iteration_cost(0)
+
+    def test_velocity_coupling(self, models):
+        """More fps -> faster safe flight (Fig. 1 + Fig. 13a)."""
+        l3 = TrainingIterationModel(models["L3"])
+        e2e = TrainingIterationModel(models["E2E"])
+        assert l3.max_velocity(4, d_min=0.7) > 3 * e2e.max_velocity(4, d_min=0.7)
+
+
+class TestCalibration:
+    def test_unknown_mapping_type_raises(self):
+        with pytest.raises(KeyError):
+            DEFAULT_CALIBRATION.conv_fwd_eff("IV")
+
+    def test_conv_bwd_fallback(self):
+        assert DEFAULT_CALIBRATION.conv_bwd_eff("CONV_X") == pytest.approx(3.3)
+
+    def test_conv1_bwd_outlier_documented(self):
+        assert DEFAULT_CALIBRATION.conv_bwd_eff("CONV1") > 50

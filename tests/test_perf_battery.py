@@ -1,0 +1,82 @@
+"""Tests for the battery / flight-envelope model."""
+
+import pytest
+
+from repro.nn import modified_alexnet_spec
+from repro.perf import BatteryModel, LayerCostModel, TrainingIterationModel
+from repro.rl import config_by_name
+
+
+@pytest.fixture(scope="module")
+def iterations():
+    spec = modified_alexnet_spec()
+    out = {}
+    for name in ("L3", "E2E"):
+        model = LayerCostModel(spec, config_by_name(name))
+        out[name] = TrainingIterationModel(model).iteration_cost(4)
+    return out
+
+
+class TestBatteryModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatteryModel(capacity_wh=0.0)
+        with pytest.raises(ValueError):
+            BatteryModel(hover_power_w=-1.0)
+        with pytest.raises(ValueError):
+            BatteryModel(drag_w_per_m2_s2=-0.1)
+
+    def test_locomotion_power_grows_with_speed(self):
+        battery = BatteryModel()
+        assert battery.locomotion_power_w(10.0) > battery.locomotion_power_w(1.0)
+        assert battery.locomotion_power_w(0.0) == battery.hover_power_w
+
+    def test_negative_velocity(self):
+        with pytest.raises(ValueError):
+            BatteryModel().locomotion_power_w(-1.0)
+
+
+class TestFlightEnvelope:
+    def test_l3_flies_faster_than_e2e(self, iterations):
+        battery = BatteryModel()
+        l3 = battery.envelope(iterations["L3"], d_min=0.7)
+        e2e = battery.envelope(iterations["E2E"], d_min=0.7)
+        assert l3.velocity_m_s > 3 * e2e.velocity_m_s  # paper: >3x
+
+    def test_l3_spends_less_compute_energy_per_metre(self, iterations):
+        """Sustained compute *power* can be higher for L3 (it iterates
+        8x faster); the meaningful win is compute energy per metre
+        flown, which drops by ~7x."""
+        battery = BatteryModel()
+        l3 = battery.envelope(iterations["L3"], d_min=0.7)
+        e2e = battery.envelope(iterations["E2E"], d_min=0.7)
+        l3_j_per_m = l3.compute_power_w / l3.velocity_m_s
+        e2e_j_per_m = e2e.compute_power_w / e2e.velocity_m_s
+        assert l3_j_per_m < 0.3 * e2e_j_per_m
+        assert 0.0 < l3.compute_fraction < 1.0
+
+    def test_l3_covers_more_ground(self, iterations):
+        """The co-design's bottom line: more range per charge."""
+        battery = BatteryModel()
+        l3 = battery.envelope(iterations["L3"], d_min=0.7)
+        e2e = battery.envelope(iterations["E2E"], d_min=0.7)
+        assert l3.range_m > 2 * e2e.range_m
+
+    def test_velocity_cap_binds(self, iterations):
+        battery = BatteryModel()
+        env = battery.envelope(iterations["L3"], d_min=5.0, velocity_cap_m_s=10.0)
+        assert env.velocity_m_s == 10.0
+
+    def test_envelope_arithmetic(self, iterations):
+        battery = BatteryModel(capacity_wh=10.0)
+        env = battery.envelope(iterations["L3"], d_min=1.0)
+        expected_endurance = 10.0 * 3600.0 / env.total_power_w
+        assert env.endurance_s == pytest.approx(expected_endurance)
+        assert env.range_m == pytest.approx(env.endurance_s * env.velocity_m_s)
+
+    def test_validation(self, iterations):
+        battery = BatteryModel()
+        with pytest.raises(ValueError):
+            battery.envelope(iterations["L3"], d_min=0.0)
+        with pytest.raises(ValueError):
+            battery.envelope(iterations["L3"], d_min=1.0, velocity_cap_m_s=0.0)

@@ -1,0 +1,105 @@
+"""Property-based tests on the performance model's monotonicities.
+
+The cost model must respond to its inputs in physically sensible
+directions regardless of parameter values — these invariants hold for
+*any* network shape, which is what hypothesis explores.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.specs import FCSpec, NetworkSpec
+from repro.perf import LayerCostModel, TrainingIterationModel
+from repro.perf.calibration import DEFAULT_CALIBRATION
+from repro.perf.sensitivity import scale_calibration
+from repro.rl import config_by_name
+
+
+def fc_only_spec(widths):
+    layers = []
+    for i, (a, b) in enumerate(zip(widths, widths[1:]), start=1):
+        layers.append(FCSpec(f"FC{i}", in_features=a, out_features=b))
+    return NetworkSpec("fc-net", tuple(layers), input_side=8, input_channels=1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    widths=st.lists(st.integers(4, 512), min_size=3, max_size=6),
+)
+def test_forward_latency_increases_with_weights(widths):
+    """Adding a layer can only increase forward latency."""
+    spec_small = fc_only_spec(widths)
+    spec_big = fc_only_spec(widths + [widths[-1]])
+    cfg = config_by_name("E2E")
+    lat_small, _ = LayerCostModel(spec_small, cfg).forward_total()
+    lat_big, _ = LayerCostModel(spec_big, cfg).forward_total()
+    assert lat_big > lat_small
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    widths=st.lists(st.integers(8, 256), min_size=4, max_size=6),
+    batch_a=st.integers(1, 16),
+)
+def test_iteration_latency_monotone_in_batch(widths, batch_a):
+    spec = fc_only_spec(widths)
+    model = LayerCostModel(spec, config_by_name("E2E"))
+    trainer = TrainingIterationModel(model)
+    small = trainer.iteration_cost(batch_a).iteration_latency_s
+    large = trainer.iteration_cost(batch_a + 1).iteration_latency_s
+    assert large > small
+
+
+@settings(max_examples=20, deadline=None)
+@given(widths=st.lists(st.integers(8, 256), min_size=4, max_size=6))
+def test_training_fewer_layers_never_costs_more(widths):
+    """L2's backward pass can never exceed L3's on the same network."""
+    spec = fc_only_spec(widths)
+    if len(spec.fc_layers) < 3:
+        return
+    l2, _ = LayerCostModel(spec, config_by_name("L2")).backward_total()
+    l3, _ = LayerCostModel(spec, config_by_name("L3")).backward_total()
+    assert l2 <= l3 + 1e-15
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    widths=st.lists(st.integers(8, 256), min_size=4, max_size=5),
+    scale=st.floats(0.5, 3.0),
+)
+def test_slower_calibration_never_speeds_up(widths, scale):
+    """Scaling every efficiency factor >= 1 can only slow layers down."""
+    if scale < 1.0:
+        return
+    spec = fc_only_spec(widths)
+    cfg = config_by_name("E2E")
+    base, _ = LayerCostModel(spec, cfg).forward_total()
+    slow_cal = scale_calibration(DEFAULT_CALIBRATION, scale)
+    slow, _ = LayerCostModel(spec, cfg, calibration=slow_cal).forward_total()
+    assert slow >= base - 1e-15
+
+
+@settings(max_examples=20, deadline=None)
+@given(widths=st.lists(st.integers(8, 200), min_size=4, max_size=6))
+def test_energy_positive_and_finite(widths):
+    spec = fc_only_spec(widths)
+    for name in ("L2", "L3", "E2E"):
+        model = LayerCostModel(spec, config_by_name(name))
+        for cost in model.forward_costs() + model.backward_costs():
+            assert cost.latency_s > 0
+            assert cost.energy_j > 0
+            assert cost.power_w > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    widths=st.lists(st.integers(8, 200), min_size=4, max_size=6),
+    batch=st.integers(1, 16),
+)
+def test_fps_times_latency_is_one(widths, batch):
+    spec = fc_only_spec(widths)
+    trainer = TrainingIterationModel(
+        LayerCostModel(spec, config_by_name("L3"))
+    )
+    cost = trainer.iteration_cost(batch)
+    assert cost.fps * cost.iteration_latency_s == pytest.approx(1.0)

@@ -1,0 +1,119 @@
+"""Tests for the iteration timeline and calibration sensitivity."""
+
+import pytest
+
+from repro.nn import modified_alexnet_spec
+from repro.perf import (
+    DEFAULT_CALIBRATION,
+    LayerCostModel,
+    build_timeline,
+    scale_calibration,
+    sensitivity_sweep,
+)
+from repro.rl import config_by_name
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return modified_alexnet_spec()
+
+
+@pytest.fixture(scope="module")
+def e2e_model(spec):
+    return LayerCostModel(spec, config_by_name("E2E"))
+
+
+@pytest.fixture(scope="module")
+def l3_model(spec):
+    return LayerCostModel(spec, config_by_name("L3"))
+
+
+class TestTimeline:
+    def test_phase_sequence(self, l3_model):
+        timeline = build_timeline(l3_model)
+        kinds = [p.kind for p in timeline.phases]
+        assert kinds[0] == "frame"
+        assert kinds[-1] == "update"
+        assert kinds.count("forward") == 10
+        assert kinds.count("backward") == 3  # L3 trains FC3..FC5
+
+    def test_phases_contiguous(self, e2e_model):
+        timeline = build_timeline(e2e_model)
+        for prev, nxt in zip(timeline.phases, timeline.phases[1:]):
+            assert nxt.start_s == pytest.approx(prev.end_s)
+
+    def test_total_close_to_cost_model(self, l3_model):
+        """With prefetch the exposed stream time shrinks but the total
+        must stay within the cost model's fwd+bwd+update envelope."""
+        timeline = build_timeline(l3_model)
+        fwd_lat, _ = l3_model.forward_total()
+        bwd_lat, _ = l3_model.backward_total()
+        update = l3_model.update_cost().latency_s
+        lower = fwd_lat + bwd_lat + update
+        # Streams add at most the un-hidden NVM stream time + frame DMA.
+        assert lower <= timeline.total_s <= lower * 1.2 + 0.001
+
+    def test_prefetch_hides_streams(self, e2e_model):
+        with_prefetch = build_timeline(e2e_model, prefetch=True)
+        without = build_timeline(e2e_model, prefetch=False)
+        assert with_prefetch.hidden_stream_s > 0
+        assert with_prefetch.total_s < without.total_s
+
+    def test_by_kind_totals(self, l3_model):
+        timeline = build_timeline(l3_model)
+        by_kind = timeline.by_kind()
+        assert set(by_kind) == {"frame", "forward", "backward", "update"}
+        assert sum(by_kind.values()) == pytest.approx(timeline.total_s)
+
+    def test_gantt_renders(self, l3_model):
+        art = build_timeline(l3_model).gantt_ascii()
+        assert "L3" in art
+        assert "FC5'" in art
+        assert "=" in art and "<" in art
+
+    def test_gantt_width_validation(self, l3_model):
+        with pytest.raises(ValueError):
+            build_timeline(l3_model).gantt_ascii(width=5)
+
+    def test_exposed_stream_property(self, e2e_model):
+        timeline = build_timeline(e2e_model)
+        for phase in timeline.phases:
+            assert phase.exposed_stream_s >= 0.0
+            assert phase.hidden_s <= phase.stream_s + 1e-12
+
+
+class TestSensitivity:
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            scale_calibration(DEFAULT_CALIBRATION, 0.0)
+
+    def test_scaling_scales_factors(self):
+        scaled = scale_calibration(DEFAULT_CALIBRATION, 2.0)
+        assert scaled.conv_forward_efficiency["I"] == pytest.approx(
+            2 * DEFAULT_CALIBRATION.conv_forward_efficiency["I"]
+        )
+        assert scaled.conv_backward_fallback == pytest.approx(
+            2 * DEFAULT_CALIBRATION.conv_backward_fallback
+        )
+
+    def test_overheads_never_below_one(self):
+        scaled = scale_calibration(DEFAULT_CALIBRATION, 0.1)
+        assert scaled.fc_forward_overhead >= 1.0
+        assert scaled.fc_backward_overhead >= 1.0
+
+    def test_sweep_needs_scales(self, spec):
+        with pytest.raises(ValueError):
+            sensitivity_sweep(spec, scales=())
+
+    def test_conclusions_robust_to_25pct(self, spec):
+        """The headline claims must survive +-25 % calibration error."""
+        points = sensitivity_sweep(spec, scales=(0.75, 1.0, 1.25))
+        for point in points:
+            assert 70.0 < point.latency_saving_pct < 95.0, point
+            assert 70.0 < point.energy_saving_pct < 95.0, point
+            assert point.fps_ratio > 3.0, point  # the >3x velocity claim
+
+    def test_unit_scale_matches_default(self, spec):
+        point = sensitivity_sweep(spec, scales=(1.0,))[0]
+        assert point.scale == 1.0
+        assert point.latency_saving_pct == pytest.approx(81.8, abs=1.0)

@@ -1,0 +1,118 @@
+"""Tests for the memory-traffic simulator and endurance model."""
+
+import numpy as np
+import pytest
+
+from repro.nn import modified_alexnet_spec
+from repro.perf import TrafficSimulator
+from repro.rl import config_by_name
+
+
+@pytest.fixture(scope="module")
+def sims():
+    spec = modified_alexnet_spec()
+    return {
+        name: TrafficSimulator(spec, config_by_name(name))
+        for name in ("L2", "L3", "E2E")
+    }
+
+
+class TestIterationTraffic:
+    def test_l_configs_never_write_nvm(self, sims):
+        for name in ("L2", "L3"):
+            traffic = sims[name].simulate_iteration(batch_size=4)
+            assert traffic.nvm_write_bits == 0, name
+
+    def test_e2e_writes_nvm(self, sims):
+        traffic = sims["E2E"].simulate_iteration(batch_size=4)
+        assert traffic.nvm_write_bits > 0
+        # The update alone writes the whole NVM-resident model (~100 MB)
+        # once, plus FC1 gradient spills per image.
+        assert traffic.nvm_write_bits > 99.8e6 * 8
+
+    def test_nvm_reads_scale_with_batch(self, sims):
+        t4 = sims["L3"].simulate_iteration(4)
+        t8 = sims["L3"].simulate_iteration(8)
+        assert t8.nvm_read_bits == pytest.approx(2 * t4.nvm_read_bits, rel=1e-6)
+
+    def test_forward_nvm_reads_match_resident_weights(self, sims):
+        spec = modified_alexnet_spec()
+        traffic = sims["L3"].simulate_iteration(1)
+        resident_bits = sum(
+            l.weight_count * 16
+            for l in spec.layers
+            if l.name not in ("FC3", "FC4", "FC5")
+        )
+        # One forward read of the frozen model (no backward NVM reads
+        # for L3 since all trainable layers live in SRAM).
+        assert traffic.nvm_read_bits == resident_bits
+
+    def test_dram_reads_one_frame_per_image(self, sims):
+        spec = modified_alexnet_spec()
+        frame_bits = 227 * 227 * 3 * 16
+        traffic = sims["L3"].simulate_iteration(4)
+        assert traffic.dram_read_bits == 4 * frame_bits
+
+    def test_sram_traffic_positive(self, sims):
+        traffic = sims["L3"].simulate_iteration(2)
+        assert traffic.sram_read_bits > 0
+        assert traffic.sram_write_bits > 0
+
+    def test_total_and_fraction(self, sims):
+        traffic = sims["E2E"].simulate_iteration(4)
+        assert traffic.total_bits == (
+            traffic.dram_read_bits + traffic.nvm_read_bits
+            + traffic.nvm_write_bits + traffic.sram_read_bits
+            + traffic.sram_write_bits
+        )
+        assert 0.0 < traffic.nvm_write_fraction < 1.0
+
+    def test_batch_validation(self, sims):
+        with pytest.raises(ValueError):
+            sims["L3"].simulate_iteration(0)
+
+    def test_device_counters_charged(self):
+        spec = modified_alexnet_spec()
+        sim = TrafficSimulator(spec, config_by_name("E2E"))
+        sim.simulate_iteration(1)
+        assert sim.nvm.counters.read_bits > 0
+        assert sim.nvm.counters.write_bits > 0
+        assert sim.buffer.counters.total_bits > 0
+        assert sim.camera_dram.counters.read_bits > 0
+
+
+class TestEndurance:
+    def test_l3_lifetime_infinite(self, sims):
+        traffic = sims["L3"].simulate_iteration(4)
+        est = sims["L3"].endurance(traffic, iterations_per_second=17.8)
+        assert est.lifetime_days == float("inf")
+
+    def test_e2e_lifetime_finite(self, sims):
+        traffic = sims["E2E"].simulate_iteration(4)
+        est = sims["E2E"].endurance(traffic, iterations_per_second=2.2)
+        assert np.isfinite(est.lifetime_days)
+        assert est.lifetime_days > 0
+
+    def test_lifetime_scales_inverse_with_rate(self, sims):
+        traffic = sims["E2E"].simulate_iteration(4)
+        slow = sims["E2E"].endurance(traffic, iterations_per_second=1.0)
+        fast = sims["E2E"].endurance(traffic, iterations_per_second=10.0)
+        assert slow.lifetime_days == pytest.approx(10 * fast.lifetime_days)
+
+    def test_lifetime_scales_with_endurance_cycles(self, sims):
+        traffic = sims["E2E"].simulate_iteration(4)
+        weak = sims["E2E"].endurance(traffic, 2.0, endurance_cycles=1e6)
+        strong = sims["E2E"].endurance(traffic, 2.0, endurance_cycles=1e12)
+        assert strong.lifetime_days == pytest.approx(1e6 * weak.lifetime_days)
+
+    def test_validation(self, sims):
+        traffic = sims["E2E"].simulate_iteration(1)
+        with pytest.raises(ValueError):
+            sims["E2E"].endurance(traffic, iterations_per_second=0.0)
+        with pytest.raises(ValueError):
+            sims["E2E"].endurance(traffic, 1.0, endurance_cycles=0.0)
+
+    def test_years_conversion(self, sims):
+        traffic = sims["E2E"].simulate_iteration(4)
+        est = sims["E2E"].endurance(traffic, 2.2)
+        assert est.lifetime_years == pytest.approx(est.lifetime_days / 365.25)

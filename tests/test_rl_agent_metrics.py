@@ -1,0 +1,243 @@
+"""Tests for the Q-learning agent and the Fig. 10 metrics."""
+
+import numpy as np
+import pytest
+
+from repro.env.episode import Transition
+from repro.nn import Dense, Network, ReLU
+from repro.rl import EpsilonSchedule, LearningCurves, MovingAverage, QLearningAgent, ReturnTracker
+from repro.rl.transfer import config_by_name
+
+
+def vector_net(seed=0, inputs=4, actions=3):
+    rng = np.random.default_rng(seed)
+    return Network(
+        [
+            Dense(inputs, 16, name="FC1", rng=rng),
+            ReLU(),
+            Dense(16, 8, name="FC2", rng=rng),
+            ReLU(),
+            Dense(8, actions, name="FC3", rng=rng),
+        ]
+    )
+
+
+def fill_agent(agent, rng, n=64, inputs=4, actions=3):
+    for _ in range(n):
+        s = rng.normal(size=(inputs,))
+        a = int(rng.integers(actions))
+        r = float(s[a % inputs])  # reward correlated with state
+        agent.observe(Transition(s, a, r, rng.normal(size=(inputs,)), False))
+
+
+class TestEpsilonSchedule:
+    def test_linear_decay(self):
+        eps = EpsilonSchedule(1.0, 0.0, 10)
+        assert eps.value(0) == 1.0
+        assert eps.value(5) == pytest.approx(0.5)
+        assert eps.value(10) == 0.0
+        assert eps.value(1000) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpsilonSchedule(0.5, 0.9, 10)
+        with pytest.raises(ValueError):
+            EpsilonSchedule(1.0, 0.1, 0)
+
+
+class TestQLearningAgent:
+    def make_agent(self, **kwargs):
+        net = vector_net()
+        defaults = dict(
+            config=config_by_name("E2E"),
+            num_actions=3,
+            batch_size=8,
+            seed=0,
+        )
+        defaults.update(kwargs)
+        return QLearningAgent(net, **defaults)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make_agent(gamma=1.0)
+        with pytest.raises(ValueError):
+            self.make_agent(batch_size=0)
+        with pytest.raises(ValueError):
+            self.make_agent(grad_clip=0.0)
+
+    def test_greedy_action_is_argmax(self, rng):
+        agent = self.make_agent()
+        state = rng.normal(size=(4,))
+        action = agent.select_action(state, greedy=True)
+        assert action == int(np.argmax(agent.q_values(state)))
+
+    def test_exploration_at_high_epsilon(self):
+        agent = self.make_agent(
+            epsilon=EpsilonSchedule(1.0, 1.0, 1), seed=3
+        )
+        state = np.zeros(4)
+        actions = {agent.select_action(state) for _ in range(60)}
+        assert len(actions) == 3  # fully random policy visits all actions
+
+    def test_not_ready_without_batch(self):
+        agent = self.make_agent()
+        assert not agent.ready_to_train()
+        with pytest.raises(RuntimeError):
+            agent.train_step()
+
+    def test_train_step_returns_loss(self, rng):
+        agent = self.make_agent()
+        fill_agent(agent, rng)
+        loss = agent.train_step()
+        assert np.isfinite(loss) and loss >= 0.0
+        assert agent.train_count == 1
+
+    def test_training_reduces_td_error(self, rng):
+        # Terminal-only transitions make the Bellman target a fixed
+        # regression target, so the loss must decrease monotonically
+        # in expectation (bootstrapped targets would drift as Q grows).
+        agent = self.make_agent(learning_rate=5e-3)
+        for _ in range(128):
+            s = rng.normal(size=(4,))
+            a = int(rng.integers(3))
+            r = float(np.tanh(s[a % 4]))
+            agent.observe(Transition(s, a, r, s, True))
+        first = np.mean([agent.train_step() for _ in range(5)])
+        for _ in range(150):
+            agent.train_step()
+        last = np.mean([agent.train_step() for _ in range(5)])
+        assert last < first
+
+    def test_partial_config_freezes_prefix(self, rng):
+        agent = self.make_agent(config=config_by_name("L2"))
+        fc1 = [l for l in agent.network.layers if l.name == "FC1"][0]
+        before = fc1.weight.value.copy()
+        fill_agent(agent, rng)
+        for _ in range(10):
+            agent.train_step()
+        assert np.array_equal(fc1.weight.value, before)
+
+    def test_e2e_updates_prefix(self, rng):
+        agent = self.make_agent()
+        fc1 = [l for l in agent.network.layers if l.name == "FC1"][0]
+        before = fc1.weight.value.copy()
+        fill_agent(agent, rng)
+        for _ in range(10):
+            agent.train_step()
+        assert not np.array_equal(fc1.weight.value, before)
+
+    def test_gradient_clipping_bounds_norm(self, rng):
+        agent = self.make_agent(grad_clip=1e-6)
+        fill_agent(agent, rng)
+        states, actions, rewards, next_states, dones = agent.replay.sample(
+            8, agent.rng
+        )
+        # Manually run the pieces to inspect the clipped gradient.
+        next_q = agent.network.predict(next_states)
+        targets = rewards + agent.gamma * (1 - dones) * next_q.max(axis=1)
+        q = agent.network.forward(states, training=True)
+        from repro.nn.losses import q_learning_loss
+
+        _, grad = q_learning_loss(q, actions, targets)
+        agent.network.zero_grad()
+        agent.network.backward(grad, first_trainable=agent.first_trainable)
+        agent._clip_gradients()
+        total = np.sqrt(
+            sum(float(np.sum(p.grad**2)) for p in agent.optimizer.params)
+        )
+        assert total <= 1e-6 + 1e-12
+
+    def test_terminal_states_have_no_bootstrap(self, rng):
+        """A terminal transition's target must be the bare reward."""
+        net = vector_net()
+        agent = QLearningAgent(
+            net, config=config_by_name("E2E"), num_actions=3, batch_size=2, seed=0
+        )
+        s = rng.normal(size=(4,))
+        agent.observe(Transition(s, 0, -1.0, s, True))
+        agent.observe(Transition(s, 1, -1.0, s, True))
+        states, actions, rewards, next_states, dones = agent.replay.sample(
+            2, agent.rng
+        )
+        next_q = agent.network.predict(next_states)
+        targets = rewards + agent.gamma * (1 - dones) * next_q.max(axis=1)
+        assert np.allclose(targets, -1.0)
+
+
+class TestMovingAverage:
+    def test_exact_window(self):
+        avg = MovingAverage(3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            avg.add(v)
+        assert avg.value == pytest.approx(3.0)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(MovingAverage(3).value)
+
+    def test_partial_fill(self):
+        avg = MovingAverage(10)
+        avg.add(2.0)
+        avg.add(4.0)
+        assert avg.value == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MovingAverage(0)
+
+    def test_matches_numpy_rolling(self, rng):
+        data = rng.normal(size=200)
+        avg = MovingAverage(15)
+        for i, v in enumerate(data):
+            got = avg.add(float(v))
+            expected = data[max(0, i - 14) : i + 1].mean()
+            assert got == pytest.approx(expected)
+
+
+class TestReturnTracker:
+    def test_per_flight_mean(self):
+        t = ReturnTracker(window=5)
+        for r in (1.0, 1.0, 4.0):
+            t.add_reward(r)
+        t.end_episode()
+        assert t.value == pytest.approx(2.0)
+
+    def test_moving_average_across_flights(self):
+        t = ReturnTracker(window=2)
+        t.add_reward(2.0)
+        t.end_episode()
+        t.add_reward(4.0)
+        t.end_episode()
+        assert t.value == pytest.approx(3.0)
+
+    def test_empty_episode_ignored(self):
+        t = ReturnTracker()
+        t.end_episode()
+        assert np.isnan(t.value)
+
+
+class TestLearningCurves:
+    def test_records_all_series(self):
+        curves = LearningCurves(reward_window=5)
+        for i in range(10):
+            curves.record_step(reward=0.5, done=(i == 4), loss=0.1)
+        assert len(curves.reward_curve) == 10
+        assert len(curves.return_curve) == 10
+        assert len(curves.loss_curve) == 10
+
+    def test_final_reward_tail_mean(self):
+        curves = LearningCurves(reward_window=2)
+        for r in (0.0, 0.0, 0.0, 1.0, 1.0):
+            curves.record_step(r, False, None)
+        assert curves.final_reward(tail_fraction=0.2) == pytest.approx(1.0)
+
+    def test_converged_on_flat_curve(self):
+        curves = LearningCurves(reward_window=3)
+        for _ in range(50):
+            curves.record_step(0.8, False, None)
+        assert curves.converged()
+
+    def test_not_converged_on_ramp(self):
+        curves = LearningCurves(reward_window=2)
+        for i in range(50):
+            curves.record_step(float(i), False, None)
+        assert not curves.converged(tolerance=0.05)

@@ -1,0 +1,59 @@
+"""Tests for experiment checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.rl import load_result, meta_train, online_adapt, save_result, config_by_name
+
+
+@pytest.fixture(scope="module")
+def result():
+    return meta_train("meta-indoor", iterations=150, seed=0, image_side=16)
+
+
+class TestRoundTrip:
+    def test_metadata_preserved(self, result, tmp_path):
+        save_result(result, tmp_path / "ckpt")
+        loaded = load_result(tmp_path / "ckpt")
+        assert loaded.config_name == result.config_name
+        assert loaded.environment == result.environment
+        assert loaded.safe_flight_distance == result.safe_flight_distance
+        assert loaded.crash_count == result.crash_count
+        assert loaded.iterations == result.iterations
+
+    def test_weights_bit_identical(self, result, tmp_path):
+        save_result(result, tmp_path / "ckpt")
+        loaded = load_result(tmp_path / "ckpt")
+        assert set(loaded.final_state) == set(result.final_state)
+        for key, value in result.final_state.items():
+            assert np.array_equal(loaded.final_state[key], value), key
+
+    def test_curves_preserved(self, result, tmp_path):
+        save_result(result, tmp_path / "ckpt")
+        loaded = load_result(tmp_path / "ckpt")
+        assert np.allclose(
+            np.nan_to_num(loaded.curves.reward_curve),
+            np.nan_to_num(result.curves.reward_curve),
+        )
+        assert len(loaded.curves.loss_curve) == len(result.curves.loss_curve)
+
+    def test_loaded_weights_usable_for_adaptation(self, result, tmp_path):
+        """The checkpoint must be a valid TL download source."""
+        save_result(result, tmp_path / "ckpt")
+        loaded = load_result(tmp_path / "ckpt")
+        adapted = online_adapt(
+            loaded.final_state,
+            "indoor-apartment",
+            config_by_name("L2"),
+            iterations=100,
+            image_side=16,
+        )
+        assert adapted.iterations == 100
+
+    def test_missing_checkpoint(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_result(tmp_path / "nothing-here")
+
+    def test_directory_created(self, result, tmp_path):
+        out = save_result(result, tmp_path / "deep" / "nested" / "ckpt")
+        assert out.is_dir()

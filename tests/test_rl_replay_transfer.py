@@ -1,0 +1,129 @@
+"""Tests for the replay buffer and transfer configurations."""
+
+import numpy as np
+import pytest
+
+from repro.env.episode import Transition
+from repro.nn import build_network
+from repro.rl import ReplayBuffer, TRANSFER_CONFIGS, TransferConfig, config_by_name
+
+
+def make_transition(i, done=False):
+    state = np.full((1, 2, 2), float(i))
+    return Transition(state, i % 5, float(i), state + 1, done)
+
+
+class TestReplayBuffer:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(0)
+
+    def test_push_grows_until_capacity(self):
+        buf = ReplayBuffer(3)
+        for i in range(5):
+            buf.push(make_transition(i))
+        assert len(buf) == 3
+
+    def test_eviction_is_fifo(self):
+        buf = ReplayBuffer(2)
+        for i in range(3):
+            buf.push(make_transition(i))
+        states, *_ = buf.sample(2, np.random.default_rng(0))
+        stored = sorted(s[0, 0, 0] for s in states)
+        assert stored == [1.0, 2.0]
+
+    def test_sample_shapes(self, rng):
+        buf = ReplayBuffer(100)
+        for i in range(20):
+            buf.push(make_transition(i, done=(i % 4 == 0)))
+        states, actions, rewards, next_states, dones = buf.sample(8, rng)
+        assert states.shape == (8, 1, 2, 2)
+        assert actions.shape == rewards.shape == dones.shape == (8,)
+        assert next_states.shape == (8, 1, 2, 2)
+        assert actions.dtype == np.int64
+        assert set(np.unique(dones)).issubset({0.0, 1.0})
+
+    def test_sample_without_replacement(self, rng):
+        buf = ReplayBuffer(10)
+        for i in range(10):
+            buf.push(make_transition(i))
+        states, *_ = buf.sample(10, rng)
+        values = sorted(s[0, 0, 0] for s in states)
+        assert values == [float(i) for i in range(10)]
+
+    def test_sample_too_large_raises(self, rng):
+        buf = ReplayBuffer(10)
+        buf.push(make_transition(0))
+        with pytest.raises(ValueError):
+            buf.sample(2, rng)
+
+    def test_sample_nonpositive_raises(self, rng):
+        buf = ReplayBuffer(10)
+        buf.push(make_transition(0))
+        with pytest.raises(ValueError):
+            buf.sample(0, rng)
+
+    def test_clear(self):
+        buf = ReplayBuffer(10)
+        buf.push(make_transition(0))
+        buf.clear()
+        assert len(buf) == 0
+
+
+class TestTransferConfig:
+    def test_paper_configs(self):
+        names = [c.name for c in TRANSFER_CONFIGS]
+        assert names == ["L2", "L3", "L4", "E2E"]
+
+    def test_lookup_case_insensitive(self):
+        assert config_by_name("l3").last_k_fc == 3
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            config_by_name("L9")
+
+    def test_e2e_flag(self):
+        assert config_by_name("E2E").is_end_to_end
+        assert not config_by_name("L2").is_end_to_end
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TransferConfig("bad", last_k_fc=0)
+
+    @pytest.mark.parametrize(
+        "name,pct",
+        [("L2", 3.743), ("L3", 11.21), ("L4", 26.14), ("E2E", 100.0)],
+    )
+    def test_trainable_fraction_fig3b(self, alexnet_spec, name, pct):
+        config = config_by_name(name)
+        assert 100 * config.trainable_fraction(alexnet_spec) == pytest.approx(
+            pct, abs=0.01
+        )
+
+    def test_trainable_fc_names(self, alexnet_spec):
+        assert config_by_name("L3").trainable_fc_names(alexnet_spec) == (
+            "FC3",
+            "FC4",
+            "FC5",
+        )
+
+    def test_e2e_trains_everything(self, alexnet_spec):
+        names = config_by_name("E2E").trainable_fc_names(alexnet_spec)
+        assert len(names) == 10  # 5 conv + 5 fc
+
+    def test_first_trainable_layer_on_network(self, scaled_spec):
+        net = build_network(scaled_spec, seed=0)
+        for k in (2, 3, 4):
+            config = config_by_name(f"L{k}")
+            idx = config.first_trainable_layer(net)
+            trained = [
+                l.name for l in net.layers[idx:] if l.parameters()
+            ]
+            assert trained == [f"FC{6 - k + i}" for i in range(k)] or trained == [
+                f"FC{5 - k + 1 + i}" for i in range(k)
+            ]
+            assert len(trained) == k
+
+    def test_e2e_first_trainable_is_zero(self, scaled_spec):
+        net = build_network(scaled_spec, seed=0)
+        assert config_by_name("E2E").first_trainable_layer(net) == 0

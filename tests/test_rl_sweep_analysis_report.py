@@ -1,0 +1,141 @@
+"""Tests for the seed-sweep statistics and the report aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ARTIFACT_ORDER, build_report, write_report
+from repro.rl import SeedStatistics, config_by_name, run_seed_sweep
+
+
+class TestSeedStatistics:
+    def test_single_seed(self):
+        stats = SeedStatistics((5.0,))
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.confidence_interval() == (5.0, 5.0)
+
+    def test_mean_std(self):
+        stats = SeedStatistics((1.0, 2.0, 3.0))
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx(1.0)
+
+    def test_ci_shrinks_with_n(self):
+        narrow = SeedStatistics(tuple([1.0, 3.0] * 8))
+        wide = SeedStatistics((1.0, 3.0))
+        lo_n, hi_n = narrow.confidence_interval()
+        lo_w, hi_w = wide.confidence_interval()
+        assert (hi_n - lo_n) < (hi_w - lo_w)
+
+    def test_ci_validation(self):
+        with pytest.raises(ValueError):
+            SeedStatistics((1.0, 2.0)).confidence_interval(z=0.0)
+
+
+class TestSeedSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_seed_sweep(
+            "indoor-apartment",
+            seeds=(0, 1),
+            configs=(config_by_name("L3"), config_by_name("E2E")),
+            meta_iterations=200,
+            adapt_iterations=200,
+        )
+
+    def test_structure(self, sweep):
+        assert sweep.environment == "indoor-apartment"
+        assert sweep.seeds == (0, 1)
+        assert set(sweep.final_reward) == {"L3", "E2E"}
+        assert all(s.n == 2 for s in sweep.final_reward.values())
+
+    def test_values_finite(self, sweep):
+        for stats in sweep.final_reward.values():
+            assert all(np.isfinite(v) for v in stats.values)
+
+    def test_normalised_sfd(self, sweep):
+        norm = sweep.normalised_sfd("E2E")
+        assert norm["E2E"] == pytest.approx(1.0)
+        assert norm["L3"] > 0
+
+    def test_needs_seeds(self):
+        with pytest.raises(ValueError):
+            run_seed_sweep("indoor-apartment", seeds=())
+
+
+class TestReport:
+    def test_build_report_with_artifacts(self, tmp_path):
+        (tmp_path / ARTIFACT_ORDER[0][0]).write_text("cell | cell2\n1 | 2\n")
+        report = build_report(tmp_path)
+        assert "Fig. 1" in report
+        assert "cell | cell2" in report
+        assert "Missing artifacts" in report  # the others are absent
+
+    def test_build_report_all_missing(self, tmp_path):
+        report = build_report(tmp_path)
+        assert report.count("* `") == len(ARTIFACT_ORDER)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_report(tmp_path / "nope")
+
+    def test_write_report(self, tmp_path):
+        (tmp_path / ARTIFACT_ORDER[0][0]).write_text("data\n")
+        out = write_report(tmp_path, tmp_path / "sub" / "REPORT.md")
+        assert out.exists()
+        assert "Regenerated paper artifacts" in out.read_text()
+
+    def test_real_results_directory(self):
+        """If benchmarks have run, the real report must assemble."""
+        from pathlib import Path
+
+        results = Path(__file__).parent.parent / "benchmarks" / "results"
+        if not results.is_dir():
+            pytest.skip("benchmarks not yet run")
+        report = build_report(results)
+        assert "Fig. 12a" in report
+
+
+class TestFailureInjection:
+    """Corrupted inputs must be rejected loudly, not absorbed."""
+
+    def test_nan_reward_rejected(self, scaled_network):
+        from repro.env.episode import Transition
+        from repro.rl import QLearningAgent
+
+        agent = QLearningAgent(scaled_network, config=config_by_name("L2"))
+        s = np.zeros((1, 16, 16))
+        with pytest.raises(ValueError, match="non-finite reward"):
+            agent.observe(Transition(s, 0, float("nan"), s, False))
+
+    def test_inf_state_rejected(self, scaled_network):
+        from repro.env.episode import Transition
+        from repro.rl import QLearningAgent
+
+        agent = QLearningAgent(scaled_network, config=config_by_name("L2"))
+        bad = np.full((1, 16, 16), np.inf)
+        with pytest.raises(ValueError, match="non-finite values"):
+            agent.observe(Transition(bad, 0, 0.0, bad, False))
+
+    def test_out_of_range_action_rejected(self, scaled_network):
+        from repro.env.episode import Transition
+        from repro.rl import QLearningAgent
+
+        agent = QLearningAgent(scaled_network, config=config_by_name("L2"))
+        s = np.zeros((1, 16, 16))
+        with pytest.raises(ValueError, match="action out of range"):
+            agent.observe(Transition(s, 17, 0.0, s, False))
+
+    def test_energy_breakdown_sums_to_total(self):
+        from repro.nn import modified_alexnet_spec
+        from repro.perf import LayerCostModel
+        from repro.rl import config_by_name as cbn
+
+        model = LayerCostModel(modified_alexnet_spec(), cbn("E2E"))
+        breakdown = model.energy_breakdown()
+        assert breakdown["compute"] > 0
+        assert breakdown["nvm"] > 0
+        assert breakdown["sram"] > 0
+        _, fwd_e = model.forward_total()
+        _, bwd_e = model.backward_total()
+        total = sum(breakdown.values())
+        assert total == pytest.approx(fwd_e + bwd_e, rel=1e-6)

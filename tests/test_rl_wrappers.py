@@ -1,0 +1,78 @@
+"""Tests for observation wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.env import DepthCamera, NavigationEnv, make_environment
+from repro.rl import FrameStack, QLearningAgent, config_by_name
+from repro.nn import Dense, Flatten, Network, ReLU
+
+
+def make_env(seed=0):
+    world = make_environment("indoor-apartment", seed=seed)
+    return NavigationEnv(world, camera=DepthCamera(width=8, height=8), seed=seed)
+
+
+class TestFrameStack:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            FrameStack(make_env(), k=0)
+
+    def test_observation_shape(self):
+        stacked = FrameStack(make_env(), k=3)
+        assert stacked.observation_shape == (3, 8, 8)
+        obs = stacked.reset()
+        assert obs.shape == (3, 8, 8)
+
+    def test_reset_fills_with_first_frame(self):
+        stacked = FrameStack(make_env(), k=3)
+        obs = stacked.reset()
+        assert np.array_equal(obs[0], obs[1])
+        assert np.array_equal(obs[1], obs[2])
+
+    def test_step_shifts_frames(self):
+        stacked = FrameStack(make_env(), k=2)
+        first = stacked.reset()
+        obs, _, done, _ = stacked.step(0)
+        if not done:
+            # Oldest slot now holds the pre-step frame.
+            assert np.array_equal(obs[0], first[1])
+
+    def test_k1_matches_raw_env(self):
+        raw, wrapped = make_env(seed=3), FrameStack(make_env(seed=3), k=1)
+        a = raw.reset()
+        b = wrapped.reset()
+        assert np.array_equal(a, b)
+
+    def test_delegated_properties(self):
+        stacked = FrameStack(make_env(), k=2)
+        assert stacked.num_actions == 5
+        assert stacked.world.name == "indoor-apartment"
+        stacked.reset()
+        stacked.step(0)
+        assert stacked.tracker is stacked.env.tracker
+
+    def test_trains_with_agent(self):
+        """A stacked environment must plug straight into the agent."""
+        stacked = FrameStack(make_env(), k=2)
+        c, h, w = stacked.observation_shape
+        rng = np.random.default_rng(0)
+        net = Network(
+            [
+                Flatten(),
+                Dense(c * h * w, 32, name="FC1", rng=rng),
+                ReLU(),
+                Dense(32, 5, name="FC2", rng=rng),
+            ]
+        )
+        agent = QLearningAgent(net, config=config_by_name("E2E"), batch_size=4)
+        from repro.env.episode import Transition
+
+        state = stacked.reset()
+        for _ in range(20):
+            action = agent.select_action(state)
+            next_state, reward, done, _ = stacked.step(action)
+            agent.observe(Transition(state, action, reward, next_state, done))
+            state = stacked.reset() if done else next_state
+        loss = agent.train_step()
+        assert np.isfinite(loss)
