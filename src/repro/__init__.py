@@ -8,6 +8,8 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.nn` — NumPy CNN with partial backpropagation
 * :mod:`repro.rl` — Q-learning, transfer configurations, experiments
 * :mod:`repro.env` — drone world simulator (Unreal Engine substitute)
+* :mod:`repro.fleet` — vectorized multi-env fleet engine (batched
+  stepping, batched inference/training, throughput scheduler)
 * :mod:`repro.memory` — STT-MRAM / SRAM / DRAM hierarchy model
 * :mod:`repro.systolic` — 32x32 PE array and Fig. 6-8 mappings
 * :mod:`repro.perf` — Fig. 12/13 performance model

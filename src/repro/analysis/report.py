@@ -32,6 +32,7 @@ ARTIFACT_ORDER = (
     ("ablation_batch_sweep.txt", "Ablation — batch-size sweep"),
     ("ablation_sram_sweep.txt", "Ablation — SRAM capacity sweep"),
     ("ablation_traffic_endurance.txt", "Ablation — memory traffic & endurance"),
+    ("fleet_throughput.txt", "Fleet — vectorized multi-env throughput"),
     ("roofline.txt", "Analysis — roofline of the PE array"),
     ("sensitivity.txt", "Analysis — calibration sensitivity of conclusions"),
     ("realtime_queue.txt", "Analysis — real-time frame-queue feasibility"),

@@ -7,8 +7,16 @@
     python -m repro fig12         # per-layer costs vs paper (Fig. 12)
     python -m repro fig13         # fps vs batch + savings (Fig. 13)
     python -m repro params        # Table 1 + Fig. 4b parameters
-    python -m repro rl --env indoor-apartment --iters 800
+    python -m repro rl --env indoor-apartment --iters 800 --seed 0
     python -m repro map --env outdoor-forest  # ASCII world render
+    python -m repro fleet --num-envs 16 --rounds 2 --steps 150 --seed 0
+
+The ``fleet`` command runs the vectorized multi-environment engine
+(:mod:`repro.fleet`): one shared agent drives N environments through
+rollout → train → evaluate rounds with batched inference/updates, then
+reports per-round throughput (env steps/sec, episodes/sec), safe flight
+distance per environment class, and the measured load projected onto
+the paper platform's FPS / energy / NVM-endurance model.
 """
 
 from __future__ import annotations
@@ -173,6 +181,87 @@ def _cmd_rl(args) -> None:
     print(format_table(["Config", "Final reward", "SFD (m)", "Crashes"], rows))
 
 
+def _cmd_fleet(args) -> None:
+    from repro.fleet import FleetScheduler, VecNavigationEnv
+    from repro.nn import build_network, scaled_drone_net_spec
+    from repro.rl import EpsilonSchedule, QLearningAgent
+
+    names = args.envs or sorted(ENVIRONMENTS)
+    if args.envs and args.num_envs < len(args.envs):
+        raise SystemExit(
+            f"error: --num-envs {args.num_envs} is smaller than the "
+            f"{len(args.envs)} requested --envs classes; some classes "
+            "would be silently dropped"
+        )
+    vec_env = VecNavigationEnv.from_names(
+        names,
+        seeds=[args.seed + i for i in range(args.num_envs)],
+        image_side=args.image_side,
+        max_episode_steps=400,
+    )
+    network = build_network(
+        scaled_drone_net_spec(input_side=args.image_side), seed=args.seed
+    )
+    # decay_steps counts per-state schedule steps: each fleet step
+    # consumes num_envs of them (rollout and eval phases alike).
+    total_agent_steps = (
+        args.num_envs * (args.steps + args.eval_steps) * args.rounds
+    )
+    agent = QLearningAgent(
+        network,
+        config=config_by_name(args.config),
+        epsilon=EpsilonSchedule(1.0, 0.1, max(total_agent_steps // 2, 1)),
+        seed=args.seed,
+    )
+    scheduler = FleetScheduler(
+        agent, vec_env, train_every=args.train_every, eval_steps=args.eval_steps
+    )
+    report = scheduler.run(rounds=args.rounds, steps_per_round=args.steps)
+    rows = [
+        [
+            r.round_index,
+            r.env_steps,
+            r.episodes,
+            r.train_updates,
+            round(r.steps_per_second, 1),
+            round(r.episodes_per_second, 2),
+            round(r.mean_loss, 4),
+        ]
+        for r in report.rounds
+    ]
+    print(format_table(
+        ["Round", "Steps", "Episodes", "Updates", "Steps/s", "Episodes/s", "Loss"],
+        rows,
+    ))
+    print()
+    print(format_table(
+        ["Environment class", "SFD (m)"],
+        [[name, round(v, 2)] for name, v in report.sfd_by_class.items()],
+    ))
+    try:
+        projection = scheduler.project_load(report)
+    except ValueError as exc:
+        print()
+        print(f"no platform projection: {exc}")
+        return
+    print()
+    print(
+        f"fleet of {report.num_envs} envs @ {report.steps_per_second:.1f} "
+        f"steps/s, {report.train_iterations_per_second:.2f} updates/s "
+        f"(batch {projection.batch_size})"
+    )
+    print(
+        f"platform ({projection.config_name}): {projection.accelerator_fps:.2f} "
+        f"iterations/s sustainable, utilization {projection.utilization:.2f} "
+        f"({'feasible' if projection.realtime_feasible else 'OVERLOADED'}), "
+        f"{projection.energy_watts:.2f} W"
+    )
+    print(
+        f"NVM write load {projection.nvm_write_bits_per_second / 1e6:.2f} Mbit/s"
+        f" -> endurance {projection.endurance.lifetime_years:.1f} years"
+    )
+
+
 def _cmd_map(args) -> None:
     world = make_environment(args.env, seed=args.seed)
     print(render_world_ascii(world))
@@ -230,6 +319,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_rl.add_argument("--iters", type=int, default=800)
     p_rl.add_argument("--seed", type=int, default=0)
     p_rl.set_defaults(func=_cmd_rl)
+    p_fleet = sub.add_parser(
+        "fleet", help="vectorized multi-env rollout/train/evaluate rounds"
+    )
+    p_fleet.add_argument(
+        "--envs", nargs="*", choices=sorted(ENVIRONMENTS), default=None,
+        help="environment classes to cycle over (default: all)",
+    )
+    p_fleet.add_argument("--num-envs", type=int, default=16)
+    p_fleet.add_argument("--rounds", type=int, default=2)
+    p_fleet.add_argument("--steps", type=int, default=150,
+                         help="fleet steps per round")
+    p_fleet.add_argument("--train-every", type=int, default=2)
+    p_fleet.add_argument("--eval-steps", type=int, default=50)
+    p_fleet.add_argument("--image-side", type=int, default=16)
+    p_fleet.add_argument("--config", default="L4",
+                         choices=["L2", "L3", "L4", "E2E"])
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.set_defaults(func=_cmd_fleet)
     p_map = sub.add_parser("map", help="render an environment as ASCII art")
     p_map.add_argument("--env", default="indoor-apartment", choices=sorted(ENVIRONMENTS))
     p_map.add_argument("--seed", type=int, default=0)

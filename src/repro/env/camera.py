@@ -85,6 +85,57 @@ class DepthCamera:
         half = np.deg2rad(self.vertical_fov_deg) / 2.0
         return np.linspace(half, -half, self.height)
 
+    def plane_depths(self, is_indoor: bool) -> np.ndarray:
+        """Per-row depth of the floor/ceiling planes, shape (H, 1).
+
+        Vectorisation hook shared by :meth:`render` and the fleet's
+        batched renderer: the plane image depends only on the camera
+        geometry and whether the world has a ceiling, so it can be
+        computed once per world class and broadcast over a batch.
+        """
+        rows = self.row_angles()
+        tan_rows = np.tan(rows)
+        # Floor plane: visible at downward angles; distance to the floor
+        # intersection along the viewing ray.
+        with np.errstate(divide="ignore"):
+            floor = np.where(
+                tan_rows < -1e-6,
+                self.mount_height / np.maximum(-np.sin(rows), 1e-9),
+                np.inf,
+            )
+        if is_indoor:
+            head_room = self.ceiling_height - self.mount_height
+            ceiling = np.where(
+                tan_rows > 1e-6,
+                head_room / np.maximum(np.sin(rows), 1e-9),
+                np.inf,
+            )
+        else:
+            ceiling = np.full_like(floor, np.inf)
+        return np.minimum(floor, ceiling)[:, None]  # (H, 1)
+
+    def project(
+        self,
+        horizontal: np.ndarray,
+        planes: np.ndarray,
+        max_range: float | np.ndarray,
+    ) -> np.ndarray:
+        """Project horizontal hit distances into a 2.5-D depth image.
+
+        ``horizontal`` is (W,) for one view or (..., W) for a batch;
+        ``planes`` is the matching (H, 1) or (..., H, 1) plane image from
+        :meth:`plane_depths`; ``max_range`` a scalar or broadcastable
+        array.  All operations are elementwise, so batched projection is
+        bitwise-identical to per-view projection.
+        """
+        rows = self.row_angles()  # (H,)
+        # Obstacle slant distance for each (row, col): horizontal distance
+        # stretched by the vertical viewing angle.
+        cos_rows = np.cos(rows)
+        obstacle = horizontal[..., None, :] / np.maximum(cos_rows[:, None], 1e-6)
+        depth = np.minimum(obstacle, planes)
+        return np.minimum(depth, max_range)
+
     def render(
         self,
         world: World,
@@ -98,32 +149,9 @@ class DepthCamera:
         divided by the world's ``max_range`` and clipped to [0, 1].
         """
         horizontal = world.cast_rays(pose, self.column_angles())  # (W,)
-        rows = self.row_angles()  # (H,)
-        tan_rows = np.tan(rows)
-        # Obstacle slant distance for each (row, col): horizontal distance
-        # stretched by the vertical viewing angle.
-        cos_rows = np.cos(rows)
-        obstacle = horizontal[None, :] / np.maximum(cos_rows[:, None], 1e-6)
-        # Floor plane: visible at downward angles; distance to the floor
-        # intersection along the viewing ray.
-        with np.errstate(divide="ignore"):
-            floor = np.where(
-                tan_rows < -1e-6,
-                self.mount_height / np.maximum(-np.sin(rows), 1e-9),
-                np.inf,
-            )
-        if world.is_indoor:
-            head_room = self.ceiling_height - self.mount_height
-            ceiling = np.where(
-                tan_rows > 1e-6,
-                head_room / np.maximum(np.sin(rows), 1e-9),
-                np.inf,
-            )
-        else:
-            ceiling = np.full_like(floor, np.inf)
-        planes = np.minimum(floor, ceiling)[:, None]  # (H, 1)
-        depth = np.minimum(obstacle, planes)
-        depth = np.minimum(depth, world.max_range)
+        depth = self.project(
+            horizontal, self.plane_depths(world.is_indoor), world.max_range
+        )
         if self.noise is not None and rng is not None:
             depth = self.noise.corrupt(depth, rng)
             depth = np.clip(depth, 0.0, world.max_range)

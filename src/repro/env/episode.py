@@ -37,11 +37,18 @@ class SafeFlightTracker:
     """Accumulates flight distances between crashes.
 
     ``safe_flight_distance`` is the mean distance per completed flight
-    segment — the paper's Fig. 11 metric.
+    segment — the paper's Fig. 11 metric.  A flight segment normally
+    closes at a crash (:meth:`record_crash`), but an episode can also
+    end *without* one — truncation at a step limit, or the end of a run.
+    :meth:`flush` closes such a segment so its distance is not silently
+    dropped from the metric; crashes are counted separately so flushed
+    segments never inflate :attr:`crash_count`.
     """
 
     distances: list[float] = field(default_factory=list)
     _current: float = 0.0
+    _crashes: int = 0
+    _mean_cache: tuple[int, float] = (-1, 0.0)
 
     def record_step(self, distance: float) -> None:
         """Add distance flown during one action."""
@@ -50,21 +57,54 @@ class SafeFlightTracker:
         self._current += distance
 
     def record_crash(self) -> None:
-        """Close the current flight segment."""
+        """Close the current flight segment at a crash."""
         self.distances.append(self._current)
         self._current = 0.0
+        self._crashes += 1
+
+    def flush(self) -> float:
+        """Close a flight segment that ended without a crash.
+
+        Returns the flushed distance (0.0 when nothing was pending).
+        Call at episode truncation or end-of-run so a successful final
+        flight still contributes to the safe-flight-distance mean.
+        """
+        flushed = self._current
+        if self._current > 0.0:
+            self.distances.append(self._current)
+            self._current = 0.0
+        return flushed
+
+    @property
+    def pending_distance(self) -> float:
+        """Distance flown in the still-open segment."""
+        return self._current
+
+    @property
+    def total_distance(self) -> float:
+        """All metres flown, including the still-open segment."""
+        return float(sum(self.distances)) + self._current
 
     @property
     def crash_count(self) -> int:
         """Number of crashes recorded."""
-        return len(self.distances)
+        return self._crashes
 
     @property
     def safe_flight_distance(self) -> float:
-        """Mean metres flown per crash (0 if no segment completed)."""
+        """Mean metres flown per completed flight segment.
+
+        Falls back to the open segment's distance when no segment has
+        completed yet.
+        """
         if not self.distances:
             return self._current
-        return float(np.mean(self.distances))
+        # Queried every step but appended rarely; memoise the mean.
+        if self._mean_cache[0] != len(self.distances):
+            self._mean_cache = (
+                len(self.distances), float(np.mean(self.distances))
+            )
+        return self._mean_cache[1]
 
 
 class NavigationEnv:
@@ -126,17 +166,40 @@ class NavigationEnv:
         image = self.camera.render(self.world, self.drone.pose, rng=self.rng)
         return image[None, :, :]  # (1, H, W) for the CNN
 
-    def reset(self) -> np.ndarray:
-        """Respawn at a random collision-free pose and return the state."""
+    def respawn(self) -> Pose:
+        """Flush the open flight segment and teleport to a fresh pose.
+
+        Vectorisation hook: the physics half of :meth:`reset`, without
+        the camera render — the fleet respawns every reset env first and
+        renders all of them in one batched call.
+        """
+        self.tracker.flush()
         pose = self.world.random_free_pose(
             self.rng, clearance=self.drone.radius + 0.2
         )
         self.drone.teleport(pose)
+        return pose
+
+    def set_observation(self, obs: np.ndarray) -> None:
+        """Install an externally rendered observation as the current state.
+
+        Vectorisation hook: the fleet renders whole batches and hands
+        each env its slice instead of calling ``_observe()`` per env.
+        """
+        self._last_obs = obs
+
+    def reset(self) -> np.ndarray:
+        """Respawn at a random collision-free pose and return the state."""
+        self.respawn()
         self._last_obs = self._observe()
         return self._last_obs
 
-    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]:
-        """Apply ``action``; returns (next_state, reward, done, info)."""
+    def advance(self, action: int) -> dict:
+        """Validate and apply ``action``; no collision resolution yet.
+
+        Vectorisation hook: the fleet advances every drone first, then
+        resolves all collisions in one batched clearance query.
+        """
         if self._last_obs is None:
             raise RuntimeError("call reset() before step()")
         if not 0 <= action < self.num_actions:
@@ -145,25 +208,61 @@ class NavigationEnv:
         self.drone.apply_action(action)
         after = self.drone.pose
         moved = float(np.hypot(after.x - before.x, after.y - before.y))
-        crashed = self.world.in_collision(after.x, after.y, self.drone.radius)
-        if crashed:
+        return {"pose": after, "distance": moved}
+
+    def resolve_collision(self, physics: dict, crashed: bool | None = None) -> dict:
+        """Record the outcome of an :meth:`advance` in the tracker.
+
+        ``crashed`` may be precomputed (the fleet's batched collision
+        check); when ``None`` the world is queried directly.
+        """
+        if crashed is None:
+            pose = physics["pose"]
+            crashed = self.world.in_collision(pose.x, pose.y, self.drone.radius)
+        physics["crashed"] = bool(crashed)
+        if physics["crashed"]:
             self.tracker.record_crash()
+        else:
+            self.tracker.record_step(physics["distance"])
+        return physics
+
+    def step_physics(self, action: int) -> dict:
+        """Apply ``action`` to the drone and resolve collisions.
+
+        The camera-free half of :meth:`step`.  Returns the info dict
+        (pose, crashed, distance); pair with :meth:`complete_step` once
+        an observation is available.
+        """
+        return self.resolve_collision(self.advance(action))
+
+    def complete_step(
+        self, physics: dict, obs: np.ndarray | None, reward: float | None = None
+    ) -> tuple[np.ndarray, float, bool, dict]:
+        """Finish a step started by :meth:`step_physics`.
+
+        ``obs`` is the freshly rendered observation, or ``None`` when the
+        step crashed (the terminal frame is the previous observation —
+        the camera is in the wall).  ``reward`` may be precomputed (the
+        fleet batches the centre-window means); it is ignored on a crash.
+        """
+        if physics["crashed"]:
             reward = self.reward_config.crash_reward
-            obs = self._last_obs  # terminal frame: camera is in the wall
+            obs = self._last_obs
             done = True
         else:
-            self.tracker.record_step(moved)
-            obs = self._observe()
-            reward = compute_reward(obs[0], self.reward_config)
+            if reward is None:
+                reward = compute_reward(obs[0], self.reward_config)
             done = False
         self._last_obs = obs if not done else None
-        info = {
-            "pose": after,
-            "crashed": crashed,
-            "distance": moved,
-            "safe_flight_distance": self.tracker.safe_flight_distance,
-        }
+        info = dict(physics)
+        info["safe_flight_distance"] = self.tracker.safe_flight_distance
         return obs, reward, done, info
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]:
+        """Apply ``action``; returns (next_state, reward, done, info)."""
+        physics = self.step_physics(action)
+        obs = None if physics["crashed"] else self._observe()
+        return self.complete_step(physics, obs)
 
     @property
     def observation_shape(self) -> tuple[int, int, int]:

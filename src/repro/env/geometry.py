@@ -12,7 +12,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Segment", "Circle", "Box", "RayCaster"]
+__all__ = [
+    "Segment",
+    "Circle",
+    "Box",
+    "RayCaster",
+    "intersect_segments",
+    "intersect_circles",
+    "segment_distances",
+    "circle_distances",
+]
 
 _EPS = 1e-9
 
@@ -79,6 +88,130 @@ class Box:
         )
 
 
+def intersect_segments(
+    origin: np.ndarray,
+    dirs: np.ndarray,
+    seg_a: np.ndarray,
+    seg_d: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Nearest-hit distance of rays against wall segments, batched.
+
+    Solves ``origin + t*dir = a + u*s`` per (ray, segment) pair.  Shapes
+    broadcast over leading batch axes: ``origin`` is (..., 2), ``dirs``
+    is (..., R, 2), ``seg_a``/``seg_d`` are (..., S, 2) and the optional
+    ``mask`` (..., S) marks real (non-padding) segments.  Returns
+    (..., R) distances, ``inf`` where a ray hits nothing.
+
+    Every operation is elementwise (or an exact ``min`` reduction), so a
+    batched call is bitwise-identical to per-item calls — the property
+    the fleet's vectorised renderer relies on.
+    """
+    # denom[..., r, k] = dir_r x s_k
+    denom = (
+        dirs[..., :, None, 0] * seg_d[..., None, :, 1]
+        - dirs[..., :, None, 1] * seg_d[..., None, :, 0]
+    )  # (..., R, S)
+    ao = seg_a[..., None, :, :] - origin[..., None, None, :]  # (..., 1, S, 2)
+    t_num = ao[..., 0] * seg_d[..., None, :, 1] - ao[..., 1] * seg_d[..., None, :, 0]
+    u_num = ao[..., 0] * dirs[..., :, None, 1] - ao[..., 1] * dirs[..., :, None, 0]
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        t = t_num / denom
+        u = u_num / denom
+    valid = (np.abs(denom) > _EPS) & (t > _EPS) & (u >= 0.0) & (u <= 1.0)
+    if mask is not None:
+        valid = valid & mask[..., None, :]
+    t = np.where(valid, t, np.inf)
+    return t.min(axis=-1)
+
+
+def intersect_circles(
+    origin: np.ndarray,
+    dirs: np.ndarray,
+    centers: np.ndarray,
+    radii: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Nearest-hit distance of rays against circles, batched.
+
+    Solves ``|origin + t*dir - c|^2 = r^2`` with ``|dir| = 1``.  Shapes
+    broadcast like :func:`intersect_segments`: ``origin`` (..., 2),
+    ``dirs`` (..., R, 2), ``centers`` (..., C, 2), ``radii`` (..., C),
+    optional ``mask`` (..., C).  Returns (..., R) distances with ``inf``
+    misses; batched calls are bitwise-identical to per-item calls.
+    """
+    oc = origin[..., None, None, :] - centers[..., None, :, :]  # (..., 1, C, 2)
+    b = oc[..., 0] * dirs[..., :, None, 0] + oc[..., 1] * dirs[..., :, None, 1]
+    c_term = (oc[..., 0] * oc[..., 0] + oc[..., 1] * oc[..., 1]) - radii[
+        ..., None, :
+    ] ** 2
+    disc = b**2 - c_term
+    hit = disc >= 0.0
+    sqrt_disc = np.sqrt(np.where(hit, disc, 0.0))
+    t1 = -b - sqrt_disc
+    t2 = -b + sqrt_disc
+    # Nearest positive root; if the origin is inside, t1 < 0 < t2.
+    t = np.where(t1 > _EPS, t1, np.where(t2 > _EPS, t2, np.inf))
+    if mask is not None:
+        hit = hit & mask[..., None, :]
+    t = np.where(hit, t, np.inf)
+    return t.min(axis=-1)
+
+
+def segment_distances(
+    points: np.ndarray,
+    seg_a: np.ndarray,
+    seg_d: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Distance from each point to each wall segment, batched.
+
+    ``points`` is (..., 2), ``seg_a``/``seg_d`` (..., S, 2), optional
+    ``mask`` (..., S) marking real segments (padding reports ``inf``).
+    Returns (..., S) distances; all operations are elementwise, so
+    batched calls match per-point calls bitwise.
+    """
+    ap = points[..., None, :] - seg_a  # (..., S, 2)
+    seg_len_sq = seg_d[..., 0] * seg_d[..., 0] + seg_d[..., 1] * seg_d[..., 1]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        t = np.clip(
+            (ap[..., 0] * seg_d[..., 0] + ap[..., 1] * seg_d[..., 1]) / seg_len_sq,
+            0.0,
+            1.0,
+        )
+    nearest = seg_a + t[..., None] * seg_d
+    dist = np.hypot(
+        points[..., None, 0] - nearest[..., 0],
+        points[..., None, 1] - nearest[..., 1],
+    )
+    if mask is not None:
+        dist = np.where(mask, dist, np.inf)
+    return dist
+
+
+def circle_distances(
+    points: np.ndarray,
+    centers: np.ndarray,
+    radii: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Distance from each point to each circle surface, batched.
+
+    Shapes follow :func:`segment_distances`; negative values mean the
+    point is inside the circle.
+    """
+    dist = (
+        np.hypot(
+            points[..., None, 0] - centers[..., 0],
+            points[..., None, 1] - centers[..., 1],
+        )
+        - radii
+    )
+    if mask is not None:
+        dist = np.where(mask, dist, np.inf)
+    return dist
+
+
 class RayCaster:
     """Vectorised nearest-hit ray casting against segments and circles."""
 
@@ -127,42 +260,24 @@ class RayCaster:
         d = np.stack([np.cos(angles), np.sin(angles)], axis=1)  # (R, 2)
         best = np.full(angles.shape[0], max_range)
         if self._seg_a.shape[0]:
-            best = np.minimum(best, self._cast_segments(o, d))
+            best = np.minimum(best, intersect_segments(o, d, self._seg_a, self._seg_d))
         if self._circ_c.shape[0]:
-            best = np.minimum(best, self._cast_circles(o, d))
+            best = np.minimum(best, intersect_circles(o, d, self._circ_c, self._circ_r))
         return np.clip(best, _EPS, max_range)
 
-    def _cast_segments(self, o: np.ndarray, d: np.ndarray) -> np.ndarray:
-        # Solve o + t*d = a + u*s for each (ray, segment) pair.
-        a, s = self._seg_a, self._seg_d  # (S,2), (S,2)
-        # Cross products; denom[r, k] = d_r x s_k
-        denom = d[:, 0:1] * s[None, :, 1] - d[:, 1:2] * s[None, :, 0]  # (R,S)
-        ao = a[None, :, :] - o[None, None, :].reshape(1, 1, 2)  # (1,S,2)
-        ao = np.broadcast_to(ao, (d.shape[0], a.shape[0], 2))
-        t_num = ao[:, :, 0] * s[None, :, 1] - ao[:, :, 1] * s[None, :, 0]
-        u_num = ao[:, :, 0] * d[:, 1:2] - ao[:, :, 1] * d[:, 0:1]
-        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-            t = t_num / denom
-            u = u_num / denom
-        valid = (np.abs(denom) > _EPS) & (t > _EPS) & (u >= 0.0) & (u <= 1.0)
-        t = np.where(valid, t, np.inf)
-        return t.min(axis=1)
+    @property
+    def segment_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Packed segment geometry ``(anchors (S, 2), deltas (S, 2))``.
 
-    def _cast_circles(self, o: np.ndarray, d: np.ndarray) -> np.ndarray:
-        # |o + t*d - c|^2 = r^2, with |d| = 1.
-        oc = o[None, None, :] - self._circ_c[None, :, :]  # (1,C,2)
-        oc = np.broadcast_to(oc, (d.shape[0], self._circ_c.shape[0], 2))
-        b = np.einsum("rcx,rx->rc", oc, d)  # (R,C)
-        c_term = np.einsum("rcx,rcx->rc", oc, oc) - self._circ_r[None, :] ** 2
-        disc = b**2 - c_term
-        hit = disc >= 0.0
-        sqrt_disc = np.sqrt(np.where(hit, disc, 0.0))
-        t1 = -b - sqrt_disc
-        t2 = -b + sqrt_disc
-        # Nearest positive root; if the origin is inside, t1 < 0 < t2.
-        t = np.where(t1 > _EPS, t1, np.where(t2 > _EPS, t2, np.inf))
-        t = np.where(hit, t, np.inf)
-        return t.min(axis=1)
+        Vectorisation hook for the fleet renderer, which pads these
+        across worlds into one batched intersection call.
+        """
+        return self._seg_a, self._seg_d
+
+    @property
+    def circle_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Packed circle geometry ``(centers (C, 2), radii (C,))``."""
+        return self._circ_c, self._circ_r
 
     # ------------------------------------------------------------------
     # Clearance queries (collision checks)
@@ -172,13 +287,9 @@ class RayCaster:
         p = np.asarray(point, dtype=np.float64)
         best = np.inf
         if self._seg_a.shape[0]:
-            ap = p[None, :] - self._seg_a  # (S,2)
-            seg_len_sq = np.einsum("sx,sx->s", self._seg_d, self._seg_d)
-            t = np.clip(np.einsum("sx,sx->s", ap, self._seg_d) / seg_len_sq, 0.0, 1.0)
-            nearest = self._seg_a + t[:, None] * self._seg_d
-            dist = np.hypot(*(p[None, :] - nearest).T)
+            dist = segment_distances(p, self._seg_a, self._seg_d)
             best = min(best, float(dist.min()))
         if self._circ_c.shape[0]:
-            dist = np.hypot(*(p[None, :] - self._circ_c).T) - self._circ_r
+            dist = circle_distances(p, self._circ_c, self._circ_r)
             best = min(best, float(dist.min()))
         return best

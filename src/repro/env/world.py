@@ -75,6 +75,16 @@ class World:
         angles = pose.heading + np.asarray(relative_angles, dtype=np.float64)
         return self._caster.cast(pose.position(), angles, self.max_range)
 
+    @property
+    def caster(self) -> RayCaster:
+        """The world's pre-packed ray caster.
+
+        Vectorisation hook: :class:`repro.fleet.vec_env.FleetRenderer`
+        reads the packed geometry arrays off this caster to batch ray
+        casting across many worlds in one call.
+        """
+        return self._caster
+
     def clearance(self, x: float, y: float) -> float:
         """Distance from (x, y) to the nearest obstacle surface.
 

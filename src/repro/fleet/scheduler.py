@@ -1,0 +1,311 @@
+"""Fleet scheduler: rollout → train → evaluate rounds with throughput
+accounting.
+
+:class:`FleetScheduler` drives a :class:`~repro.fleet.vec_env.VecNavigationEnv`
+and a shared :class:`~repro.rl.agent.QLearningAgent` through repeated
+rounds:
+
+1. **rollout** — collect experience from all N environments with
+   batched action selection, training online every ``train_every``
+   fleet steps;
+2. **train** — extra replay-only updates (experience re-use, no env
+   stepping);
+3. **evaluate** — greedy batched rollout measuring safe flight distance
+   per environment class, without training.
+
+Each round records wall-clock throughput (env steps/sec, episodes/sec,
+training iterations/sec).  :meth:`FleetScheduler.project_load` feeds the
+measured rates into :func:`repro.perf.traffic.project_fleet_load`, so a
+simulated fleet's demand maps onto the paper platform's FPS / latency /
+energy / endurance model — the "heavy traffic" question made concrete.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fleet.runner import scaled_train_batch
+from repro.fleet.vec_env import VecNavigationEnv
+from repro.perf.traffic import (
+    FleetLoadProjection,
+    TrafficSimulator,
+    project_fleet_load,
+)
+from repro.rl.agent import QLearningAgent
+
+__all__ = ["RoundStats", "FleetReport", "FleetScheduler"]
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Throughput and task metrics of one scheduler round."""
+
+    round_index: int
+    env_steps: int
+    episodes: int
+    train_updates: int
+    rollout_seconds: float
+    train_seconds: float
+    eval_seconds: float
+    mean_loss: float
+    eval_sfd_by_class: dict[str, float]
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall-clock time of the round."""
+        return self.rollout_seconds + self.train_seconds + self.eval_seconds
+
+    @property
+    def steps_per_second(self) -> float:
+        """Env steps per second over the whole round."""
+        return self.env_steps / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def episodes_per_second(self) -> float:
+        """Completed episodes per second over the whole round."""
+        return self.episodes / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def train_iterations_per_second(self) -> float:
+        """Training updates per second over the whole round."""
+        return (
+            self.train_updates / self.wall_seconds if self.wall_seconds else 0.0
+        )
+
+
+@dataclass
+class FleetReport:
+    """Aggregated outcome of a scheduler run."""
+
+    num_envs: int
+    config_name: str
+    rounds: list[RoundStats] = field(default_factory=list)
+    sfd_by_class: dict[str, float] = field(default_factory=dict)
+    crash_counts: list[int] = field(default_factory=list)
+
+    @property
+    def total_env_steps(self) -> int:
+        """Env steps across all rounds."""
+        return sum(r.env_steps for r in self.rounds)
+
+    @property
+    def total_episodes(self) -> int:
+        """Episodes completed across all rounds."""
+        return sum(r.episodes for r in self.rounds)
+
+    @property
+    def total_train_updates(self) -> int:
+        """Training updates across all rounds."""
+        return sum(r.train_updates for r in self.rounds)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall-clock time across all rounds."""
+        return sum(r.wall_seconds for r in self.rounds)
+
+    @property
+    def steps_per_second(self) -> float:
+        """Aggregate env-step throughput."""
+        return self.total_env_steps / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def episodes_per_second(self) -> float:
+        """Aggregate episode throughput."""
+        return self.total_episodes / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def train_iterations_per_second(self) -> float:
+        """Aggregate training-update throughput."""
+        return (
+            self.total_train_updates / self.wall_seconds
+            if self.wall_seconds
+            else 0.0
+        )
+
+
+class FleetScheduler:
+    """Drives rollout → train → evaluate rounds over a fleet.
+
+    Parameters
+    ----------
+    agent:
+        The shared Q-learning agent (its ``config`` names the transfer
+        topology, which also selects the accelerator cost model for
+        load projection).
+    vec_env:
+        The environment fleet.
+    train_every:
+        Online-training cadence during rollout, in fleet steps.
+    extra_train_updates:
+        Replay-only updates in each round's train phase.
+    eval_steps:
+        Greedy fleet steps in each round's evaluate phase (0 disables).
+    batch_scale:
+        Training-batch multiplier (default: fleet width), so one update
+        carries ``agent.batch_size * batch_scale`` samples.
+    """
+
+    def __init__(
+        self,
+        agent: QLearningAgent,
+        vec_env: VecNavigationEnv,
+        train_every: int = 2,
+        extra_train_updates: int = 0,
+        eval_steps: int = 0,
+        batch_scale: int | None = None,
+    ):
+        if train_every <= 0:
+            raise ValueError("train_every must be positive")
+        if extra_train_updates < 0 or eval_steps < 0:
+            raise ValueError("phase sizes cannot be negative")
+        self.agent = agent
+        self.vec_env = vec_env
+        self.train_every = train_every
+        self.extra_train_updates = extra_train_updates
+        self.eval_steps = eval_steps
+        self.train_batch = scaled_train_batch(agent, vec_env.num_envs, batch_scale)
+        self._states: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _rollout(self, steps: int) -> tuple[int, int, int, list[float], float]:
+        """Collect ``steps`` fleet steps with online training."""
+        if self._states is None:
+            self._states = self.vec_env.reset()
+        states = self._states
+        episodes = 0
+        updates = 0
+        losses: list[float] = []
+        start = time.perf_counter()
+        for step in range(steps):
+            actions = self.agent.act_batch(states)
+            next_states, rewards, dones, infos = self.vec_env.step(actions)
+            self.agent.observe_batch(
+                self.vec_env.make_transitions(
+                    states, actions, rewards, dones, next_states, infos
+                )
+            )
+            episodes += sum(
+                1 for i, info in enumerate(infos) if dones[i] or info["truncated"]
+            )
+            if (
+                len(self.agent.replay) >= self.train_batch
+                and step % self.train_every == 0
+            ):
+                losses.append(self.agent.train_step_batch(self.train_batch))
+                updates += 1
+            states = next_states
+        self._states = states
+        wall = time.perf_counter() - start
+        return steps * self.vec_env.num_envs, episodes, updates, losses, wall
+
+    def _train(self) -> tuple[int, list[float], float]:
+        """Replay-only updates (no env stepping)."""
+        losses: list[float] = []
+        start = time.perf_counter()
+        updates = 0
+        for _ in range(self.extra_train_updates):
+            if len(self.agent.replay) < self.train_batch:
+                break
+            losses.append(self.agent.train_step_batch(self.train_batch))
+            updates += 1
+        return updates, losses, time.perf_counter() - start
+
+    def _evaluate(self) -> tuple[int, int, dict[str, float], float]:
+        """Greedy rollout measuring per-class SFD over the eval window."""
+        if self.eval_steps == 0:
+            return 0, 0, {}, 0.0
+        if self._states is None:
+            self._states = self.vec_env.reset()
+        states = self._states
+        before_distance = [
+            env.tracker.total_distance for env in self.vec_env.envs
+        ]
+        before_crashes = [env.tracker.crash_count for env in self.vec_env.envs]
+        episodes = 0
+        start = time.perf_counter()
+        for _ in range(self.eval_steps):
+            actions = self.agent.act_batch(states, greedy=True)
+            states, _rewards, dones, infos = self.vec_env.step(actions)
+            episodes += sum(
+                1 for i, info in enumerate(infos) if dones[i] or info["truncated"]
+            )
+        self._states = states
+        wall = time.perf_counter() - start
+        by_class: dict[str, list[float]] = {}
+        for i, env in enumerate(self.vec_env.envs):
+            flown = env.tracker.total_distance - before_distance[i]
+            crashes = env.tracker.crash_count - before_crashes[i]
+            by_class.setdefault(env.world.name, []).append(
+                flown / max(crashes, 1)
+            )
+        sfd = {name: float(np.mean(v)) for name, v in sorted(by_class.items())}
+        return self.eval_steps * self.vec_env.num_envs, episodes, sfd, wall
+
+    # ------------------------------------------------------------------
+    def run(self, rounds: int, steps_per_round: int) -> FleetReport:
+        """Execute ``rounds`` rollout/train/evaluate rounds."""
+        if rounds <= 0 or steps_per_round <= 0:
+            raise ValueError("rounds and steps_per_round must be positive")
+        report = FleetReport(
+            num_envs=self.vec_env.num_envs, config_name=self.agent.config.name
+        )
+        for index in range(rounds):
+            steps, episodes, updates, losses, roll_wall = self._rollout(
+                steps_per_round
+            )
+            extra_updates, extra_losses, train_wall = self._train()
+            eval_steps, eval_episodes, eval_sfd, eval_wall = self._evaluate()
+            losses = losses + extra_losses
+            report.rounds.append(
+                RoundStats(
+                    round_index=index,
+                    env_steps=steps + eval_steps,
+                    episodes=episodes + eval_episodes,
+                    train_updates=updates + extra_updates,
+                    rollout_seconds=roll_wall,
+                    train_seconds=train_wall,
+                    eval_seconds=eval_wall,
+                    mean_loss=float(np.mean(losses)) if losses else float("nan"),
+                    eval_sfd_by_class=eval_sfd,
+                )
+            )
+        # Close every env's final crash-free segment so it counts.
+        for env in self.vec_env.envs:
+            env.tracker.flush()
+        report.sfd_by_class = self.vec_env.sfd_by_class()
+        report.crash_counts = [int(v) for v in self.vec_env.crash_counts]
+        return report
+
+    def project_load(
+        self,
+        report: FleetReport,
+        simulator: TrafficSimulator | None = None,
+    ) -> FleetLoadProjection:
+        """Project the measured fleet load onto the accelerator model.
+
+        Builds a paper-scale :class:`TrafficSimulator` for the agent's
+        transfer config unless one is supplied.  Raises ``ValueError``
+        when the report measured no training iterations — there is no
+        load to project, and a clamped rate would print a nonsense
+        utilization/endurance instead of surfacing the problem.
+        """
+        if report.total_train_updates == 0:
+            raise ValueError(
+                "report measured zero training iterations; run more "
+                "steps per round (the fleet needs train_batch "
+                f"= {self.train_batch} transitions before it can train)"
+            )
+        if simulator is None:
+            from repro.nn.alexnet import modified_alexnet_spec
+
+            simulator = TrafficSimulator(modified_alexnet_spec(), self.agent.config)
+        return project_fleet_load(
+            simulator,
+            num_envs=self.vec_env.num_envs,
+            batch_size=self.train_batch,
+            steps_per_second=report.steps_per_second,
+            train_iterations_per_second=report.train_iterations_per_second,
+        )

@@ -1,0 +1,141 @@
+"""Fleet-vs-sequential throughput comparison.
+
+The fleet's reason to exist is wall-clock: one batched fleet doing the
+*same* protocol as N independent sequential runs — same env steps, same
+training-sample throughput, same network — should be several times
+faster because every NN pass serves N states and every update carries
+``N * batch_size`` samples.  :func:`compare_throughput` runs both sides
+under identical workloads and reports the speedup; the benchmark
+harness (``benchmarks/test_fleet_throughput.py``) asserts the floor and
+persists the artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.camera import DepthCamera, StereoNoiseModel
+from repro.env.episode import NavigationEnv
+from repro.env.generators import make_environment
+from repro.fleet.runner import train_agent_fleet
+from repro.fleet.vec_env import VecNavigationEnv
+from repro.nn.alexnet import build_network, scaled_drone_net_spec
+from repro.rl.agent import EpsilonSchedule, QLearningAgent
+from repro.rl.experiment import train_agent
+from repro.rl.transfer import config_by_name
+
+__all__ = ["ThroughputComparison", "compare_throughput"]
+
+
+@dataclass(frozen=True)
+class ThroughputComparison:
+    """Wall-clock comparison of fleet vs sequential training."""
+
+    num_envs: int
+    steps_per_env: int
+    total_env_steps: int
+    sequential_seconds: float
+    fleet_seconds: float
+
+    @property
+    def sequential_steps_per_second(self) -> float:
+        """Baseline throughput."""
+        return self.total_env_steps / self.sequential_seconds
+
+    @property
+    def fleet_steps_per_second(self) -> float:
+        """Fleet throughput."""
+        return self.total_env_steps / self.fleet_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Fleet steps/sec over sequential steps/sec."""
+        return self.sequential_seconds / self.fleet_seconds
+
+
+def _make_agent(config_name: str, image_side: int, seed: int) -> QLearningAgent:
+    spec = scaled_drone_net_spec(input_side=image_side)
+    network = build_network(spec, seed=seed)
+    return QLearningAgent(
+        network,
+        config=config_by_name(config_name),
+        epsilon=EpsilonSchedule(1.0, 0.1, 500),
+        seed=seed,
+    )
+
+
+def compare_throughput(
+    env_names: tuple[str, ...] = (
+        "indoor-apartment",
+        "indoor-house",
+        "outdoor-forest",
+        "outdoor-town",
+    ),
+    num_envs: int = 16,
+    steps_per_env: int = 48,
+    image_side: int = 16,
+    train_every: int = 2,
+    config_name: str = "L4",
+    seed: int = 0,
+    max_episode_steps: int = 200,
+) -> ThroughputComparison:
+    """Time N sequential training runs against one N-wide fleet run.
+
+    Both sides execute ``num_envs * steps_per_env`` environment steps
+    with online training every ``train_every`` (per-env) steps; the
+    fleet's scaled batch carries the same number of gradient samples as
+    the baseline's many small batches.
+    """
+    if num_envs <= 0 or steps_per_env <= 0:
+        raise ValueError("num_envs and steps_per_env must be positive")
+
+    def build_env(i: int) -> NavigationEnv:
+        world = make_environment(env_names[i % len(env_names)], seed=seed + i)
+        camera = DepthCamera(
+            width=image_side, height=image_side, noise=StereoNoiseModel()
+        )
+        return NavigationEnv(world, camera=camera, seed=seed + i + 7)
+
+    # Construction (networks, worlds) happens outside both timed
+    # windows — the comparison measures stepping/training throughput,
+    # not setup cost.
+    sequential_agents = [
+        _make_agent(config_name, image_side, seed + i) for i in range(num_envs)
+    ]
+    sequential_envs = [build_env(i) for i in range(num_envs)]
+    start = time.perf_counter()
+    for agent, env in zip(sequential_agents, sequential_envs):
+        train_agent(
+            agent,
+            env,
+            iterations=steps_per_env,
+            train_every=train_every,
+            max_episode_steps=max_episode_steps,
+        )
+    sequential_seconds = time.perf_counter() - start
+
+    # Fleet: one shared agent over the same worlds.
+    vec_env = VecNavigationEnv(
+        [build_env(i) for i in range(num_envs)],
+        max_episode_steps=max_episode_steps,
+    )
+    agent = _make_agent(config_name, image_side, seed)
+    start = time.perf_counter()
+    train_agent_fleet(
+        agent,
+        vec_env,
+        iterations=steps_per_env,
+        train_every=train_every,
+    )
+    fleet_seconds = time.perf_counter() - start
+
+    return ThroughputComparison(
+        num_envs=num_envs,
+        steps_per_env=steps_per_env,
+        total_env_steps=num_envs * steps_per_env,
+        sequential_seconds=sequential_seconds,
+        fleet_seconds=fleet_seconds,
+    )

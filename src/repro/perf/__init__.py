@@ -36,6 +36,8 @@ from repro.perf.traffic import (
     TrafficSimulator,
     IterationTraffic,
     EnduranceEstimate,
+    FleetLoadProjection,
+    project_fleet_load,
 )
 from repro.perf.battery import BatteryModel, FlightEnvelope
 from repro.perf.roofline import RooflineModel, RooflinePoint
@@ -67,6 +69,8 @@ __all__ = [
     "TrafficSimulator",
     "IterationTraffic",
     "EnduranceEstimate",
+    "FleetLoadProjection",
+    "project_fleet_load",
     "BatteryModel",
     "FlightEnvelope",
     "RooflineModel",

@@ -27,7 +27,13 @@ from repro.nn.specs import FCSpec, NetworkSpec
 from repro.perf.layer_cost import LayerCostModel
 from repro.rl.transfer import TransferConfig
 
-__all__ = ["IterationTraffic", "TrafficSimulator", "EnduranceEstimate"]
+__all__ = [
+    "IterationTraffic",
+    "TrafficSimulator",
+    "EnduranceEstimate",
+    "FleetLoadProjection",
+    "project_fleet_load",
+]
 
 SECONDS_PER_DAY = 86_400.0
 
@@ -187,3 +193,101 @@ class TrafficSimulator:
         writes_per_bit_per_iter = traffic.nvm_write_bits / footprint_bits
         per_day = writes_per_bit_per_iter * iterations_per_second * SECONDS_PER_DAY
         return EnduranceEstimate(per_day, endurance_cycles)
+
+
+@dataclass(frozen=True)
+class FleetLoadProjection:
+    """A measured fleet workload projected onto the accelerator model.
+
+    The fleet scheduler measures *simulated* throughput (env steps/sec
+    and training iterations/sec); this dataclass answers whether the
+    paper's platform could sustain that load, and at what cost:
+
+    * ``accelerator_fps`` — training iterations/sec the platform
+      sustains at the fleet's batch size (Fig. 13a model),
+    * ``utilization`` — demanded over sustainable iteration rate
+      (> 1 means the fleet generates frames faster than the platform
+      can train on them),
+    * ``energy_watts`` — average power of serving the demanded rate,
+    * ``traffic`` / ``bits_per_second`` / ``endurance`` — per-device
+      memory traffic of the load and the NVM lifetime under it.
+    """
+
+    config_name: str
+    num_envs: int
+    batch_size: int
+    steps_per_second: float
+    train_iterations_per_second: float
+    accelerator_iteration_latency_s: float
+    accelerator_fps: float
+    iteration_energy_j: float
+    traffic: IterationTraffic
+    endurance: EnduranceEstimate
+
+    @property
+    def utilization(self) -> float:
+        """Demanded iteration rate / sustainable iteration rate."""
+        if self.accelerator_fps <= 0.0:
+            return float("inf")
+        return self.train_iterations_per_second / self.accelerator_fps
+
+    @property
+    def realtime_feasible(self) -> bool:
+        """Whether the platform keeps up with the fleet's demand."""
+        return self.utilization <= 1.0
+
+    @property
+    def energy_watts(self) -> float:
+        """Average power (J/s) of serving the demanded iteration rate."""
+        return self.iteration_energy_j * self.train_iterations_per_second
+
+    @property
+    def bits_per_second(self) -> float:
+        """Total memory traffic demanded, bits/sec."""
+        return self.traffic.total_bits * self.train_iterations_per_second
+
+    @property
+    def nvm_write_bits_per_second(self) -> float:
+        """NVM write traffic demanded, bits/sec (the endurance driver)."""
+        return self.traffic.nvm_write_bits * self.train_iterations_per_second
+
+
+def project_fleet_load(
+    simulator: TrafficSimulator,
+    num_envs: int,
+    batch_size: int,
+    steps_per_second: float,
+    train_iterations_per_second: float,
+    endurance_cycles: float = 1e12,
+) -> FleetLoadProjection:
+    """Map a measured fleet workload onto the accelerator's cost model.
+
+    ``batch_size`` is the fleet's training batch (typically the agent
+    batch times the fleet width); ``steps_per_second`` and
+    ``train_iterations_per_second`` come from the scheduler's measured
+    rounds.  Combines the Fig. 13 iteration-cost model with the traffic
+    simulator's per-device bit counts and the NVM endurance estimate.
+    """
+    if num_envs <= 0:
+        raise ValueError("num_envs must be positive")
+    if steps_per_second <= 0 or train_iterations_per_second <= 0:
+        raise ValueError("rates must be positive")
+    from repro.perf.training import TrainingIterationModel
+
+    cost = TrainingIterationModel(simulator.cost_model).iteration_cost(batch_size)
+    traffic = simulator.simulate_iteration(batch_size)
+    endurance = simulator.endurance(
+        traffic, train_iterations_per_second, endurance_cycles=endurance_cycles
+    )
+    return FleetLoadProjection(
+        config_name=simulator.config.name,
+        num_envs=num_envs,
+        batch_size=batch_size,
+        steps_per_second=steps_per_second,
+        train_iterations_per_second=train_iterations_per_second,
+        accelerator_iteration_latency_s=cost.iteration_latency_s,
+        accelerator_fps=cost.fps,
+        iteration_energy_j=cost.iteration_energy_j,
+        traffic=traffic,
+        endurance=endurance,
+    )

@@ -25,6 +25,7 @@ from repro.rl.metrics import MovingAverage, ReturnTracker, LearningCurves
 from repro.rl.experiment import (
     TrainingResult,
     train_agent,
+    train_agent_in_fleet,
     meta_train,
     online_adapt,
     run_transfer_experiment,
@@ -50,6 +51,7 @@ __all__ = [
     "LearningCurves",
     "TrainingResult",
     "train_agent",
+    "train_agent_in_fleet",
     "meta_train",
     "online_adapt",
     "run_transfer_experiment",

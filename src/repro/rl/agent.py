@@ -42,6 +42,19 @@ class EpsilonSchedule:
         frac = step / self.decay_steps
         return self.start + frac * (self.end - self.start)
 
+    def values(self, steps: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`value` over an array of step indices."""
+        steps = np.asarray(steps, dtype=np.float64)
+        frac = np.minimum(steps / self.decay_steps, 1.0)
+        # Past decay, return `end` exactly as value() does — the lerp
+        # at frac=1.0 is off by one ulp, enough to diverge from the
+        # sequential agent's draws.
+        return np.where(
+            steps >= self.decay_steps,
+            self.end,
+            self.start + frac * (self.end - self.start),
+        )
+
 
 class QLearningAgent:
     """DQN-style agent over a NumPy :class:`~repro.nn.network.Network`.
@@ -135,6 +148,35 @@ class QLearningAgent:
             return int(self.rng.integers(self.num_actions))
         return int(np.argmax(self.q_values(state)))
 
+    def act_batch(self, states: np.ndarray, greedy: bool = False) -> np.ndarray:
+        """Epsilon-greedy actions for a whole fleet of states at once.
+
+        ``states`` is (N, C, H, W); returns (N,) int actions.  One
+        forward pass serves all N environments, instead of N single-state
+        passes.  Each state consumes one exploration-schedule step and
+        one uniform draw, mirroring N :meth:`select_action` calls (the
+        random draws come from the same generator, in batch order).
+        """
+        states = np.asarray(states)
+        if states.ndim < 2:
+            raise ValueError("act_batch expects a batch of states")
+        n = states.shape[0]
+        if greedy:
+            eps = np.zeros(n)
+        else:
+            eps = self.epsilon.values(np.arange(self.step_count, self.step_count + n))
+        self.step_count += n
+        explore = self.rng.random(n) < eps
+        if np.all(explore):
+            # Mirror select_action: a fully exploring batch skips the
+            # forward pass entirely.
+            return self.rng.integers(self.num_actions, size=n).astype(np.int64)
+        greedy_actions = np.argmax(self.network.predict(states), axis=1)
+        if not np.any(explore):
+            return greedy_actions.astype(np.int64)
+        random_actions = self.rng.integers(self.num_actions, size=n)
+        return np.where(explore, random_actions, greedy_actions).astype(np.int64)
+
     def observe(self, transition: Transition) -> None:
         """Store a transition in the replay buffer.
 
@@ -151,6 +193,29 @@ class QLearningAgent:
             raise ValueError(f"action out of range: {transition.action}")
         self.replay.push(transition)
 
+    def observe_batch(self, transitions: list[Transition]) -> None:
+        """Store one fleet step's worth of transitions.
+
+        Applies the same corrupted-frame guards as :meth:`observe`, but
+        validates the whole batch with a few vectorised checks instead
+        of per-transition calls.
+        """
+        if not transitions:
+            return
+        rewards = np.array([t.reward for t in transitions])
+        if not np.all(np.isfinite(rewards)):
+            raise ValueError("non-finite reward in batch")
+        for t in transitions:
+            if not 0 <= t.action < self.num_actions:
+                raise ValueError(f"action out of range: {t.action}")
+        states = np.stack(
+            [t.state for t in transitions] + [t.next_state for t in transitions]
+        )
+        if not np.all(np.isfinite(states)):
+            raise ValueError("non-finite values in observed state")
+        for transition in transitions:
+            self.replay.push(transition)
+
     def ready_to_train(self) -> bool:
         """Whether the buffer holds at least one batch."""
         return len(self.replay) >= self.batch_size
@@ -158,10 +223,23 @@ class QLearningAgent:
     def train_step(self) -> float:
         """One training iteration (Fig. 3b): batch forward, partial
         backward, gradient-descent update.  Returns the batch loss."""
-        if not self.ready_to_train():
+        return self.train_step_batch(self.batch_size)
+
+    def train_step_batch(self, batch_size: int | None = None) -> float:
+        """One training iteration over a custom batch size.
+
+        The fleet path trains with ``batch_size * num_envs`` samples in
+        one forward/backward pass, matching the gradient throughput of
+        ``num_envs`` independent agents at a fraction of the per-call
+        overhead.  Returns the batch loss.
+        """
+        batch_size = self.batch_size if batch_size is None else batch_size
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if len(self.replay) < batch_size:
             raise RuntimeError("not enough transitions to train")
         states, actions, rewards, next_states, dones = self.replay.sample(
-            self.batch_size, self.rng
+            batch_size, self.rng
         )
         # Bellman targets (eq. 1); terminal states contribute reward only.
         bootstrap = self._bootstrap_values(next_states)

@@ -69,6 +69,8 @@ def evaluate_policy(
         trace.record(info["pose"], action, reward, info["crashed"])
         rewards.append(reward)
         state = env.reset() if done else next_state
+    # Close the final (crash-free) flight segment so its distance counts.
+    env.tracker.flush()
     histogram = tuple(int(c) for c in trace.action_histogram(env.num_actions))
     return EvaluationResult(
         environment=env.world.name,

@@ -31,6 +31,7 @@ from repro.rl.transfer import TRANSFER_CONFIGS, TransferConfig, config_by_name
 __all__ = [
     "TrainingResult",
     "train_agent",
+    "train_agent_in_fleet",
     "meta_train",
     "online_adapt",
     "run_transfer_experiment",
@@ -91,6 +92,8 @@ def train_agent(
             episode_steps = 0
         else:
             state = next_state
+    # Close the final (crash-free) flight segment so its distance counts.
+    env.tracker.flush()
     return TrainingResult(
         config_name=agent.config.name,
         environment=env.world.name,
@@ -102,27 +105,82 @@ def train_agent(
     )
 
 
+def train_agent_in_fleet(
+    agent: QLearningAgent,
+    env_name: str,
+    iterations: int,
+    num_envs: int,
+    seed: int,
+    image_side: int,
+    max_episode_steps: int = 400,
+) -> TrainingResult:
+    """Fleet-backed counterpart of :func:`train_agent`.
+
+    One shared agent collects experience from ``num_envs`` replicas of
+    ``env_name`` (per-replica seeds), stepping and training in batches
+    via :func:`repro.fleet.train_agent_fleet`.  The result aggregates
+    the fleet: curves are env-means, SFD is the fleet mean, crashes sum.
+    """
+    from repro.fleet.runner import train_agent_fleet
+    from repro.fleet.vec_env import VecNavigationEnv
+
+    vec_env = VecNavigationEnv.from_names(
+        [env_name],
+        seeds=[seed + i for i in range(num_envs)],
+        image_side=image_side,
+        max_episode_steps=max_episode_steps,
+    )
+    fleet = train_agent_fleet(agent, vec_env, iterations=iterations)
+    curves = LearningCurves(reward_window=max(iterations // 8, 10))
+    curves.reward_curve = list(
+        np.mean([c.reward_curve for c in fleet.curves], axis=0)
+    )
+    curves.return_curve = list(
+        np.mean([c.return_curve for c in fleet.curves], axis=0)
+    )
+    curves.loss_curve = list(fleet.loss_curve)
+    return TrainingResult(
+        config_name=agent.config.name,
+        environment=env_name,
+        curves=curves,
+        safe_flight_distance=fleet.mean_safe_flight_distance,
+        crash_count=sum(fleet.crash_counts),
+        iterations=iterations,
+        final_state=fleet.final_state,
+    )
+
+
 def meta_train(
     meta_env_name: str,
     iterations: int = 1500,
     seed: int = 0,
     image_side: int = 16,
     network: Network | None = None,
+    num_envs: int = 1,
 ) -> TrainingResult:
     """TL phase: end-to-end RL in the meta-environment.
 
     The paper trains 60 k Unreal iterations from ImageNet weights; we run
     a scaled count on the scaled network (seeded "imagenet stub" init).
+    ``num_envs > 1`` collects the experience from a fleet of
+    meta-environment replicas instead of a single env.
     """
     spec = scaled_drone_net_spec(input_side=image_side)
     network = network or build_network(spec, seed=seed)
-    env = _make_env(meta_env_name, seed=seed, image_side=image_side)
+    # The schedule counts per-state steps; a fleet consumes num_envs of
+    # them per fleet step, so scale the decay to keep the same fraction
+    # of the run exploratory.
     agent = QLearningAgent(
         network,
         config=config_by_name("E2E"),
-        epsilon=EpsilonSchedule(1.0, 0.1, max(iterations // 2, 1)),
+        epsilon=EpsilonSchedule(1.0, 0.1, max(iterations * num_envs // 2, 1)),
         seed=seed,
     )
+    if num_envs > 1:
+        return train_agent_in_fleet(
+            agent, meta_env_name, iterations, num_envs, seed, image_side
+        )
+    env = _make_env(meta_env_name, seed=seed, image_side=image_side)
     return train_agent(agent, env, iterations)
 
 
@@ -133,23 +191,29 @@ def online_adapt(
     iterations: int = 1500,
     seed: int = 1,
     image_side: int = 16,
+    num_envs: int = 1,
 ) -> TrainingResult:
     """Deployment phase: online RL in the test environment.
 
     Downloads the meta-model, then trains only the layers selected by
     ``config`` (exploration restarts at a moderate rate, as the agent
-    already has a useful policy).
+    already has a useful policy).  ``num_envs > 1`` adapts against a
+    fleet of test-environment replicas (batched stepping/training).
     """
     spec = scaled_drone_net_spec(input_side=image_side)
     network = build_network(spec, seed=seed)
     network.load_state_dict(meta_state)
-    env = _make_env(test_env_name, seed=seed, image_side=image_side)
     agent = QLearningAgent(
         network,
         config=config,
-        epsilon=EpsilonSchedule(0.3, 0.05, max(iterations // 2, 1)),
+        epsilon=EpsilonSchedule(0.3, 0.05, max(iterations * num_envs // 2, 1)),
         seed=seed,
     )
+    if num_envs > 1:
+        return train_agent_in_fleet(
+            agent, test_env_name, iterations, num_envs, seed, image_side
+        )
+    env = _make_env(test_env_name, seed=seed, image_side=image_side)
     return train_agent(agent, env, iterations)
 
 
@@ -160,14 +224,20 @@ def run_transfer_experiment(
     adapt_iterations: int = 1500,
     seed: int = 0,
     image_side: int = 16,
+    num_envs: int = 1,
 ) -> dict[str, TrainingResult]:
     """Full Fig. 10/11 protocol for one test environment.
 
     Returns one :class:`TrainingResult` per configuration name.
+    ``num_envs > 1`` runs both phases against environment fleets.
     """
     meta_env_name = META_FOR_TEST[test_env_name]
     meta_result = meta_train(
-        meta_env_name, iterations=meta_iterations, seed=seed, image_side=image_side
+        meta_env_name,
+        iterations=meta_iterations,
+        seed=seed,
+        image_side=image_side,
+        num_envs=num_envs,
     )
     results: dict[str, TrainingResult] = {}
     for config in configs:
@@ -178,5 +248,6 @@ def run_transfer_experiment(
             iterations=adapt_iterations,
             seed=seed + 13,
             image_side=image_side,
+            num_envs=num_envs,
         )
     return results

@@ -77,8 +77,14 @@ def run_seed_sweep(
     meta_iterations: int = 1000,
     adapt_iterations: int = 1000,
     image_side: int = 16,
+    num_envs: int = 1,
 ) -> SweepResult:
-    """Repeat the Fig. 10/11 protocol across ``seeds`` and summarise."""
+    """Repeat the Fig. 10/11 protocol across ``seeds`` and summarise.
+
+    ``num_envs > 1`` runs every training phase against a fleet of
+    environment replicas (batched stepping/training via
+    :mod:`repro.fleet`) instead of a single environment.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
     rewards: dict[str, list[float]] = {c.name: [] for c in configs}
@@ -91,6 +97,7 @@ def run_seed_sweep(
             adapt_iterations=adapt_iterations,
             seed=seed,
             image_side=image_side,
+            num_envs=num_envs,
         )
         for name, result in results.items():
             rewards[name].append(result.final_reward)

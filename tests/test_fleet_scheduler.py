@@ -1,0 +1,220 @@
+"""Fleet scheduler, fleet training runner, and the perf.traffic
+projection of measured fleet load."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.fleet import (
+    FleetScheduler,
+    VecNavigationEnv,
+    train_agent_fleet,
+)
+from repro.nn import modified_alexnet_spec
+from repro.nn.alexnet import build_network, scaled_drone_net_spec
+from repro.perf import TrafficSimulator, project_fleet_load
+from repro.rl import config_by_name, online_adapt, meta_train
+from repro.rl.agent import EpsilonSchedule, QLearningAgent
+
+SIDE = 16
+
+
+def make_agent(seed: int = 0, config: str = "L4") -> QLearningAgent:
+    network = build_network(scaled_drone_net_spec(input_side=SIDE), seed=seed)
+    return QLearningAgent(
+        network,
+        config=config_by_name(config),
+        epsilon=EpsilonSchedule(1.0, 0.1, 200),
+        seed=seed,
+        batch_size=4,
+    )
+
+
+def make_fleet(num_envs: int = 6) -> VecNavigationEnv:
+    return VecNavigationEnv.from_names(
+        ["indoor-apartment", "outdoor-forest"],
+        seeds=list(range(num_envs)),
+        image_side=SIDE,
+        max_episode_steps=100,
+    )
+
+
+class TestFleetRunner:
+    def test_trains_and_reports_per_env(self):
+        agent = make_agent()
+        vec_env = make_fleet()
+        result = train_agent_fleet(agent, vec_env, iterations=30)
+        assert result.num_envs == 6
+        assert result.total_env_steps == 180
+        assert len(result.curves) == 6
+        assert all(len(c.reward_curve) == 30 for c in result.curves)
+        assert result.train_updates > 0
+        assert np.isfinite(result.loss_curve).all()
+        assert len(result.safe_flight_distances) == 6
+        assert result.steps_per_second > 0
+        assert set(result.environments) == {
+            "indoor-apartment", "outdoor-forest"
+        }
+        assert result.final_state  # weights escaped
+
+    def test_batch_scale_matches_sample_throughput(self):
+        agent = make_agent()
+        vec_env = make_fleet()
+        train_agent_fleet(agent, vec_env, iterations=20, train_every=2)
+        # One scaled update per training step: batch 4 * 6 envs = 24.
+        assert agent.train_count > 0
+
+    def test_validation(self):
+        agent = make_agent()
+        vec_env = make_fleet(2)
+        with pytest.raises(ValueError):
+            train_agent_fleet(agent, vec_env, iterations=0)
+        with pytest.raises(ValueError):
+            train_agent_fleet(agent, vec_env, iterations=5, train_every=0)
+        with pytest.raises(ValueError):
+            train_agent_fleet(agent, vec_env, iterations=5, batch_scale=0)
+
+    def test_train_batch_above_replay_capacity_rejected(self):
+        agent = make_agent()
+        vec_env = make_fleet(2)
+        oversized = agent.replay.capacity // agent.batch_size + 1
+        with pytest.raises(ValueError, match="replay capacity"):
+            train_agent_fleet(
+                agent, vec_env, iterations=5, batch_scale=oversized
+            )
+        with pytest.raises(ValueError, match="replay capacity"):
+            FleetScheduler(agent, vec_env, batch_scale=oversized)
+
+
+class TestFleetScheduler:
+    def test_rounds_record_throughput_and_sfd(self):
+        agent = make_agent()
+        vec_env = make_fleet()
+        scheduler = FleetScheduler(
+            agent, vec_env, train_every=2, extra_train_updates=2, eval_steps=10
+        )
+        report = scheduler.run(rounds=2, steps_per_round=25)
+        assert len(report.rounds) == 2
+        for stats in report.rounds:
+            assert stats.env_steps == (25 + 10) * 6
+            assert stats.steps_per_second > 0
+            assert stats.eval_sfd_by_class.keys() == {
+                "indoor-apartment", "outdoor-forest"
+            }
+            assert all(v >= 0 for v in stats.eval_sfd_by_class.values())
+        assert report.total_env_steps == 2 * 35 * 6
+        assert report.total_train_updates > 0
+        assert report.steps_per_second > 0
+        assert report.episodes_per_second >= 0
+        assert set(report.sfd_by_class) == {
+            "indoor-apartment", "outdoor-forest"
+        }
+
+    def test_validation(self):
+        agent = make_agent()
+        vec_env = make_fleet(2)
+        with pytest.raises(ValueError):
+            FleetScheduler(agent, vec_env, train_every=0)
+        with pytest.raises(ValueError):
+            FleetScheduler(agent, vec_env, eval_steps=-1)
+        scheduler = FleetScheduler(agent, vec_env)
+        with pytest.raises(ValueError):
+            scheduler.run(rounds=0, steps_per_round=5)
+
+    def test_project_load_builds_projection(self):
+        agent = make_agent(config="E2E")
+        vec_env = make_fleet(4)
+        scheduler = FleetScheduler(agent, vec_env, train_every=2)
+        report = scheduler.run(rounds=1, steps_per_round=20)
+        projection = scheduler.project_load(report)
+        assert projection.config_name == "E2E"
+        assert projection.num_envs == 4
+        assert projection.batch_size == agent.batch_size * 4
+        assert projection.accelerator_fps > 0
+        assert projection.utilization > 0
+        assert projection.traffic.total_bits > 0
+        # E2E writes frozen weights back to NVM every update.
+        assert projection.traffic.nvm_write_bits > 0
+        assert projection.endurance.lifetime_days < float("inf")
+        assert projection.energy_watts > 0
+
+
+class TestProjectFleetLoad:
+    def test_rates_and_validation(self):
+        sim = TrafficSimulator(modified_alexnet_spec(), config_by_name("L4"))
+        projection = project_fleet_load(
+            sim,
+            num_envs=16,
+            batch_size=128,
+            steps_per_second=2000.0,
+            train_iterations_per_second=15.0,
+        )
+        assert projection.bits_per_second == (
+            projection.traffic.total_bits * 15.0
+        )
+        assert projection.realtime_feasible == (projection.utilization <= 1.0)
+        with pytest.raises(ValueError):
+            project_fleet_load(
+                sim, num_envs=0, batch_size=8,
+                steps_per_second=1.0, train_iterations_per_second=1.0,
+            )
+        with pytest.raises(ValueError):
+            project_fleet_load(
+                sim, num_envs=1, batch_size=8,
+                steps_per_second=0.0, train_iterations_per_second=1.0,
+            )
+
+
+class TestExperimentFleetPath:
+    def test_online_adapt_with_fleet_matches_interface(self):
+        meta = meta_train("meta-indoor", iterations=60, seed=0, image_side=SIDE)
+        result = online_adapt(
+            meta.final_state,
+            "indoor-apartment",
+            config_by_name("L4"),
+            iterations=40,
+            seed=1,
+            image_side=SIDE,
+            num_envs=3,
+        )
+        assert result.environment == "indoor-apartment"
+        assert result.iterations == 40
+        assert len(result.curves.reward_curve) == 40
+        assert np.isfinite(result.final_reward)
+        assert result.safe_flight_distance >= 0.0
+        assert result.crash_count >= 0
+        assert result.final_state
+
+    def test_meta_train_fleet_path(self):
+        result = meta_train(
+            "meta-outdoor", iterations=30, seed=2, image_side=SIDE, num_envs=2
+        )
+        assert result.config_name == "E2E"
+        assert len(result.curves.reward_curve) == 30
+
+
+class TestFleetCli:
+    def test_fleet_command_prints_report(self, capsys):
+        assert main([
+            "fleet", "--num-envs", "4", "--rounds", "1", "--steps", "30",
+            "--eval-steps", "10", "--seed", "1",
+            "--envs", "indoor-apartment", "outdoor-forest",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Steps/s" in out
+        assert "Environment class" in out
+        assert "endurance" in out
+
+    def test_fleet_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["fleet"])
+        assert args.num_envs == 16
+        assert args.seed == 0
+        assert args.config == "L4"
+
+    def test_rl_seed_flag_threads_through(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["rl", "--seed", "5"])
+        assert args.seed == 5

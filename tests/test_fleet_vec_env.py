@@ -1,0 +1,361 @@
+"""Fleet engine: vectorized env semantics and batched-agent agreement."""
+
+import numpy as np
+import pytest
+
+from repro.env.camera import DepthCamera, StereoNoiseModel
+from repro.env.episode import NavigationEnv, SafeFlightTracker, Transition
+from repro.env.generators import make_environment
+from repro.fleet import VecNavigationEnv
+from repro.nn.alexnet import build_network, scaled_drone_net_spec
+from repro.rl.agent import EpsilonSchedule, QLearningAgent
+from repro.rl.transfer import config_by_name
+
+ENV_NAMES = (
+    "indoor-apartment",
+    "indoor-house",
+    "outdoor-forest",
+    "outdoor-town",
+)
+
+
+def build_env(i: int, side: int = 12, noise: bool = True) -> NavigationEnv:
+    world = make_environment(ENV_NAMES[i % len(ENV_NAMES)], seed=i)
+    camera = DepthCamera(
+        width=side, height=side, noise=StereoNoiseModel() if noise else None
+    )
+    return NavigationEnv(world, camera=camera, seed=i + 7)
+
+
+def make_agent(side: int = 16, seed: int = 0, **kwargs) -> QLearningAgent:
+    network = build_network(scaled_drone_net_spec(input_side=side), seed=seed)
+    return QLearningAgent(network, config=config_by_name("L4"), seed=seed, **kwargs)
+
+
+class TestVectorizedEquivalence:
+    """A fleet rollout is bitwise-identical to N sequential rollouts."""
+
+    NUM_ENVS = 16
+    STEPS = 40
+    MAX_EPISODE_STEPS = 12
+
+    def sequential_transitions(self, script):
+        per_env = []
+        for i in range(self.NUM_ENVS):
+            env = build_env(i)
+            state = env.reset()
+            episode = 0
+            transitions = []
+            for t in range(self.STEPS):
+                action = int(script[t, i])
+                obs, reward, done, _info = env.step(action)
+                transitions.append(Transition(state, action, reward, obs, done))
+                episode += 1
+                if done or episode >= self.MAX_EPISODE_STEPS:
+                    state = env.reset()
+                    episode = 0
+                else:
+                    state = obs
+            per_env.append(transitions)
+        return per_env
+
+    def fleet_transitions(self, script):
+        vec_env = VecNavigationEnv(
+            [build_env(i) for i in range(self.NUM_ENVS)],
+            max_episode_steps=self.MAX_EPISODE_STEPS,
+        )
+        states = vec_env.reset()
+        per_env = [[] for _ in range(self.NUM_ENVS)]
+        for t in range(self.STEPS):
+            actions = script[t]
+            next_states, rewards, dones, infos = vec_env.step(actions)
+            batch = vec_env.make_transitions(
+                states, actions, rewards, dones, next_states, infos
+            )
+            for i, transition in enumerate(batch):
+                per_env[i].append(transition)
+            states = next_states
+        return per_env
+
+    def test_bitwise_identical_transitions(self):
+        script = np.random.default_rng(99).integers(
+            5, size=(self.STEPS, self.NUM_ENVS)
+        )
+        sequential = self.sequential_transitions(script)
+        fleet = self.fleet_transitions(script)
+        crashes = 0
+        for i in range(self.NUM_ENVS):
+            for t in range(self.STEPS):
+                a, b = sequential[i][t], fleet[i][t]
+                assert np.array_equal(a.state, b.state), (i, t)
+                assert np.array_equal(a.next_state, b.next_state), (i, t)
+                assert a.reward == b.reward, (i, t)
+                assert a.action == b.action and a.done == b.done, (i, t)
+                crashes += a.done
+        # The comparison must actually exercise crash/reset paths.
+        assert crashes > 0
+
+    def test_trackers_match_sequential(self):
+        script = np.random.default_rng(7).integers(
+            5, size=(self.STEPS, self.NUM_ENVS)
+        )
+        envs_seq = []
+        for i in range(self.NUM_ENVS):
+            env = build_env(i)
+            env.reset()
+            episode = 0
+            for t in range(self.STEPS):
+                _obs, _r, done, _ = env.step(int(script[t, i]))
+                episode += 1
+                if done or episode >= self.MAX_EPISODE_STEPS:
+                    env.reset()
+                    episode = 0
+            envs_seq.append(env)
+        vec_env = VecNavigationEnv(
+            [build_env(i) for i in range(self.NUM_ENVS)],
+            max_episode_steps=self.MAX_EPISODE_STEPS,
+        )
+        vec_env.reset()
+        for t in range(self.STEPS):
+            vec_env.step(script[t])
+        for seq_env, fleet_env in zip(envs_seq, vec_env.envs):
+            assert seq_env.tracker.crash_count == fleet_env.tracker.crash_count
+            assert seq_env.tracker.distances == fleet_env.tracker.distances
+
+
+class TestAutoReset:
+    def drive_until_crash(self, vec_env, states, max_steps=400):
+        for _ in range(max_steps):
+            actions = np.zeros(vec_env.num_envs, dtype=np.int64)  # forward
+            states, rewards, dones, infos = vec_env.step(actions)
+            if dones.any():
+                return states, rewards, dones, infos
+        pytest.fail("no crash while driving straight")
+
+    def test_crash_respawns_with_fresh_observation(self):
+        vec_env = VecNavigationEnv([build_env(i) for i in range(4)])
+        states = vec_env.reset()
+        states, rewards, dones, infos = self.drive_until_crash(vec_env, states)
+        i = int(np.argmax(dones))
+        assert rewards[i] == vec_env.envs[i].reward_config.crash_reward
+        assert infos[i]["crashed"]
+        # The terminal frame is preserved, the returned state is fresh.
+        assert infos[i]["final_observation"] is not None
+        assert not np.array_equal(states[i], infos[i]["final_observation"])
+        # The env is immediately steppable (auto-reset happened).
+        vec_env.step(np.zeros(4, dtype=np.int64))
+
+    def test_truncation_resets_without_done(self):
+        vec_env = VecNavigationEnv(
+            [build_env(i) for i in range(2)], max_episode_steps=3
+        )
+        vec_env.reset()
+        saw_truncation = False
+        for step in range(12):
+            _states, _rewards, dones, infos = vec_env.step(
+                np.full(2, 1, dtype=np.int64)  # turning avoids most crashes
+            )
+            for i in range(2):
+                if infos[i]["truncated"]:
+                    saw_truncation = True
+                    assert not dones[i]
+                    assert "final_observation" in infos[i]
+                    assert vec_env.episode_steps[i] == 0
+        assert saw_truncation
+
+    def test_truncation_fires_once_without_auto_reset(self):
+        vec_env = VecNavigationEnv(
+            [build_env(i) for i in range(2)],
+            max_episode_steps=2,
+            auto_reset=False,
+        )
+        vec_env.reset()
+        fired = np.zeros(2, dtype=int)
+        for step in range(4):
+            try:
+                _s, _r, dones, infos = vec_env.step(np.full(2, 1, dtype=np.int64))
+            except RuntimeError:  # a crash ended an episode early
+                break
+            fired += [int(info["truncated"]) for info in infos]
+            if dones.any():
+                break
+        # Past the cap the episode keeps running but never re-fires.
+        assert (fired <= 1).all()
+
+    def test_no_auto_reset_requires_manual_reset(self):
+        vec_env = VecNavigationEnv(
+            [build_env(i) for i in range(2)], auto_reset=False
+        )
+        states = vec_env.reset()
+        for _ in range(400):
+            states, _r, dones, _ = vec_env.step(np.zeros(2, dtype=np.int64))
+            if dones.any():
+                break
+        else:
+            pytest.fail("no crash while driving straight")
+        with pytest.raises(RuntimeError):
+            for _ in range(2):
+                vec_env.step(np.zeros(2, dtype=np.int64))
+
+    def test_sfd_by_class_groups_worlds(self):
+        vec_env = VecNavigationEnv([build_env(i) for i in range(8)])
+        vec_env.reset()
+        for _ in range(20):
+            vec_env.step(np.zeros(8, dtype=np.int64))
+        by_class = vec_env.sfd_by_class()
+        assert set(by_class) == set(ENV_NAMES)
+        assert all(v >= 0.0 for v in by_class.values())
+
+
+class TestConstruction:
+    def test_needs_envs(self):
+        with pytest.raises(ValueError):
+            VecNavigationEnv([])
+
+    def test_rejects_mismatched_cameras(self):
+        envs = [build_env(0), build_env(1, side=14)]
+        with pytest.raises(ValueError):
+            VecNavigationEnv(envs)
+
+    def test_rejects_bad_action_shape(self):
+        vec_env = VecNavigationEnv([build_env(i) for i in range(3)])
+        vec_env.reset()
+        with pytest.raises(ValueError):
+            vec_env.step(np.zeros(2, dtype=np.int64))
+
+    def test_from_names_cycles_and_seeds(self):
+        vec_env = VecNavigationEnv.from_names(
+            ["indoor-apartment", "outdoor-forest"], seeds=list(range(5))
+        )
+        assert vec_env.num_envs == 5
+        names = vec_env.env_classes()
+        assert names[0] == names[2] == names[4] == "indoor-apartment"
+        assert names[1] == names[3] == "outdoor-forest"
+        # Same class, different seeds -> different worlds.
+        assert (
+            vec_env.envs[0].world.obstacle_count()
+            != vec_env.envs[2].world.obstacle_count()
+            or vec_env.envs[0].world.boxes != vec_env.envs[2].world.boxes
+        )
+
+
+class TestActBatch:
+    def test_greedy_batch_matches_single_state_actions(self):
+        agent = make_agent()
+        states = np.stack(
+            [
+                np.random.default_rng(i).random((1, 16, 16))
+                for i in range(8)
+            ]
+        )
+        batch_actions = agent.act_batch(states, greedy=True)
+        single = [
+            agent.select_action(states[i], greedy=True) for i in range(8)
+        ]
+        assert batch_actions.tolist() == single
+        q_batch = agent.network.predict(states)
+        for i in range(8):
+            q_single = agent.q_values(states[i])
+            assert np.allclose(q_batch[i], q_single, rtol=1e-9, atol=1e-12)
+
+    def test_batch_advances_schedule_by_batch_size(self):
+        agent = make_agent(epsilon=EpsilonSchedule(1.0, 0.1, 100))
+        states = np.zeros((6, 1, 16, 16))
+        agent.act_batch(states)
+        assert agent.step_count == 6
+
+    def test_schedule_values_match_value_past_decay(self):
+        schedule = EpsilonSchedule(0.3, 0.05, 7)
+        steps = np.arange(20)
+        vectorised = schedule.values(steps)
+        for step in steps:
+            assert vectorised[step] == schedule.value(int(step))
+
+    def test_full_exploration_uses_no_forward_pass(self):
+        agent = make_agent(epsilon=EpsilonSchedule(1.0, 1.0, 1000))
+        states = np.zeros((4, 1, 16, 16))
+        actions = agent.act_batch(states)
+        assert actions.shape == (4,)
+        assert all(0 <= a < agent.num_actions for a in actions)
+
+    def test_rejects_single_state(self):
+        agent = make_agent()
+        with pytest.raises(ValueError):
+            agent.act_batch(np.zeros(3))
+
+
+class TestTrainStepBatch:
+    def test_scaled_batch_trains(self):
+        agent = make_agent(batch_size=4)
+        rng = np.random.default_rng(0)
+        for _ in range(16):
+            state = rng.random((1, 16, 16))
+            agent.observe(Transition(state, 1, 0.5, rng.random((1, 16, 16)), False))
+        loss = agent.train_step_batch(12)
+        assert np.isfinite(loss)
+        assert agent.train_count == 1
+
+    def test_insufficient_buffer_raises(self):
+        agent = make_agent(batch_size=4)
+        with pytest.raises(RuntimeError):
+            agent.train_step_batch(4)
+
+    def test_invalid_batch_size_rejected(self):
+        agent = make_agent()
+        with pytest.raises(ValueError):
+            agent.train_step_batch(0)
+
+    def test_observe_batch_validates(self):
+        agent = make_agent()
+        good = Transition(
+            np.zeros((1, 16, 16)), 0, 0.1, np.zeros((1, 16, 16)), False
+        )
+        bad = Transition(
+            np.zeros((1, 16, 16)), 0, float("nan"), np.zeros((1, 16, 16)), False
+        )
+        with pytest.raises(ValueError):
+            agent.observe_batch([good, bad])
+        agent.observe_batch([good, good])
+        assert len(agent.replay) == 2
+
+
+class TestSafeFlightTrackerFlush:
+    def test_flush_closes_crash_free_segment(self):
+        tracker = SafeFlightTracker()
+        tracker.record_step(3.0)
+        tracker.record_crash()
+        tracker.record_step(5.0)
+        assert tracker.pending_distance == pytest.approx(5.0)
+        flushed = tracker.flush()
+        assert flushed == pytest.approx(5.0)
+        # The crash-free segment counts toward the mean...
+        assert tracker.safe_flight_distance == pytest.approx(4.0)
+        # ...but not toward the crash count.
+        assert tracker.crash_count == 1
+
+    def test_flush_empty_segment_is_noop(self):
+        tracker = SafeFlightTracker()
+        tracker.record_step(2.0)
+        tracker.record_crash()
+        assert tracker.flush() == 0.0
+        assert tracker.distances == [2.0]
+
+    def test_total_distance_includes_pending(self):
+        tracker = SafeFlightTracker()
+        tracker.record_step(1.0)
+        tracker.record_crash()
+        tracker.record_step(0.5)
+        assert tracker.total_distance == pytest.approx(1.5)
+
+    def test_env_reset_flushes_truncated_segment(self):
+        env = build_env(0)
+        env.reset()
+        moved = 0.0
+        for _ in range(3):
+            _obs, _r, done, info = env.step(1)
+            if done:
+                pytest.skip("crashed immediately; flush path not reachable")
+            moved += info["distance"]
+        env.reset()
+        assert env.tracker.crash_count == 0
+        assert env.tracker.distances == [pytest.approx(moved)]
