@@ -10,6 +10,14 @@
     python -m repro rl --env indoor-apartment --iters 800 --seed 0
     python -m repro map --env outdoor-forest  # ASCII world render
     python -m repro fleet --num-envs 16 --rounds 2 --steps 150 --seed 0
+    python -m repro systolic-bench            # fast path vs PE oracle
+
+The ``systolic-bench`` command measures the vectorized systolic fast
+path (:mod:`repro.systolic`, ``fidelity="fast"``) against the loop-level
+PE oracle on a small conv layer — re-proving output and cycle-count
+equivalence as it times them — then runs the paper-scale modified
+AlexNet through the functional simulators (infeasible for the oracle)
+and reports per-layer wall time, MACs and modelled array cycles.
 
 The ``fleet`` command runs the vectorized multi-environment engine
 (:mod:`repro.fleet`): one shared agent drives N environments through
@@ -260,6 +268,58 @@ def _cmd_fleet(args) -> None:
         f"NVM write load {projection.nvm_write_bits_per_second / 1e6:.2f} Mbit/s"
         f" -> endurance {projection.endurance.lifetime_years:.1f} years"
     )
+    cost = scheduler.cost_observation_batch()
+    print(
+        f"systolic fast path: one {cost.num_envs}-env observation batch = "
+        f"{cost.total_cycles / 1e6:.2f} Mcycles "
+        f"({cost.array_seconds * 1e6:.0f} us on the paper array)"
+    )
+
+
+def _cmd_systolic_bench(args) -> None:
+    import json
+
+    from repro.systolic import bench_conv_fast_vs_pe, simulate_network_forward
+    from repro.systolic.bench import bench_payload
+
+    result = bench_conv_fast_vs_pe(
+        channels=args.channels, side=args.side, filters=args.filters,
+        kernel=args.kernel, stride=args.stride, seed=args.seed,
+    )
+    print(format_table(
+        ["Path", "Seconds", "MMAC/s"],
+        [
+            ["pe oracle", round(result.pe_seconds, 4),
+             round(result.pe_macs_per_second / 1e6, 2)],
+            ["fast", round(result.fast_seconds, 6),
+             round(result.fast_macs_per_second / 1e6, 2)],
+        ],
+    ))
+    print(f"{result.shape}: fast path {result.speedup:.0f}x over the PE oracle "
+          "(outputs and cycle counters verified identical)")
+    forward = None
+    if not args.skip_alexnet:
+        forward = simulate_network_forward(batch=args.batch, seed=args.seed)
+        print()
+        print(format_table(
+            ["Layer", "Kind", "MMAC", "Mcycles", "Wall ms"],
+            [
+                [l.name, l.kind, round(l.macs / 1e6, 1),
+                 round(l.array_cycles / 1e6, 1),
+                 round(l.wall_seconds * 1e3, 2)]
+                for l in forward.layers
+            ],
+        ))
+        print(
+            f"{forward.network} batch {forward.batch}: "
+            f"{forward.total_macs / 1e9:.2f} GMAC in {forward.wall_seconds:.2f}s "
+            f"wall ({forward.macs_per_second / 1e6:.0f} MMAC/s simulated); "
+            f"modelled array time {forward.array_seconds() * 1e3:.2f} ms"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(bench_payload(result, forward), fh, indent=2)
+        print(f"wrote {args.json}")
 
 
 def _cmd_map(args) -> None:
@@ -337,6 +397,23 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["L2", "L3", "L4", "E2E"])
     p_fleet.add_argument("--seed", type=int, default=0)
     p_fleet.set_defaults(func=_cmd_fleet)
+    p_sys = sub.add_parser(
+        "systolic-bench",
+        help="systolic fast path vs PE oracle + paper-scale AlexNet forward",
+    )
+    p_sys.add_argument("--channels", type=int, default=3)
+    p_sys.add_argument("--side", type=int, default=32)
+    p_sys.add_argument("--filters", type=int, default=16)
+    p_sys.add_argument("--kernel", type=int, default=3)
+    p_sys.add_argument("--stride", type=int, default=1)
+    p_sys.add_argument("--batch", type=int, default=1,
+                       help="AlexNet forward batch size")
+    p_sys.add_argument("--skip-alexnet", action="store_true",
+                       help="only run the fast-vs-oracle layer benchmark")
+    p_sys.add_argument("--json", default=None,
+                       help="also write machine-readable results to this path")
+    p_sys.add_argument("--seed", type=int, default=0)
+    p_sys.set_defaults(func=_cmd_systolic_bench)
     p_map = sub.add_parser("map", help="render an environment as ASCII art")
     p_map.add_argument("--env", default="indoor-apartment", choices=sorted(ENVIRONMENTS))
     p_map.add_argument("--seed", type=int, default=0)

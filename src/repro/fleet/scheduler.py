@@ -36,7 +36,30 @@ from repro.perf.traffic import (
 )
 from repro.rl.agent import QLearningAgent
 
-__all__ = ["RoundStats", "FleetReport", "FleetScheduler"]
+__all__ = [
+    "RoundStats",
+    "FleetReport",
+    "FleetScheduler",
+    "FleetObservationCost",
+]
+
+
+@dataclass(frozen=True)
+class FleetObservationCost:
+    """Systolic-array cost of one fleet observation batch.
+
+    Produced by :meth:`FleetScheduler.cost_observation_batch`: the
+    whole fleet's observations go through the functional systolic fast
+    path in one batched call per layer, yielding both the Q values the
+    array would produce and the cycles it would charge — the
+    accelerator-in-the-loop precursor.
+    """
+
+    num_envs: int
+    q_values: np.ndarray
+    layer_cycles: dict[str, int]
+    total_cycles: int
+    array_seconds: float
 
 
 @dataclass(frozen=True)
@@ -278,6 +301,65 @@ class FleetScheduler:
         report.sfd_by_class = self.vec_env.sfd_by_class()
         report.crash_counts = [int(v) for v in self.vec_env.crash_counts]
         return report
+
+    def cost_observation_batch(self, fidelity: str = "fast") -> FleetObservationCost:
+        """Cost one fleet observation batch on the functional array.
+
+        Runs the current fleet states (N, C, H, W) through the agent's
+        Q network with the systolic simulators doing the arithmetic:
+        each Conv2D layer becomes one batched
+        :meth:`~repro.systolic.FunctionalSystolicArray.conv2d` call and
+        each Dense layer one batched FC pass, while the surrounding
+        ReLU/pool/flatten layers execute functionally.  Because the
+        fast path and :mod:`repro.nn.layers` share the same GEMM
+        kernels, the returned ``q_values`` match ``network.predict``
+        while ``total_cycles``/``array_seconds`` say what the paper's
+        array would charge to serve the whole fleet one step.
+        """
+        from repro.nn.layers import Conv2D, Dense
+        from repro.systolic import (
+            FunctionalSystolicArray,
+            PAPER_ARRAY,
+            simulate_fc_forward,
+        )
+
+        if self._states is None:
+            self._states = self.vec_env.reset()
+        x = np.asarray(self._states, dtype=np.float64)
+        sim = FunctionalSystolicArray(fidelity=fidelity)
+        layer_cycles: dict[str, int] = {}
+
+        def charge(layer, cycles: int) -> None:
+            # Layer names are not guaranteed unique; never let a
+            # duplicate silently swallow another layer's cycles.
+            key = layer.name
+            while key in layer_cycles:
+                key += "'"
+            layer_cycles[key] = cycles
+
+        for layer in self.agent.network.layers:
+            if isinstance(layer, Conv2D):
+                x, stats = sim.conv2d(
+                    x, layer.weight.value, stride=layer.stride, pad=layer.pad
+                )
+                x += layer.bias.value[None, :, None, None]
+                charge(layer, stats.total_cycles)
+            elif isinstance(layer, Dense):
+                result = simulate_fc_forward(
+                    x, layer.weight.value, fidelity=fidelity
+                )
+                x = result.output + layer.bias.value
+                charge(layer, result.total_cycles)
+            else:
+                x = layer.forward(x)
+        total = sum(layer_cycles.values())
+        return FleetObservationCost(
+            num_envs=self.vec_env.num_envs,
+            q_values=x,
+            layer_cycles=layer_cycles,
+            total_cycles=total,
+            array_seconds=PAPER_ARRAY.seconds(total),
+        )
 
     def project_load(
         self,

@@ -5,6 +5,11 @@ returning the gradient with respect to its input, and accumulates
 parameter gradients into :class:`Parameter` objects.  The layer set is
 exactly what the paper's modified AlexNet needs: convolution, ReLU, local
 response normalisation, overlapping max-pooling, flatten and dense.
+
+The im2col/col2im unfolding and the convolution GEMMs are the shared
+batched kernels of :mod:`repro.systolic.kernels` — the same code paths
+the functional systolic fast path uses, so training layers and
+accelerator simulation stay numerically aligned.
 """
 
 from __future__ import annotations
@@ -12,8 +17,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.initializers import he_normal
+from repro.systolic.kernels import col2im, conv_out_size, im2col
 
 __all__ = [
+    "im2col",
+    "col2im",
     "Parameter",
     "Layer",
     "Conv2D",
@@ -74,52 +82,9 @@ class Layer:
         return f"{type(self).__name__}({self.name})"
 
 
-# ----------------------------------------------------------------------
-# im2col helpers
-# ----------------------------------------------------------------------
-
-def _out_size(size: int, kernel: int, stride: int, pad: int) -> int:
-    return (size + 2 * pad - kernel) // stride + 1
-
-
-def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
-    """Unfold ``x`` (N, C, H, W) into columns (N, C*kh*kw, OH*OW)."""
-    n, c, h, w = x.shape
-    oh = _out_size(h, kh, stride, pad)
-    ow = _out_size(w, kw, stride, pad)
-    if pad > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
-    for i in range(kh):
-        i_end = i + stride * oh
-        for j in range(kw):
-            j_end = j + stride * ow
-            cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
-    return cols.reshape(n, c * kh * kw, oh * ow)
-
-
-def col2im(
-    cols: np.ndarray,
-    x_shape: tuple[int, int, int, int],
-    kh: int,
-    kw: int,
-    stride: int,
-    pad: int,
-) -> np.ndarray:
-    """Fold columns back into an image, summing overlapping windows."""
-    n, c, h, w = x_shape
-    oh = _out_size(h, kh, stride, pad)
-    ow = _out_size(w, kw, stride, pad)
-    cols = cols.reshape(n, c, kh, kw, oh, ow)
-    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
-    for i in range(kh):
-        i_end = i + stride * oh
-        for j in range(kw):
-            j_end = j + stride * ow
-            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
-    if pad > 0:
-        return padded[:, :, pad:-pad, pad:-pad]
-    return padded
+# im2col/col2im live in repro.systolic.kernels (stride-tricks based) and
+# are re-exported here for backward compatibility.
+_out_size = conv_out_size
 
 
 class Conv2D(Layer):
@@ -167,7 +132,8 @@ class Conv2D(Layer):
         k, s, p = self.kernel_size, self.stride, self.pad
         cols = im2col(x, k, k, s, p)
         w_mat = self.weight.value.reshape(self.out_channels, -1)
-        out = np.einsum("of,nfp->nop", w_mat, cols) + self.bias.value[None, :, None]
+        # One broadcast GEMM over the whole batch: (OC, F) @ (N, F, P).
+        out = np.matmul(w_mat, cols) + self.bias.value[None, :, None]
         _, oh, ow = self.output_shape(h, w)
         out = out.reshape(n, self.out_channels, oh, ow)
         if training:
@@ -181,11 +147,11 @@ class Conv2D(Layer):
         n = grad_out.shape[0]
         grad_mat = grad_out.reshape(n, self.out_channels, -1)
         w_mat = self.weight.value.reshape(self.out_channels, -1)
-        self.weight.grad += np.einsum("nop,nfp->of", grad_mat, cols).reshape(
-            self.weight.value.shape
-        )
+        self.weight.grad += np.tensordot(
+            grad_mat, cols, axes=([0, 2], [0, 2])
+        ).reshape(self.weight.value.shape)
         self.bias.grad += grad_mat.sum(axis=(0, 2))
-        dcols = np.einsum("of,nop->nfp", w_mat, grad_mat)
+        dcols = np.matmul(w_mat.T, grad_mat)
         k, s, p = self.kernel_size, self.stride, self.pad
         return col2im(dcols, x_shape, k, k, s, p)
 

@@ -10,20 +10,41 @@ provides:
   their segment/set geometry and active-PE counts,
 * the FC forward (vector-matrix, Fig. 7) and backward
   (vector-transposed-matrix, Fig. 8) mappings,
-* a small *functional* systolic simulator that executes a convolution
-  cycle-by-cycle at the PE level and is validated against NumPy — the
-  evidence that the mapping geometry actually computes the right thing.
+* a functional systolic simulator with a ``fidelity`` switch: the
+  default ``"fast"`` path computes layer numerics with shared batched
+  im2col/GEMM kernels (:mod:`repro.systolic.kernels`) and cycle
+  statistics in closed form (:mod:`repro.systolic.cycles`), running
+  paper-scale layers and whole batches in one call; ``"pe"`` retains
+  the loop-level per-PE oracle the fast path is proven against,
+* a throughput benchmark harness (:mod:`repro.systolic.bench`) backing
+  ``python -m repro systolic-bench``.
 """
 
 from repro.systolic.pe import PEConfig, ProcessingElement
 from repro.systolic.array import ArrayConfig, PAPER_ARRAY
+from repro.systolic.kernels import (
+    conv_out_size,
+    im2col,
+    col2im,
+    conv2d_gemm,
+)
+from repro.systolic.cycles import (
+    SimulationStats,
+    FCScheduleStats,
+    conv_rowstationary_stats,
+    fc_tile_stats,
+)
 from repro.systolic.conv_mapping import (
     MappingType,
     ConvMapping,
     map_conv_layer,
 )
 from repro.systolic.fc_mapping import FCMapping, map_fc_layer
-from repro.systolic.functional import FunctionalSystolicArray, simulate_conv_rowstationary
+from repro.systolic.functional import (
+    FIDELITIES,
+    FunctionalSystolicArray,
+    simulate_conv_rowstationary,
+)
 from repro.systolic.fc_functional import (
     FCSimResult,
     simulate_fc_forward,
@@ -32,17 +53,32 @@ from repro.systolic.fc_functional import (
 from repro.systolic.gemm_backward import GemmBackwardResult, conv_backward_gemm
 from repro.systolic.schedule import ArrayPass, ConvSchedule, build_conv_schedule
 from repro.systolic.noc import CommunicationCost, analyze_conv_communication
+from repro.systolic.bench import (
+    ConvBenchResult,
+    NetworkForwardResult,
+    bench_conv_fast_vs_pe,
+    simulate_network_forward,
+)
 
 __all__ = [
     "PEConfig",
     "ProcessingElement",
     "ArrayConfig",
     "PAPER_ARRAY",
+    "conv_out_size",
+    "im2col",
+    "col2im",
+    "conv2d_gemm",
+    "SimulationStats",
+    "FCScheduleStats",
+    "conv_rowstationary_stats",
+    "fc_tile_stats",
     "MappingType",
     "ConvMapping",
     "map_conv_layer",
     "FCMapping",
     "map_fc_layer",
+    "FIDELITIES",
     "FunctionalSystolicArray",
     "simulate_conv_rowstationary",
     "FCSimResult",
@@ -55,4 +91,8 @@ __all__ = [
     "build_conv_schedule",
     "CommunicationCost",
     "analyze_conv_communication",
+    "ConvBenchResult",
+    "NetworkForwardResult",
+    "bench_conv_fast_vs_pe",
+    "simulate_network_forward",
 ]

@@ -1,0 +1,121 @@
+"""Closed-form cycle accounting for the functional systolic simulators.
+
+The loop-level oracle (:class:`repro.systolic.pe.ProcessingElement`
+driven by :class:`repro.systolic.functional.FunctionalSystolicArray`)
+charges cycles as it executes: ``out_len * taps`` MACs per row
+convolution, one drain wavefront per column pass, link-beat psum moves
+and comparator ReLUs.  Every one of those charges is a pure function of
+the layer geometry, so the fast path does not need to execute the loop
+to know what it would have charged — the formulas here reproduce the
+oracle's counters *exactly* (integer equality, asserted over a
+property-tested shape grid in ``tests/test_systolic_fast_equivalence.py``).
+
+Derivation, matching the oracle loop structure:
+
+* MAC cycles — the oracle iterates ``oc x oh x c x kh`` row
+  convolutions, each charging ``ow * kw``:
+  ``total = oc * oh * c * kh * ow * kw`` (= MACs of the layer).
+* Wavefront cycles — one drain per column pass of each output channel.
+  A pass occupying ``q`` columns charges ``kh + ow + q - 1``: ``kh``
+  cycles for the wavefront to flow down the segment, ``ow`` to stream
+  the row out, and one extra cycle of stagger per additional occupied
+  column (partially-filled final passes occupy ``oh mod cols`` columns
+  and charge less — see the occupancy fix in ``FunctionalSystolicArray``).
+* FC tiles — the tile schedule of Figs. 7/8 charges ``tile.size`` MACs
+  and ``tile_rows + tile_cols`` drain per tile; summed in closed form
+  over the ragged tile grid.
+
+A batch of ``n`` images/vectors repeats the schedule ``n`` times, so
+every counter scales linearly with the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.systolic.array import ArrayConfig, PAPER_ARRAY
+
+__all__ = [
+    "SimulationStats",
+    "FCScheduleStats",
+    "conv_rowstationary_stats",
+    "fc_tile_stats",
+]
+
+
+@dataclass(frozen=True)
+class SimulationStats:
+    """Cycle and occupancy statistics of one simulated conv layer."""
+
+    total_pe_cycles: int
+    wavefront_cycles: int
+    pes_used: int
+
+    @property
+    def total_cycles(self) -> int:
+        """MAC plus drain cycles of the simulated schedule."""
+        return self.total_pe_cycles + self.wavefront_cycles
+
+
+@dataclass(frozen=True)
+class FCScheduleStats:
+    """Tile-schedule statistics of one FC pass (either direction)."""
+
+    tiles: int
+    mac_cycles: int
+    drain_cycles: int
+
+
+def conv_rowstationary_stats(
+    channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    config: ArrayConfig = PAPER_ARRAY,
+    batch: int = 1,
+) -> SimulationStats:
+    """Closed-form counters for a row-stationary convolution.
+
+    ``height``/``width`` are the *padded* input extents (pad before
+    calling, exactly as the oracle does).  Equal, field for field, to
+    the counters the PE-loop oracle accumulates for the same geometry.
+    """
+    oh = (height - kh) // stride + 1
+    ow = (width - kw) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError("filter larger than input")
+    cols = config.cols
+    mac_cycles = out_channels * oh * channels * kh * ow * kw
+    full_passes, remainder = divmod(oh, cols)
+    wavefront = full_passes * (kh + ow + cols - 1)
+    if remainder:
+        wavefront += kh + ow + remainder - 1
+    wavefront *= out_channels
+    return SimulationStats(
+        total_pe_cycles=batch * mac_cycles,
+        wavefront_cycles=batch * wavefront,
+        pes_used=kh * min(cols, oh),
+    )
+
+
+def fc_tile_stats(
+    in_features: int,
+    out_features: int,
+    array: ArrayConfig = PAPER_ARRAY,
+    batch: int = 1,
+) -> FCScheduleStats:
+    """Closed-form counters for the Fig. 7/8 FC tile schedule.
+
+    Both directions stream the same (in_features x out_features) tile
+    grid, so forward and transposed-backward share these numbers.
+    """
+    row_tiles = -(-in_features // array.rows)
+    col_tiles = -(-out_features // array.cols)
+    return FCScheduleStats(
+        tiles=batch * row_tiles * col_tiles,
+        mac_cycles=batch * in_features * out_features,
+        drain_cycles=batch * (in_features * col_tiles + out_features * row_tiles),
+    )

@@ -9,9 +9,16 @@ propagates column-wise and partial sums accumulate row-wise, computing
 ``v @ W.T`` without materialising the transpose.  This is the trick that
 lets the same weight tile serve both directions.
 
-These simulators execute the tile schedule explicitly (per-tile loads,
-per-lane dot products, wavefront drains) and are validated against plain
-matrix algebra in the tests, grounding the FC pass-count model of
+Both directions offer two fidelities.  ``fidelity="fast"`` (default)
+computes the product as one BLAS GEMM (:mod:`repro.systolic.kernels`)
+with the tile/MAC/drain counters from the closed-form schedule model
+(:mod:`repro.systolic.cycles`) — paper-scale FC layers (37.75M weights)
+cost milliseconds.  ``fidelity="pe"`` executes the tile schedule
+explicitly (per-tile loads, per-lane dot products, wavefront drains) and
+is the oracle the fast path is proven against.  A batch of vectors
+(B, I) repeats the schedule per vector, so every counter scales with B.
+
+These simulators ground the FC pass-count model of
 :mod:`repro.perf.layer_cost`.
 """
 
@@ -22,6 +29,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.systolic.array import ArrayConfig, PAPER_ARRAY
+from repro.systolic.cycles import fc_tile_stats
+from repro.systolic.functional import check_fidelity
+from repro.systolic.kernels import fc_backward_gemm, fc_forward_gemm
 
 __all__ = ["FCSimResult", "simulate_fc_forward", "simulate_fc_backward_transposed"]
 
@@ -46,70 +56,99 @@ def _tile_ranges(size: int, tile: int):
         yield start, min(start + tile, size)
 
 
+def _pe_tile_schedule(
+    batch: np.ndarray, matrix: np.ndarray, array: ArrayConfig, forward: bool
+):
+    """Execute the Fig. 7/8 tile schedule explicitly (the pe oracle).
+
+    Forward (Fig. 7): row-wise vector propagation — each PE row
+    multiplies its vector element into its matrix row (one MAC per PE)
+    and products accumulate down each column into the first row.
+    Backward (Fig. 8): column-wise propagation — each PE column
+    multiplies its vector element and sums accumulate along each row.
+    Only the contraction axis differs; tiles, MACs and drains are
+    charged identically in both directions.
+    """
+    in_f, out_f = matrix.shape
+    n = batch.shape[0]
+    output = np.zeros((n, out_f if forward else in_f))
+    tiles = mac_cycles = drain_cycles = 0
+    for b in range(n):
+        for r0, r1 in _tile_ranges(in_f, array.rows):
+            for c0, c1 in _tile_ranges(out_f, array.cols):
+                tiles += 1
+                tile = matrix[r0:r1, c0:c1]
+                if forward:
+                    output[b, c0:c1] += (batch[b, r0:r1, None] * tile).sum(axis=0)
+                else:
+                    output[b, r0:r1] += (tile * batch[b, None, c0:c1]).sum(axis=1)
+                mac_cycles += tile.size
+                drain_cycles += (r1 - r0) + (c1 - c0)
+    return output, tiles, mac_cycles, drain_cycles
+
+
+def _prepare(vector: np.ndarray, matrix: np.ndarray, features_axis: int):
+    """Normalise inputs to a (B, F) batch; return (batch, matrix, single)."""
+    vector = np.asarray(vector, dtype=np.float64)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    single = vector.ndim == 1
+    batch = vector[None] if single else vector
+    if (
+        batch.ndim != 2
+        or matrix.ndim != 2
+        or batch.shape[1] != matrix.shape[features_axis]
+    ):
+        want = "(I,)" if features_axis == 0 else "(O,)"
+        raise ValueError(f"need vector {want} or a (B, F) batch and matrix (I, O)")
+    return batch, matrix, single
+
+
 def simulate_fc_forward(
     vector: np.ndarray,
     matrix: np.ndarray,
     array: ArrayConfig = PAPER_ARRAY,
+    fidelity: str = "fast",
 ) -> FCSimResult:
     """Fig. 7: compute ``vector @ matrix`` tile by tile.
 
-    ``vector`` is (in_features,), ``matrix`` is (in_features,
-    out_features); rows of each tile hold matrix rows, the vector
-    element enters its row and multiplies across, products accumulate
-    down each column.
+    ``vector`` is (in_features,) or a batch (B, in_features); ``matrix``
+    is (in_features, out_features).  Rows of each tile hold matrix rows,
+    the vector element enters its row and multiplies across, products
+    accumulate down each column.
     """
-    vector = np.asarray(vector, dtype=np.float64)
-    matrix = np.asarray(matrix, dtype=np.float64)
-    if vector.ndim != 1 or matrix.ndim != 2 or vector.size != matrix.shape[0]:
-        raise ValueError("need vector (I,) and matrix (I, O)")
+    check_fidelity(fidelity)
+    batch, matrix, single = _prepare(vector, matrix, features_axis=0)
     in_f, out_f = matrix.shape
-    output = np.zeros(out_f)
-    tiles = 0
-    mac_cycles = 0
-    drain_cycles = 0
-    for r0, r1 in _tile_ranges(in_f, array.rows):
-        for c0, c1 in _tile_ranges(out_f, array.cols):
-            tiles += 1
-            tile = matrix[r0:r1, c0:c1]
-            # Row-wise vector propagation: each PE row multiplies its
-            # vector element into its matrix row (one MAC per PE).
-            partial = vector[r0:r1, None] * tile
-            # Vertical accumulation into the first row.
-            output[c0:c1] += partial.sum(axis=0)
-            mac_cycles += tile.size
-            drain_cycles += (r1 - r0) + (c1 - c0)
-    return FCSimResult(output, tiles, mac_cycles, drain_cycles)
+    if fidelity == "fast":
+        output = fc_forward_gemm(batch, matrix)
+        sched = fc_tile_stats(in_f, out_f, array, batch=batch.shape[0])
+        counters = (sched.tiles, sched.mac_cycles, sched.drain_cycles)
+    else:
+        output, *counters = _pe_tile_schedule(batch, matrix, array, forward=True)
+    return FCSimResult(output[0] if single else output, *counters)
 
 
 def simulate_fc_backward_transposed(
     vector: np.ndarray,
     matrix: np.ndarray,
     array: ArrayConfig = PAPER_ARRAY,
+    fidelity: str = "fast",
 ) -> FCSimResult:
     """Fig. 8: compute ``vector @ matrix.T`` *without transposing*.
 
-    ``vector`` is (out_features,) — the upstream gradient — and
-    ``matrix`` is (in_features, out_features) exactly as stored for the
-    forward pass.  The vector propagates down the columns; partial sums
-    accumulate row-wise and drain from the last column.
+    ``vector`` is (out_features,) or a batch (B, out_features) — the
+    upstream gradient — and ``matrix`` is (in_features, out_features)
+    exactly as stored for the forward pass.  The vector propagates down
+    the columns; partial sums accumulate row-wise and drain from the
+    last column.
     """
-    vector = np.asarray(vector, dtype=np.float64)
-    matrix = np.asarray(matrix, dtype=np.float64)
-    if vector.ndim != 1 or matrix.ndim != 2 or vector.size != matrix.shape[1]:
-        raise ValueError("need vector (O,) and matrix (I, O)")
+    check_fidelity(fidelity)
+    batch, matrix, single = _prepare(vector, matrix, features_axis=1)
     in_f, out_f = matrix.shape
-    output = np.zeros(in_f)
-    tiles = 0
-    mac_cycles = 0
-    drain_cycles = 0
-    for r0, r1 in _tile_ranges(in_f, array.rows):
-        for c0, c1 in _tile_ranges(out_f, array.cols):
-            tiles += 1
-            tile = matrix[r0:r1, c0:c1]
-            # Column-wise vector propagation: each PE column multiplies
-            # its vector element; sums accumulate along each row.
-            partial = tile * vector[None, c0:c1]
-            output[r0:r1] += partial.sum(axis=1)
-            mac_cycles += tile.size
-            drain_cycles += (r1 - r0) + (c1 - c0)
-    return FCSimResult(output, tiles, mac_cycles, drain_cycles)
+    if fidelity == "fast":
+        output = fc_backward_gemm(batch, matrix)
+        sched = fc_tile_stats(in_f, out_f, array, batch=batch.shape[0])
+        counters = (sched.tiles, sched.mac_cycles, sched.drain_cycles)
+    else:
+        output, *counters = _pe_tile_schedule(batch, matrix, array, forward=False)
+    return FCSimResult(output[0] if single else output, *counters)

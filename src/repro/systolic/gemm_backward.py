@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.layers import col2im, im2col
+from repro.systolic.kernels import col2im, im2col
 
 __all__ = ["GemmBackwardResult", "conv_backward_gemm"]
 
@@ -84,14 +84,18 @@ def conv_backward_gemm(
         raise ValueError("grad_out spatial size inconsistent with geometry")
     dout_2d = grad_out.reshape(n, oc, positions)
 
-    # Step 2: dW = dout @ cols^T — an FC-style (Fig. 7) product.
-    weight_grad = np.einsum("nop,nfp->of", dout_2d, cols).reshape(weights.shape)
+    # Step 2: dW = dout @ cols^T — an FC-style (Fig. 7) product, batched
+    # over images and summed, as one BLAS contraction.
+    weight_grad = np.tensordot(dout_2d, cols, axes=([0, 2], [0, 2])).reshape(
+        weights.shape
+    )
     bias_grad = dout_2d.sum(axis=(0, 2))
 
     # Step 3: dcols = W^T @ dout — the transposed product (Fig. 8) —
-    # folded back to the input with col2im.
+    # folded back to the input with col2im.  The (F, OC) filter matrix
+    # broadcasts against the (N, OC, P) gradient stack in one GEMM.
     w_2d = weights.reshape(oc, -1)
-    dcols = np.einsum("of,nop->nfp", w_2d, dout_2d)
+    dcols = np.matmul(w_2d.T, dout_2d)
     input_grad = col2im(dcols, x.shape, kh, kw, stride, pad)
 
     kkic = c * kh * kw

@@ -14,10 +14,19 @@ import numpy as np
 
 __all__ = ["PEConfig", "ProcessingElement"]
 
+_F64 = np.float64
+
 
 @dataclass(frozen=True)
 class PEConfig:
-    """Static PE parameters."""
+    """Static PE parameters.
+
+    ``rf_words`` (register-file capacity in data words) and
+    ``words_per_link_beat`` (data words moved per cycle over one
+    inter-PE link) are derived once at construction — they sit on the
+    oracle's innermost loops, so they are cached attributes rather than
+    recomputed properties.
+    """
 
     rf_bytes: int = 4608  # 4.5 KB
     n_macs: int = 8
@@ -30,20 +39,14 @@ class PEConfig:
             raise ValueError("PE parameters must be positive")
         if self.word_bits not in (8, 16, 32):
             raise ValueError("word_bits must be 8, 16 or 32")
-
-    @property
-    def rf_words(self) -> int:
-        """Register-file capacity in data words."""
-        return self.rf_bytes * 8 // self.word_bits
-
-    @property
-    def words_per_link_beat(self) -> int:
-        """Data words moved per cycle over one inter-PE link."""
-        return self.link_bits // self.word_bits
+        object.__setattr__(self, "rf_words", self.rf_bytes * 8 // self.word_bits)
+        object.__setattr__(
+            self, "words_per_link_beat", self.link_bits // self.word_bits
+        )
 
 
 class ProcessingElement:
-    """Functional PE used by the cycle-level simulator.
+    """Functional PE used as the cycle-level oracle.
 
     Holds a register file (filter row + input row + partial sums) and
     performs one row of 1-D convolution — the row-stationary primitive.
@@ -51,6 +54,12 @@ class ProcessingElement:
     (the 8 MAC units hide RF banking and the 16-bit multiply pipeline;
     the sustained rate through one PE's row-conv loop is one result MAC
     per cycle, which is what the Fig. 12 calibration reflects).
+
+    This loop-level model is the *oracle* behind the vectorised fast
+    path (:mod:`repro.systolic.functional` with ``fidelity="fast"``):
+    the fast path must reproduce its outputs and cycle counters exactly.
+    Callers on a hot path should hand ``load_*`` float64 arrays so the
+    dtype-conversion guard short-circuits.
     """
 
     def __init__(self, config: PEConfig | None = None):
@@ -62,13 +71,17 @@ class ProcessingElement:
 
     def load_filter_row(self, filter_row: np.ndarray) -> None:
         """Store one row of filter taps in the RF."""
+        if type(filter_row) is not np.ndarray or filter_row.dtype != _F64:
+            filter_row = np.asarray(filter_row, dtype=_F64)
         self._check_rf(filter_row.size + (0 if self.input_row is None else self.input_row.size))
-        self.filter_row = np.asarray(filter_row, dtype=np.float64)
+        self.filter_row = filter_row
 
     def load_input_row(self, input_row: np.ndarray) -> None:
         """Store one row of input activations in the RF."""
+        if type(input_row) is not np.ndarray or input_row.dtype != _F64:
+            input_row = np.asarray(input_row, dtype=_F64)
         self._check_rf(input_row.size + (0 if self.filter_row is None else self.filter_row.size))
-        self.input_row = np.asarray(input_row, dtype=np.float64)
+        self.input_row = input_row
 
     def _check_rf(self, words: int) -> None:
         if words > self.config.rf_words:
@@ -79,20 +92,24 @@ class ProcessingElement:
     def row_conv(self, stride: int = 1) -> np.ndarray:
         """1-D valid convolution of the stored input row with the filter
         row, producing one row of partial sums.  Charges one cycle per
-        MAC performed."""
+        MAC performed (``out_len * taps``, the sustained per-PE rate);
+        the windows-by-taps product itself is one strided BLAS call
+        over a zero-copy sliding-window view."""
         if self.filter_row is None or self.input_row is None:
             raise RuntimeError("load filter and input rows first")
-        taps = self.filter_row.size
-        width = self.input_row.size
+        flt = self.filter_row
+        inp = self.input_row
+        taps = flt.size
+        width = inp.size
         out_len = (width - taps) // stride + 1
         if out_len <= 0:
             raise ValueError("input row shorter than filter row")
-        out = np.empty(out_len)
-        for i in range(out_len):
-            start = i * stride
-            out[i] = float(
-                np.dot(self.input_row[start : start + taps], self.filter_row)
-            )
+        windows = np.lib.stride_tricks.as_strided(
+            inp,
+            shape=(out_len, taps),
+            strides=(inp.strides[0] * stride, inp.strides[0]),
+        )
+        out = windows @ flt
         self.cycles += out_len * taps
         self.psum = out if self.psum is None else self.psum + out
         return out
@@ -100,18 +117,24 @@ class ProcessingElement:
     def accumulate(self, incoming: np.ndarray) -> np.ndarray:
         """Add a neighbour PE's partial sums into the local psum."""
         if self.psum is None:
-            self.psum = np.asarray(incoming, dtype=np.float64).copy()
+            self.psum = np.asarray(incoming, dtype=_F64).copy()
         else:
             if incoming.shape != self.psum.shape:
                 raise ValueError("psum shape mismatch")
             self.psum = self.psum + incoming
-        self.cycles += int(np.ceil(self.psum.size / self.config.words_per_link_beat))
+        beats = -(-self.psum.size // self.config.words_per_link_beat)
+        self.cycles += beats
         return self.psum
 
     def relu(self, values: np.ndarray) -> np.ndarray:
         """Comparator-unit ReLU; charges cycles at 8 comparisons/cycle."""
-        self.cycles += int(np.ceil(values.size / self.config.n_comparators))
+        self.cycles += -(-values.size // self.config.n_comparators)
         return np.maximum(values, 0.0)
+
+    def clear_psum(self) -> None:
+        """Drop accumulated partial sums, keeping the resident filter
+        row (row-stationary reuse between output rows)."""
+        self.psum = None
 
     def clear(self) -> None:
         """Reset state between passes (keeps the cycle counter)."""

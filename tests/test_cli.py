@@ -47,3 +47,20 @@ class TestCommands:
         assert main(["rl", "--env", "indoor-house", "--iters", "120"]) == 0
         out = capsys.readouterr().out
         assert "SFD" in out and "E2E" in out
+
+    def test_systolic_bench_layer_only(self, capsys):
+        assert main(["systolic-bench", "--skip-alexnet", "--side", "16",
+                     "--filters", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "pe oracle" in out and "fast path" in out
+
+    def test_systolic_bench_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "bench.json"
+        assert main(["systolic-bench", "--skip-alexnet", "--side", "12",
+                     "--filters", "2", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["bench_layer"]["speedup"] > 1.0
+        assert "shape" in payload["bench_layer"]
+        assert "alexnet_forward" not in payload  # skipped above

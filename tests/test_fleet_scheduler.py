@@ -139,6 +139,26 @@ class TestFleetScheduler:
         assert projection.energy_watts > 0
 
 
+class TestCostObservationBatch:
+    def test_matches_network_predict_and_charges_cycles(self):
+        agent = make_agent()
+        vec_env = make_fleet()
+        scheduler = FleetScheduler(agent, vec_env, eval_steps=0)
+        cost = scheduler.cost_observation_batch()
+        # One batched systolic call per parametric layer, whole fleet.
+        assert cost.num_envs == 6
+        assert cost.q_values.shape == (6, 5)
+        states = scheduler._states
+        assert np.allclose(cost.q_values, agent.network.predict(states))
+        # Every conv/dense layer charged cycles; totals are consistent.
+        assert set(cost.layer_cycles) == {
+            l.name for l in agent.network.layers if l.parameters()
+        }
+        assert all(v > 0 for v in cost.layer_cycles.values())
+        assert cost.total_cycles == sum(cost.layer_cycles.values())
+        assert cost.array_seconds == pytest.approx(cost.total_cycles / 1e9)
+
+
 class TestProjectFleetLoad:
     def test_rates_and_validation(self):
         sim = TrafficSimulator(modified_alexnet_spec(), config_by_name("L4"))

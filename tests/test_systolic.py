@@ -236,3 +236,62 @@ class TestFunctionalSimulation:
             sim.conv2d(rng.normal(size=(4, 4)), rng.normal(size=(1, 1, 3, 3)))
         with pytest.raises(ValueError):
             sim.conv2d(rng.normal(size=(1, 2, 2)), rng.normal(size=(1, 1, 3, 3)))
+        with pytest.raises(ValueError):
+            FunctionalSystolicArray(fidelity="warp")
+        with pytest.raises(ValueError):
+            sim.conv2d(rng.normal(size=(1, 4, 4)), rng.normal(size=(1, 1, 3, 3)),
+                       pad=-1)
+
+    @pytest.mark.parametrize("fidelity", ["fast", "pe"])
+    def test_padded_conv_matches_reference(self, rng, fidelity):
+        x = rng.normal(size=(2, 7, 7))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out, _ = simulate_conv_rowstationary(x, w, pad=1, fidelity=fidelity)
+        cols = im2col(x[None], 3, 3, 1, 1)
+        ref = (w.reshape(3, -1) @ cols[0]).reshape(3, 7, 7)
+        assert np.allclose(out, ref)
+
+    def test_batch_matches_stacked_singles(self, rng):
+        x = rng.normal(size=(3, 2, 8, 8))
+        w = rng.normal(size=(4, 2, 3, 3))
+        out, stats = simulate_conv_rowstationary(x, w)
+        assert out.shape == (3, 4, 6, 6)
+        singles = [simulate_conv_rowstationary(img, w) for img in x]
+        assert np.allclose(out, np.stack([o for o, _ in singles]))
+        # Counters scale linearly with the batch; occupancy does not.
+        one = singles[0][1]
+        assert stats.total_pe_cycles == 3 * one.total_pe_cycles
+        assert stats.wavefront_cycles == 3 * one.wavefront_cycles
+        assert stats.pes_used == one.pes_used
+
+
+class TestWavefrontOccupancy:
+    """Regression: partial passes charge per occupied wavefront.
+
+    The drain charge used to be a flat ``kh + ow`` per column pass even
+    when the final pass filled only part of the array; it is now
+    ``kh + ow + occupied - 1`` (one cycle of stagger per additional
+    occupied column).
+    """
+
+    @pytest.mark.parametrize("fidelity", ["fast", "pe"])
+    def test_partial_final_pass_charges_less(self, rng, fidelity):
+        # 4-column array, 6 output rows -> one full pass (4 columns
+        # occupied) and one partial pass (2 columns occupied).
+        config = ArrayConfig(rows=4, cols=4)
+        x = rng.normal(size=(1, 8, 8))
+        w = rng.normal(size=(2, 1, 3, 3))
+        _, stats = simulate_conv_rowstationary(x, w, config=config,
+                                               fidelity=fidelity)
+        kh, ow = 3, 6
+        expected_per_oc = (kh + ow + 4 - 1) + (kh + ow + 2 - 1)
+        assert stats.wavefront_cycles == 2 * expected_per_oc
+
+    @pytest.mark.parametrize("fidelity", ["fast", "pe"])
+    def test_full_passes_only(self, rng, fidelity):
+        config = ArrayConfig(rows=4, cols=4)
+        x = rng.normal(size=(1, 6, 6))  # oh = 4 -> exactly one full pass
+        w = rng.normal(size=(1, 1, 3, 3))
+        _, stats = simulate_conv_rowstationary(x, w, config=config,
+                                               fidelity=fidelity)
+        assert stats.wavefront_cycles == 3 + 4 + 4 - 1

@@ -41,8 +41,33 @@ class TestForward:
     def test_validation(self, rng):
         with pytest.raises(ValueError):
             simulate_fc_forward(rng.normal(size=5), rng.normal(size=(6, 4)))
+        with pytest.raises(ValueError):  # 3-D input is not a vector batch
+            simulate_fc_forward(rng.normal(size=(2, 2, 2)), rng.normal(size=(2, 2)))
         with pytest.raises(ValueError):
-            simulate_fc_forward(rng.normal(size=(2, 2)), rng.normal(size=(2, 2)))
+            simulate_fc_forward(rng.normal(size=8), rng.normal(size=(8, 8)),
+                                fidelity="warp")
+
+    def test_batch_matches_stacked_singles(self, rng):
+        vs = rng.normal(size=(4, 12))
+        m = rng.normal(size=(12, 9))
+        batched = simulate_fc_forward(vs, m)
+        singles = [simulate_fc_forward(v, m) for v in vs]
+        assert batched.output.shape == (4, 9)
+        assert np.allclose(batched.output, np.stack([s.output for s in singles]))
+        # Counters scale linearly with the batch.
+        assert batched.tiles == sum(s.tiles for s in singles)
+        assert batched.mac_cycles == sum(s.mac_cycles for s in singles)
+        assert batched.drain_cycles == sum(s.drain_cycles for s in singles)
+
+    def test_fast_matches_pe_oracle(self, rng):
+        v = rng.normal(size=50)
+        m = rng.normal(size=(50, 40))
+        fast = simulate_fc_forward(v, m, fidelity="fast")
+        oracle = simulate_fc_forward(v, m, fidelity="pe")
+        assert np.allclose(fast.output, oracle.output)
+        assert (fast.tiles, fast.mac_cycles, fast.drain_cycles) == (
+            oracle.tiles, oracle.mac_cycles, oracle.drain_cycles,
+        )
 
 
 class TestBackwardTransposed:
@@ -75,6 +100,18 @@ class TestBackwardTransposed:
             simulate_fc_backward_transposed(
                 rng.normal(size=5), rng.normal(size=(5, 4))
             )
+
+    def test_batch_and_oracle_agree(self, rng):
+        vs = rng.normal(size=(3, 10))
+        m = rng.normal(size=(7, 10))
+        fast = simulate_fc_backward_transposed(vs, m)
+        oracle = simulate_fc_backward_transposed(vs, m, fidelity="pe")
+        assert fast.output.shape == (3, 7)
+        assert np.allclose(fast.output, vs @ m.T)
+        assert np.allclose(fast.output, oracle.output)
+        assert (fast.tiles, fast.mac_cycles, fast.drain_cycles) == (
+            oracle.tiles, oracle.mac_cycles, oracle.drain_cycles,
+        )
 
 
 @settings(max_examples=30)
