@@ -1,0 +1,110 @@
+"""Execution-backend throughput: states/sec per backend, cycles for systolic.
+
+One fleet-sized observation batch runs through each registered backend
+(:mod:`repro.backend`) on the reduced drone net:
+
+* **numpy** — the float baseline every other backend is measured
+  against;
+* **quantized** — the 16-bit fixed-point datapath (numerics only);
+* **systolic** — the accelerator-in-the-loop path, which additionally
+  reports the per-step array-cycle budget and the modelled time the
+  paper's 32x32 array would need to serve the batch.
+
+Artifacts: ``backend_throughput.txt`` (human-readable table) and
+``BENCH_backends.json`` (machine-readable states/sec, cycles/state and
+fixed-point action agreement) for trajectory tracking.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from conftest import save_artifact
+from repro.analysis import format_table
+from repro.backend import make_backend
+from repro.nn import build_network, scaled_drone_net_spec
+
+SIDE = 16
+BATCH = 64
+REPEATS = 5
+BACKEND_NAMES = ("numpy", "quantized", "systolic")
+
+
+def _measure(backend, states):
+    """Best-of-N wall time and the StepCost of one forward batch."""
+    backend.forward_batch(states[:2])  # warm caches / first-touch
+    best = float("inf")
+    cost = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        _, cost = backend.forward_batch(states)
+        best = min(best, time.perf_counter() - start)
+    return best, cost
+
+
+def test_backend_throughput(benchmark, results_dir):
+    network = build_network(scaled_drone_net_spec(input_side=SIDE), seed=0)
+    rng = np.random.default_rng(0)
+    states = rng.uniform(0.0, 1.0, size=(BATCH, 1, SIDE, SIDE))
+
+    def run():
+        out = {}
+        for name in BACKEND_NAMES:
+            backend = make_backend(name, network)
+            seconds, cost = _measure(backend, states)
+            out[name] = {
+                "seconds": seconds,
+                "states_per_second": BATCH / seconds,
+                "cycles_per_state": cost.cycles_per_state,
+                "total_cycles": cost.total_cycles,
+                "macs": cost.macs,
+                "array_seconds": cost.array_seconds(),
+                "agreement_vs_float": backend.agreement_rate(states),
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            round(r["states_per_second"], 1),
+            round(r["cycles_per_state"] / 1e3, 1),
+            round(r["array_seconds"] * 1e6, 1),
+            round(r["agreement_vs_float"], 3),
+        ]
+        for name, r in results.items()
+    ]
+    table = format_table(
+        ["Backend", "States/s", "kcycles/state", "Array us/batch", "Agreement"],
+        rows,
+    )
+    sys_r = results["systolic"]
+    footer = (
+        f"\nbatch {BATCH} @ {SIDE}x{SIDE}: systolic backend charges "
+        f"{sys_r['total_cycles']} cycles ({sys_r['macs']} MACs) per "
+        f"observation batch"
+    )
+    save_artifact(results_dir, "backend_throughput.txt", table + footer)
+    save_artifact(
+        results_dir,
+        "BENCH_backends.json",
+        json.dumps(
+            {"batch": BATCH, "image_side": SIDE, "backends": results},
+            indent=2,
+        ),
+    )
+
+    for name in BACKEND_NAMES:
+        assert results[name]["states_per_second"] > 0
+    # Only the systolic backend models hardware, and its budget is real.
+    assert results["numpy"]["total_cycles"] == 0
+    assert results["quantized"]["total_cycles"] == 0
+    assert results["systolic"]["total_cycles"] > 0
+    assert results["systolic"]["macs"] > 0
+    assert results["systolic"]["array_seconds"] > 0
+    # The float path agrees with itself; fixed point survives the policy.
+    assert results["numpy"]["agreement_vs_float"] == 1.0
+    assert results["quantized"]["agreement_vs_float"] >= 0.9
+    assert results["systolic"]["agreement_vs_float"] >= 0.9

@@ -10,6 +10,8 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.env` — drone world simulator (Unreal Engine substitute)
 * :mod:`repro.fleet` — vectorized multi-env fleet engine (batched
   stepping, batched inference/training, throughput scheduler)
+* :mod:`repro.backend` — pluggable execution backends (float NumPy,
+  16-bit fixed point, quantized systolic datapath with cycle budgets)
 * :mod:`repro.memory` — STT-MRAM / SRAM / DRAM hierarchy model
 * :mod:`repro.systolic` — 32x32 PE array and Fig. 6-8 mappings
 * :mod:`repro.perf` — Fig. 12/13 performance model
@@ -17,6 +19,7 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.analysis` — tables, ASCII plots, experiment reports
 """
 
+from repro.backend import ExecutionBackend, StepCost, make_backend
 from repro.core import CoDesign, Platform, paper_platform
 from repro.nn import modified_alexnet_spec, scaled_drone_net_spec, build_network
 from repro.rl import (
@@ -31,6 +34,9 @@ from repro.env import NavigationEnv, make_environment, DepthCamera
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExecutionBackend",
+    "StepCost",
+    "make_backend",
     "CoDesign",
     "Platform",
     "paper_platform",

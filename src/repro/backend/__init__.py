@@ -1,0 +1,46 @@
+"""Pluggable execution backends for the Q network.
+
+One seam — :meth:`ExecutionBackend.forward_batch(states) ->
+(q_values, StepCost)` — replaces the four places that used to
+re-implement "run the network": the agent's float predict, the
+quantised network, the systolic fast path and the fleet scheduler's
+post-hoc batch costing.  Three registered implementations:
+
+* ``numpy`` — :class:`NumpyBackend`, the float path, zero overhead and
+  zero cycle budget (the default; bitwise-identical to the historical
+  agent behaviour);
+* ``quantized`` — :class:`QuantizedBackend`, 16-bit fixed-point
+  numerics with per-layer re-quantisation, no cycle model;
+* ``systolic`` — :class:`SystolicBackend`, the accelerator-in-the-loop
+  path: integer GEMM numerics on quantized raw codes through the shared
+  systolic kernels plus closed-form per-step cycle budgets, with a
+  ``fidelity="pe"`` oracle passthrough.
+
+``python -m repro fleet --backend {numpy,quantized,systolic}`` selects
+one for whole fleet rollouts; this is the seam multi-array sharding,
+async rollouts and batch weight-reuse experiments plug into.
+"""
+
+from repro.backend.base import (
+    BACKENDS,
+    ExecutionBackend,
+    StepCost,
+    make_backend,
+    merge_step_costs,
+    register_backend,
+)
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.quantized_backend import QuantizedBackend
+from repro.backend.systolic_backend import SystolicBackend
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "StepCost",
+    "make_backend",
+    "merge_step_costs",
+    "register_backend",
+    "NumpyBackend",
+    "QuantizedBackend",
+    "SystolicBackend",
+]

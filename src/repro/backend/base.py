@@ -1,0 +1,159 @@
+"""Execution-backend interface and per-step cost accounting.
+
+Every consumer that needs "run the Q network over a batch of states"
+goes through one seam: :meth:`ExecutionBackend.forward_batch` takes an
+(N, C, H, W) state batch and returns ``(q_values, StepCost)`` — the
+Q values the backend's datapath produces and the cycles the modelled
+accelerator charges for producing them.  The agent routes action
+selection through its backend, the fleet scheduler threads the returned
+:class:`StepCost` totals into its round reports, and the traffic
+projection consumes the measured cycles — so swapping a backend swaps
+the numerics *and* the hardware accounting everywhere at once.
+
+Backends register themselves under a short name (``numpy``,
+``quantized``, ``systolic``) via :func:`register_backend`;
+:func:`make_backend` resolves CLI-style names to instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.systolic.array import ArrayConfig, PAPER_ARRAY
+
+__all__ = [
+    "StepCost",
+    "merge_step_costs",
+    "ExecutionBackend",
+    "BACKENDS",
+    "register_backend",
+    "make_backend",
+]
+
+
+@dataclass(frozen=True)
+class StepCost:
+    """Accelerator cost of one ``forward_batch`` call (or a merged run).
+
+    ``layer_cycles`` maps layer names to the array cycles charged for
+    that layer (empty for backends without a hardware model, e.g. the
+    float NumPy path, whose cost is identically zero).  ``macs`` counts
+    multiply-accumulates, ``states`` the state vectors served.
+    """
+
+    backend: str
+    states: int
+    macs: int = 0
+    layer_cycles: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> int:
+        """Array cycles across all layers."""
+        return sum(self.layer_cycles.values())
+
+    @property
+    def cycles_per_state(self) -> float:
+        """Average array cycles per state served."""
+        return self.total_cycles / self.states if self.states else 0.0
+
+    def array_seconds(self, config: ArrayConfig = PAPER_ARRAY) -> float:
+        """Time the modelled array needs for this cost."""
+        return config.seconds(self.total_cycles)
+
+
+def merge_step_costs(costs: list[StepCost], backend: str = "") -> StepCost:
+    """Sum a sequence of :class:`StepCost` records into one total.
+
+    Layer cycles merge key-wise, ``states``/``macs`` add.  An empty list
+    merges to a zero cost (useful for rounds where every action explored
+    and no forward pass ran).
+    """
+    layer_cycles: dict[str, int] = {}
+    states = macs = 0
+    for cost in costs:
+        states += cost.states
+        macs += cost.macs
+        for name, cycles in cost.layer_cycles.items():
+            layer_cycles[name] = layer_cycles.get(name, 0) + cycles
+        if not backend:
+            backend = cost.backend
+    return StepCost(
+        backend=backend, states=states, macs=macs, layer_cycles=layer_cycles
+    )
+
+
+class ExecutionBackend:
+    """Abstract "run the network" seam shared by agent, fleet and CLI.
+
+    Subclasses implement :meth:`forward_batch`; everything else (greedy
+    action extraction, agreement measurement) is derived.  Each backend
+    wraps a float :class:`~repro.nn.network.Network` — the single source
+    of weights — and decides how those weights execute: float NumPy,
+    16-bit fixed point, or the functional systolic datapath.
+    """
+
+    #: Registry name; set by :func:`register_backend`.
+    name: str = "abstract"
+
+    #: The wrapped float network (set by subclass constructors).
+    network: Network
+
+    def forward_batch(self, states: np.ndarray) -> tuple[np.ndarray, StepCost]:
+        """Q values and accelerator cost for an (N, C, H, W) state batch."""
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Refresh any internal snapshot of the network's weights.
+
+        Quantised backends capture weight codes at construction (the
+        paper's model download); after an online training update the
+        agent calls this so the deployed datapath sees the new weights
+        — the SRAM write-back of Fig. 3b.  The float path has no
+        snapshot, so the default is a no-op.
+        """
+
+    def greedy_actions(self, states: np.ndarray) -> tuple[np.ndarray, StepCost]:
+        """Argmax actions (N,) for a state batch, with the step cost."""
+        q_values, cost = self.forward_batch(states)
+        return np.argmax(q_values, axis=1).astype(np.int64), cost
+
+    def agreement_rate(self, states: np.ndarray) -> float:
+        """Fraction of states whose greedy action matches the float policy.
+
+        1.0 for backends that *are* the float policy; for quantised
+        datapaths this is the paper's "does the policy survive 16-bit
+        arithmetic" number.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        if states.ndim < 2 or states.shape[0] == 0:
+            raise ValueError("states must be a non-empty batch")
+        backend_actions, _ = self.greedy_actions(states)
+        float_actions = np.argmax(self.network.predict(states), axis=1)
+        return float(np.mean(backend_actions == float_actions))
+
+
+#: Registered backend classes by CLI name.
+BACKENDS: dict[str, type[ExecutionBackend]] = {}
+
+
+def register_backend(name: str):
+    """Class decorator: register a backend under ``name``."""
+
+    def decorator(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+        cls.name = name
+        BACKENDS[name] = cls
+        return cls
+
+    return decorator
+
+
+def make_backend(name: str, network: Network, **kwargs) -> ExecutionBackend:
+    """Instantiate a registered backend by name (the CLI entry point)."""
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {sorted(BACKENDS)}"
+        )
+    return BACKENDS[name](network, **kwargs)

@@ -1,0 +1,28 @@
+"""Float NumPy execution backend — the zero-overhead default."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ExecutionBackend, StepCost, register_backend
+from repro.nn.network import Network
+
+__all__ = ["NumpyBackend"]
+
+
+@register_backend("numpy")
+class NumpyBackend(ExecutionBackend):
+    """Float64 inference straight through :meth:`Network.predict`.
+
+    Bitwise-identical to calling the network directly (the agent's
+    historical behaviour), with a zero :class:`StepCost` — there is no
+    hardware model on this path, so fleet reports carry no cycle budget.
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+
+    def forward_batch(self, states: np.ndarray) -> tuple[np.ndarray, StepCost]:
+        states = np.asarray(states, dtype=np.float64)
+        q_values = self.network.predict(states)
+        return q_values, StepCost(backend=self.name, states=states.shape[0])

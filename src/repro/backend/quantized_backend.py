@@ -1,0 +1,57 @@
+"""16-bit fixed-point execution backend (numerics only).
+
+Answers "what Q values does the quantised datapath produce" without any
+cycle model: weights quantise once into the weight format, activations
+re-quantise after every layer (:class:`~repro.nn.quantize.QuantizedNetwork`
+semantics), and the batched forward runs through the shared GEMM kernels.
+For the same numerics *with* the systolic cycle accounting, use
+:class:`~repro.backend.systolic_backend.SystolicBackend` — the two
+produce bitwise-identical Q values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ExecutionBackend, StepCost, register_backend
+from repro.fixedpoint.qformat import QFormat, Q2_13, Q8_8
+from repro.nn.network import Network
+from repro.nn.quantize import QuantizedNetwork
+
+__all__ = ["QuantizedBackend"]
+
+
+@register_backend("quantized")
+class QuantizedBackend(ExecutionBackend):
+    """Fixed-point inference via :meth:`QuantizedNetwork.predict_batch`.
+
+    Parameters
+    ----------
+    network:
+        The trained float network (not modified).
+    weight_format / activation_format:
+        Q formats for weights and inter-layer activations; the defaults
+        are the paper's 16-bit corners (Q2.13 weights, Q8.8 sums).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        weight_format: QFormat = Q2_13,
+        activation_format: QFormat = Q8_8,
+    ):
+        self.network = network
+        self.quantized = QuantizedNetwork(
+            network,
+            weight_format=weight_format,
+            activation_format=activation_format,
+        )
+
+    def forward_batch(self, states: np.ndarray) -> tuple[np.ndarray, StepCost]:
+        states = np.asarray(states, dtype=np.float64)
+        q_values = self.quantized.predict_batch(states)
+        return q_values, StepCost(backend=self.name, states=states.shape[0])
+
+    def sync(self) -> None:
+        """Re-quantise after an online weight update (SRAM write-back)."""
+        self.quantized.refresh_quantized_state()

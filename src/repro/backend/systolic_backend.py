@@ -1,0 +1,205 @@
+"""Hardware-in-the-loop execution backend: the quantized systolic datapath.
+
+Runs the Q network the way the paper's accelerator does:
+
+* **Numerics** — weights and activations live as fixed-point raw integer
+  codes; each Conv2D becomes one batched im2col + integer GEMM and each
+  Dense one integer vector-matrix product through the shared kernels
+  (:mod:`repro.systolic.kernels`), with saturating re-quantisation into
+  the activation format after every layer.  Because every intermediate
+  product is an exact integer well inside float64's 2^53 mantissa, this
+  raw-integer path is bitwise-identical to
+  :meth:`~repro.nn.quantize.QuantizedNetwork.predict_batch` (proven in
+  ``tests/test_backend.py``).
+* **Cycles** — closed-form accounting from :mod:`repro.systolic.cycles`:
+  row-stationary conv schedules scale per image, FC tile loads amortise
+  across the batch (weight reuse, the Fig. 13 effect).
+* **Fidelity passthrough** — ``fidelity="pe"`` routes the arithmetic
+  through the loop-level PE oracle instead of the GEMM kernels; outputs
+  and counters are identical (same exact-integer argument), just slow.
+  Intended for validation on reduced shapes.
+
+``quantized=False`` keeps the float numerics of the historical
+``FleetScheduler.cost_observation_batch`` path (cycles still charged);
+the deprecated method is now a thin wrapper over this mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ExecutionBackend, StepCost, register_backend
+from repro.fixedpoint.qformat import QFormat, Q2_13, Q8_8
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.network import Network
+from repro.systolic.array import ArrayConfig, PAPER_ARRAY
+from repro.systolic.cycles import conv_rowstationary_stats, fc_tile_stats
+from repro.systolic.fc_functional import simulate_fc_forward
+from repro.systolic.functional import FunctionalSystolicArray, check_fidelity
+from repro.systolic.kernels import conv2d_gemm, fc_forward_gemm
+
+__all__ = ["SystolicBackend"]
+
+
+@register_backend("systolic")
+class SystolicBackend(ExecutionBackend):
+    """Quantized fixed-point inference with per-step cycle budgets.
+
+    Parameters
+    ----------
+    network:
+        The trained float network (not modified); weights quantise once
+        into ``weight_format`` raw codes at construction.
+    config:
+        Array geometry (defaults to the paper's 32x32 grid at 1 GHz).
+    fidelity:
+        ``"fast"`` (default) for batched GEMM numerics with closed-form
+        cycles, ``"pe"`` for the loop-level oracle passthrough.
+    quantized:
+        ``False`` disables the fixed-point datapath and runs float
+        numerics (matching ``Network.predict``) while still charging
+        cycles — the legacy ``cost_observation_batch`` behaviour.
+    weight_format / activation_format:
+        The 16-bit corners of the paper's datapath.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        config: ArrayConfig | None = None,
+        fidelity: str = "fast",
+        quantized: bool = True,
+        weight_format: QFormat = Q2_13,
+        activation_format: QFormat = Q8_8,
+    ):
+        check_fidelity(fidelity)
+        self.network = network
+        self.config = config or PAPER_ARRAY
+        self.fidelity = fidelity
+        self.quantized = quantized
+        self.weight_format = weight_format
+        self.activation_format = activation_format
+        # Raw integer codes (datapath operands) and their float values
+        # (for the PE-oracle passthrough and bias adds).
+        self._raw: dict[str, np.ndarray] = {}
+        self._value: dict[str, np.ndarray] = {}
+        self.sync()
+
+    def sync(self) -> None:
+        """Re-quantise the live float weights into datapath operands.
+
+        Construction models the one-time model download; the agent
+        calls this after each online training update so the array
+        executes with the written-back weights, not a stale snapshot.
+
+        Raw codes are stored as float64-valued integers: every product
+        and partial sum of the datapath stays below 2^53, so the GEMMs
+        are exact in float64 — same integers as an int64 matmul — while
+        dispatching to BLAS instead of NumPy's slow integer loop.
+        """
+        for p in self.network.parameters():
+            if self.quantized:
+                raw = self.weight_format.to_raw(p.value)
+                self._raw[p.name] = raw.astype(np.float64)
+                self._value[p.name] = self.weight_format.from_raw(raw)
+            else:
+                self._value[p.name] = p.value
+
+    # ------------------------------------------------------------------
+    def _weights(self, layer) -> tuple[np.ndarray, np.ndarray]:
+        """(weight values, bias values) the datapath executes with."""
+        return self._value[layer.weight.name], self._value[layer.bias.name]
+
+    def _requantize(self, x: np.ndarray) -> np.ndarray:
+        return self.activation_format.quantize(x) if self.quantized else x
+
+    def _conv(self, layer: Conv2D, x: np.ndarray, pe_sim) -> tuple[np.ndarray, int, int]:
+        """One conv layer: output (bias added), cycles, MACs."""
+        w, b = self._weights(layer)
+        n, c, h, wid = x.shape
+        if self.fidelity == "pe":
+            out, stats = pe_sim.conv2d(x, w, stride=layer.stride, pad=layer.pad)
+        else:
+            if self.quantized:
+                # Integer GEMM on raw codes: act raw (scale 2^-fa) times
+                # weight raw (scale 2^-fw) accumulates exactly at scale
+                # 2^-(fa+fw); one multiply recovers the real value.
+                raw = conv2d_gemm(
+                    self.activation_format.to_raw(x).astype(np.float64),
+                    self._raw[layer.weight.name],
+                    stride=layer.stride,
+                    pad=layer.pad,
+                )
+                out = raw * (self.activation_format.scale * self.weight_format.scale)
+            else:
+                out = conv2d_gemm(x, w, stride=layer.stride, pad=layer.pad)
+            stats = conv_rowstationary_stats(
+                c, h + 2 * layer.pad, wid + 2 * layer.pad,
+                layer.out_channels, layer.kernel_size, layer.kernel_size,
+                stride=layer.stride, config=self.config, batch=n,
+            )
+        out = out + b[None, :, None, None]
+        return out, stats.total_cycles, stats.total_pe_cycles
+
+    def _dense(self, layer: Dense, x: np.ndarray) -> tuple[np.ndarray, int, int]:
+        """One FC layer: output (bias added), cycles, MACs."""
+        w, b = self._weights(layer)
+        n = x.shape[0]
+        if self.fidelity == "pe":
+            result = simulate_fc_forward(x, w, array=self.config, fidelity="pe")
+            out, cycles, macs = result.output, result.total_cycles, result.mac_cycles
+        else:
+            if self.quantized:
+                raw = fc_forward_gemm(
+                    self.activation_format.to_raw(x).astype(np.float64),
+                    self._raw[layer.weight.name],
+                )
+                out = raw * (self.activation_format.scale * self.weight_format.scale)
+            else:
+                out = fc_forward_gemm(x, w)
+            sched = fc_tile_stats(
+                layer.in_features, layer.out_features, self.config, batch=n
+            )
+            cycles, macs = sched.total_cycles, sched.mac_cycles
+        return out + b, cycles, macs
+
+    # ------------------------------------------------------------------
+    def forward_batch(self, states: np.ndarray) -> tuple[np.ndarray, StepCost]:
+        x = np.asarray(states, dtype=np.float64)
+        if x.ndim != 4:
+            raise ValueError(f"expected an (N, C, H, W) state batch, got {x.shape}")
+        n = x.shape[0]
+        x = self._requantize(x)
+        pe_sim = (
+            FunctionalSystolicArray(self.config, fidelity="pe")
+            if self.fidelity == "pe"
+            else None
+        )
+        layer_cycles: dict[str, int] = {}
+        total_macs = 0
+
+        def charge(name: str, cycles: int) -> None:
+            # Layer names are not guaranteed unique; never let a
+            # duplicate silently swallow another layer's cycles.
+            while name in layer_cycles:
+                name += "'"
+            layer_cycles[name] = cycles
+
+        for layer in self.network.layers:
+            if isinstance(layer, Conv2D):
+                x, cycles, macs = self._conv(layer, x, pe_sim)
+                charge(layer.name, cycles)
+                total_macs += macs
+            elif isinstance(layer, Dense):
+                x, cycles, macs = self._dense(layer, x)
+                charge(layer.name, cycles)
+                total_macs += macs
+            else:
+                # ReLU runs on the PE comparators, pooling/flatten on the
+                # vector units — shape bookkeeping here, no MAC cycles.
+                x = layer.forward(x, training=False)
+            x = self._requantize(x)
+        cost = StepCost(
+            backend=self.name, states=n, macs=total_macs, layer_cycles=layer_cycles
+        )
+        return x, cost

@@ -10,6 +10,7 @@
     python -m repro rl --env indoor-apartment --iters 800 --seed 0
     python -m repro map --env outdoor-forest  # ASCII world render
     python -m repro fleet --num-envs 16 --rounds 2 --steps 150 --seed 0
+    python -m repro fleet --backend systolic  # hardware-in-the-loop rollouts
     python -m repro systolic-bench            # fast path vs PE oracle
 
 The ``systolic-bench`` command measures the vectorized systolic fast
@@ -24,7 +25,14 @@ The ``fleet`` command runs the vectorized multi-environment engine
 rollout → train → evaluate rounds with batched inference/updates, then
 reports per-round throughput (env steps/sec, episodes/sec), safe flight
 distance per environment class, and the measured load projected onto
-the paper platform's FPS / energy / NVM-endurance model.
+the paper platform's FPS / energy / NVM-endurance model.  Its
+``--backend {numpy,quantized,systolic}`` flag selects the execution
+backend action selection routes through (:mod:`repro.backend`):
+``numpy`` is the float path, ``quantized`` the 16-bit fixed-point
+datapath, and ``systolic`` the accelerator-in-the-loop path whose
+rollouts carry per-step array-cycle budgets into the report and the
+platform projection — plus a fixed-point-vs-float action-agreement
+check over replayed rollout states.
 """
 
 from __future__ import annotations
@@ -190,6 +198,11 @@ def _cmd_rl(args) -> None:
 
 
 def _cmd_fleet(args) -> None:
+    import warnings
+
+    import numpy as np
+
+    from repro.backend import make_backend
     from repro.fleet import FleetScheduler, VecNavigationEnv
     from repro.nn import build_network, scaled_drone_net_spec
     from repro.rl import EpsilonSchedule, QLearningAgent
@@ -220,6 +233,7 @@ def _cmd_fleet(args) -> None:
         config=config_by_name(args.config),
         epsilon=EpsilonSchedule(1.0, 0.1, max(total_agent_steps // 2, 1)),
         seed=args.seed,
+        backend=make_backend(args.backend, network),
     )
     scheduler = FleetScheduler(
         agent, vec_env, train_every=args.train_every, eval_steps=args.eval_steps
@@ -268,12 +282,36 @@ def _cmd_fleet(args) -> None:
         f"NVM write load {projection.nvm_write_bits_per_second / 1e6:.2f} Mbit/s"
         f" -> endurance {projection.endurance.lifetime_years:.1f} years"
     )
-    cost = scheduler.cost_observation_batch()
-    print(
-        f"systolic fast path: one {cost.num_envs}-env observation batch = "
-        f"{cost.total_cycles / 1e6:.2f} Mcycles "
-        f"({cost.array_seconds * 1e6:.0f} us on the paper array)"
-    )
+    if report.total_inference_cycles > 0:
+        print(
+            f"backend '{report.backend}': "
+            f"{report.cycles_per_env_step / 1e3:.1f} kcycles/env-step measured "
+            f"-> array sustains "
+            f"{projection.inference_sustainable_steps_per_second:.0f} steps/s, "
+            f"inference utilization {projection.inference_utilization:.4f} "
+            f"({'feasible' if projection.inference_realtime_feasible else 'OVERLOADED'})"
+        )
+    elif args.backend == "numpy":
+        # Float rollouts carry no budget: keep the legacy one-shot
+        # costing of the current observation batch on the fast path.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            cost = scheduler.cost_observation_batch()
+        print(
+            f"systolic fast path: one {cost.num_envs}-env observation batch = "
+            f"{cost.total_cycles / 1e6:.2f} Mcycles "
+            f"({cost.array_seconds * 1e6:.0f} us on the paper array)"
+        )
+    if args.backend != "numpy" and len(agent.replay) > 0:
+        sample = min(len(agent.replay), 256)
+        states, _, _, _, _ = agent.replay.sample(
+            sample, np.random.default_rng(args.seed)
+        )
+        agreement = agent.backend.agreement_rate(states)
+        print(
+            f"{args.backend} policy vs float: {agreement:.3f} action agreement "
+            f"over {sample} rollout states"
+        )
 
 
 def _cmd_systolic_bench(args) -> None:
@@ -395,6 +433,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--image-side", type=int, default=16)
     p_fleet.add_argument("--config", default="L4",
                          choices=["L2", "L3", "L4", "E2E"])
+    p_fleet.add_argument(
+        "--backend", default="numpy",
+        choices=["numpy", "quantized", "systolic"],
+        help="execution backend for action selection: float numpy "
+             "(default), 16-bit fixed point, or the quantized systolic "
+             "datapath with per-step cycle budgets",
+    )
     p_fleet.add_argument("--seed", type=int, default=0)
     p_fleet.set_defaults(func=_cmd_fleet)
     p_sys = sub.add_parser(

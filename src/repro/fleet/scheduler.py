@@ -14,19 +14,25 @@ rounds:
    per environment class, without training.
 
 Each round records wall-clock throughput (env steps/sec, episodes/sec,
-training iterations/sec).  :meth:`FleetScheduler.project_load` feeds the
-measured rates into :func:`repro.perf.traffic.project_fleet_load`, so a
-simulated fleet's demand maps onto the paper platform's FPS / latency /
-energy / endurance model — the "heavy traffic" question made concrete.
+training iterations/sec) and — when the agent's execution backend
+models hardware — the per-round accelerator cycle budget its forward
+passes were charged (:class:`~repro.backend.StepCost` totals, drained
+from the agent's ledger).  :meth:`FleetScheduler.project_load` feeds
+the measured rates *and* measured cycles into
+:func:`repro.perf.traffic.project_fleet_load`, so a simulated fleet's
+demand maps onto the paper platform's FPS / latency / energy /
+endurance model — the "heavy traffic" question made concrete.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import StepCost
 from repro.fleet.runner import scaled_train_batch
 from repro.fleet.vec_env import VecNavigationEnv
 from repro.perf.traffic import (
@@ -35,6 +41,7 @@ from repro.perf.traffic import (
     project_fleet_load,
 )
 from repro.rl.agent import QLearningAgent
+from repro.systolic.array import PAPER_ARRAY
 
 __all__ = [
     "RoundStats",
@@ -48,11 +55,14 @@ __all__ = [
 class FleetObservationCost:
     """Systolic-array cost of one fleet observation batch.
 
-    Produced by :meth:`FleetScheduler.cost_observation_batch`: the
-    whole fleet's observations go through the functional systolic fast
-    path in one batched call per layer, yielding both the Q values the
-    array would produce and the cycles it would charge — the
-    accelerator-in-the-loop precursor.
+    Produced by the deprecated
+    :meth:`FleetScheduler.cost_observation_batch`: the whole fleet's
+    observations go through the functional systolic fast path in one
+    batched call per layer, yielding both the Q values the array would
+    produce and the cycles it would charge.  Superseded by routing the
+    rollouts themselves through a
+    :class:`~repro.backend.SystolicBackend`, which charges the same
+    budgets continuously instead of post hoc.
     """
 
     num_envs: int
@@ -64,7 +74,13 @@ class FleetObservationCost:
 
 @dataclass(frozen=True)
 class RoundStats:
-    """Throughput and task metrics of one scheduler round."""
+    """Throughput and task metrics of one scheduler round.
+
+    The ``inference_*`` fields carry the accelerator cycle budget the
+    agent's execution backend charged during the round's rollout and
+    evaluation forward passes (zero under the float ``numpy`` backend,
+    which has no hardware model).
+    """
 
     round_index: int
     env_steps: int
@@ -75,11 +91,21 @@ class RoundStats:
     eval_seconds: float
     mean_loss: float
     eval_sfd_by_class: dict[str, float]
+    backend: str = "numpy"
+    inference_states: int = 0
+    inference_macs: int = 0
+    inference_cycles: int = 0
+    inference_array_seconds: float = 0.0
 
     @property
     def wall_seconds(self) -> float:
         """Total wall-clock time of the round."""
         return self.rollout_seconds + self.train_seconds + self.eval_seconds
+
+    @property
+    def cycles_per_env_step(self) -> float:
+        """Modelled array cycles per env step served this round."""
+        return self.inference_cycles / self.env_steps if self.env_steps else 0.0
 
     @property
     def steps_per_second(self) -> float:
@@ -105,6 +131,7 @@ class FleetReport:
 
     num_envs: int
     config_name: str
+    backend: str = "numpy"
     rounds: list[RoundStats] = field(default_factory=list)
     sfd_by_class: dict[str, float] = field(default_factory=dict)
     crash_counts: list[int] = field(default_factory=list)
@@ -145,6 +172,30 @@ class FleetReport:
         return (
             self.total_train_updates / self.wall_seconds
             if self.wall_seconds
+            else 0.0
+        )
+
+    @property
+    def total_inference_cycles(self) -> int:
+        """Backend-charged array cycles across all rounds."""
+        return sum(r.inference_cycles for r in self.rounds)
+
+    @property
+    def total_inference_states(self) -> int:
+        """States served by the backend across all rounds."""
+        return sum(r.inference_states for r in self.rounds)
+
+    @property
+    def inference_array_seconds(self) -> float:
+        """Modelled array time of all backend forwards."""
+        return sum(r.inference_array_seconds for r in self.rounds)
+
+    @property
+    def cycles_per_env_step(self) -> float:
+        """Average modelled array cycles charged per env step."""
+        return (
+            self.total_inference_cycles / self.total_env_steps
+            if self.total_env_steps
             else 0.0
         )
 
@@ -191,6 +242,13 @@ class FleetScheduler:
         self.eval_steps = eval_steps
         self.train_batch = scaled_train_batch(agent, vec_env.num_envs, batch_scale)
         self._states: np.ndarray | None = None
+
+    @property
+    def _array_config(self):
+        """Array geometry cycles are converted with: the backend's own
+        config when it models one (a custom SystolicBackend may run at a
+        different clock), the paper array otherwise."""
+        return getattr(self.agent.backend, "config", None) or PAPER_ARRAY
 
     # ------------------------------------------------------------------
     def _rollout(self, steps: int) -> tuple[int, int, int, list[float], float]:
@@ -273,8 +331,13 @@ class FleetScheduler:
         if rounds <= 0 or steps_per_round <= 0:
             raise ValueError("rounds and steps_per_round must be positive")
         report = FleetReport(
-            num_envs=self.vec_env.num_envs, config_name=self.agent.config.name
+            num_envs=self.vec_env.num_envs,
+            config_name=self.agent.config.name,
+            backend=self.agent.backend.name,
         )
+        # Discard cost records from before this run so round 0 only
+        # carries its own budget.
+        self.agent.drain_inference_cost()
         for index in range(rounds):
             steps, episodes, updates, losses, roll_wall = self._rollout(
                 steps_per_round
@@ -282,6 +345,7 @@ class FleetScheduler:
             extra_updates, extra_losses, train_wall = self._train()
             eval_steps, eval_episodes, eval_sfd, eval_wall = self._evaluate()
             losses = losses + extra_losses
+            cost = self.agent.drain_inference_cost()
             report.rounds.append(
                 RoundStats(
                     round_index=index,
@@ -293,6 +357,11 @@ class FleetScheduler:
                     eval_seconds=eval_wall,
                     mean_loss=float(np.mean(losses)) if losses else float("nan"),
                     eval_sfd_by_class=eval_sfd,
+                    backend=cost.backend,
+                    inference_states=cost.states,
+                    inference_macs=cost.macs,
+                    inference_cycles=cost.total_cycles,
+                    inference_array_seconds=cost.array_seconds(self._array_config),
                 )
             )
         # Close every env's final crash-free segment so it counts.
@@ -303,62 +372,39 @@ class FleetScheduler:
         return report
 
     def cost_observation_batch(self, fidelity: str = "fast") -> FleetObservationCost:
-        """Cost one fleet observation batch on the functional array.
+        """Deprecated: cost one fleet observation batch post hoc.
 
-        Runs the current fleet states (N, C, H, W) through the agent's
-        Q network with the systolic simulators doing the arithmetic:
-        each Conv2D layer becomes one batched
-        :meth:`~repro.systolic.FunctionalSystolicArray.conv2d` call and
-        each Dense layer one batched FC pass, while the surrounding
-        ReLU/pool/flatten layers execute functionally.  Because the
-        fast path and :mod:`repro.nn.layers` share the same GEMM
-        kernels, the returned ``q_values`` match ``network.predict``
-        while ``total_cycles``/``array_seconds`` say what the paper's
-        array would charge to serve the whole fleet one step.
+        Thin wrapper over a float-numerics
+        :class:`~repro.backend.SystolicBackend` (``quantized=False``
+        keeps the historical ``q_values == network.predict`` contract).
+        Prefer constructing the agent with a systolic backend so every
+        rollout forward pass carries its cycle budget into
+        :class:`RoundStats` instead of costing one snapshot after the
+        fact.
         """
-        from repro.nn.layers import Conv2D, Dense
-        from repro.systolic import (
-            FunctionalSystolicArray,
-            PAPER_ARRAY,
-            simulate_fc_forward,
-        )
+        from repro.backend import SystolicBackend
 
+        warnings.warn(
+            "FleetScheduler.cost_observation_batch is deprecated; build the "
+            "agent with backend=SystolicBackend(network) so fleet rounds "
+            "carry per-step cycle budgets in RoundStats/FleetReport",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if self._states is None:
             self._states = self.vec_env.reset()
-        x = np.asarray(self._states, dtype=np.float64)
-        sim = FunctionalSystolicArray(fidelity=fidelity)
-        layer_cycles: dict[str, int] = {}
-
-        def charge(layer, cycles: int) -> None:
-            # Layer names are not guaranteed unique; never let a
-            # duplicate silently swallow another layer's cycles.
-            key = layer.name
-            while key in layer_cycles:
-                key += "'"
-            layer_cycles[key] = cycles
-
-        for layer in self.agent.network.layers:
-            if isinstance(layer, Conv2D):
-                x, stats = sim.conv2d(
-                    x, layer.weight.value, stride=layer.stride, pad=layer.pad
-                )
-                x += layer.bias.value[None, :, None, None]
-                charge(layer, stats.total_cycles)
-            elif isinstance(layer, Dense):
-                result = simulate_fc_forward(
-                    x, layer.weight.value, fidelity=fidelity
-                )
-                x = result.output + layer.bias.value
-                charge(layer, result.total_cycles)
-            else:
-                x = layer.forward(x)
-        total = sum(layer_cycles.values())
+        backend = SystolicBackend(
+            self.agent.network, fidelity=fidelity, quantized=False
+        )
+        q_values, cost = backend.forward_batch(
+            np.asarray(self._states, dtype=np.float64)
+        )
         return FleetObservationCost(
             num_envs=self.vec_env.num_envs,
-            q_values=x,
-            layer_cycles=layer_cycles,
-            total_cycles=total,
-            array_seconds=PAPER_ARRAY.seconds(total),
+            q_values=q_values,
+            layer_cycles=dict(cost.layer_cycles),
+            total_cycles=cost.total_cycles,
+            array_seconds=cost.array_seconds(PAPER_ARRAY),
         )
 
     def project_load(
@@ -369,10 +415,15 @@ class FleetScheduler:
         """Project the measured fleet load onto the accelerator model.
 
         Builds a paper-scale :class:`TrafficSimulator` for the agent's
-        transfer config unless one is supplied.  Raises ``ValueError``
-        when the report measured no training iterations — there is no
-        load to project, and a clamped rate would print a nonsense
-        utilization/endurance instead of surfacing the problem.
+        transfer config unless one is supplied.  When the report's
+        backend charged cycles, the measured cycles-per-step budget is
+        threaded into the projection (``inference_cycles_per_step``),
+        so the platform's inference headroom comes from what the
+        datapath actually charged rather than an analytic estimate.
+        Raises ``ValueError`` when the report measured no training
+        iterations — there is no load to project, and a clamped rate
+        would print a nonsense utilization/endurance instead of
+        surfacing the problem.
         """
         if report.total_train_updates == 0:
             raise ValueError(
@@ -390,4 +441,6 @@ class FleetScheduler:
             batch_size=self.train_batch,
             steps_per_second=report.steps_per_second,
             train_iterations_per_second=report.train_iterations_per_second,
+            inference_cycles_per_step=report.cycles_per_env_step,
+            array=self._array_config,
         )

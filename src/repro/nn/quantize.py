@@ -17,6 +17,7 @@ import numpy as np
 from repro.fixedpoint.qformat import QFormat, Q2_13, Q8_8, quantization_stats
 from repro.nn.layers import Conv2D, Dense
 from repro.nn.network import Network
+from repro.systolic.kernels import conv2d_gemm, fc_forward_gemm
 
 __all__ = ["QuantizedNetwork", "quantize_network_report"]
 
@@ -45,8 +46,19 @@ class QuantizedNetwork:
         self.network = network
         self.weight_format = weight_format
         self.activation_format = activation_format
-        self._quantized_state: dict[str, np.ndarray] = {
-            p.name: weight_format.quantize(p.value) for p in network.parameters()
+        self._quantized_state: dict[str, np.ndarray] = {}
+        self.refresh_quantized_state()
+
+    def refresh_quantized_state(self) -> None:
+        """Re-quantise the float network's current weights.
+
+        The constructor snapshot models the one-time TL model download;
+        call this after an online training update so the fixed-point
+        view tracks the live weights (the platform's SRAM write-back).
+        """
+        self._quantized_state = {
+            p.name: self.weight_format.quantize(p.value)
+            for p in self.network.parameters()
         }
 
     def weight_error_stats(self):
@@ -79,12 +91,39 @@ class QuantizedNetwork:
             x = self.activation_format.quantize(x)
         return x
 
+    def predict_batch(self, x: np.ndarray) -> np.ndarray:
+        """Batched quantised forward pass through the shared GEMM kernels.
+
+        Bitwise-identical to :meth:`predict` (the per-layer weight-swap
+        reference path, kept as the cross-validation oracle), but runs
+        the parametric layers directly through
+        :mod:`repro.systolic.kernels` with the pre-quantised weight
+        tensors — no ``Parameter`` mutation, so concurrent callers never
+        observe a half-swapped network, and conv/FC layers hit the same
+        batched BLAS dispatches as the systolic fast path.
+        """
+        x = self.activation_format.quantize(np.asarray(x, dtype=np.float64))
+        for layer in self.network.layers:
+            if isinstance(layer, Conv2D):
+                w = self._quantized_state[layer.weight.name]
+                b = self._quantized_state[layer.bias.name]
+                x = conv2d_gemm(x, w, stride=layer.stride, pad=layer.pad)
+                x = x + b[None, :, None, None]
+            elif isinstance(layer, Dense):
+                w = self._quantized_state[layer.weight.name]
+                b = self._quantized_state[layer.bias.name]
+                x = fc_forward_gemm(x, w) + b
+            else:
+                x = layer.forward(x, training=False)
+            x = self.activation_format.quantize(x)
+        return x
+
     def agreement_rate(self, states: np.ndarray) -> float:
         """Fraction of states whose greedy action survives quantisation."""
         if states.ndim < 2 or states.shape[0] == 0:
             raise ValueError("states must be a non-empty batch")
         fp = self.network.predict(states).argmax(axis=1)
-        qp = self.predict(states).argmax(axis=1)
+        qp = self.predict_batch(states).argmax(axis=1)
         return float(np.mean(fp == qp))
 
 

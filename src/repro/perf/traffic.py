@@ -26,6 +26,7 @@ from repro.memory.devices import CameraDram, GlobalBuffer, SttMramStack
 from repro.nn.specs import FCSpec, NetworkSpec
 from repro.perf.layer_cost import LayerCostModel
 from repro.rl.transfer import TransferConfig
+from repro.systolic.array import ArrayConfig, PAPER_ARRAY
 
 __all__ = [
     "IterationTraffic",
@@ -210,7 +211,12 @@ class FleetLoadProjection:
       can train on them),
     * ``energy_watts`` — average power of serving the demanded rate,
     * ``traffic`` / ``bits_per_second`` / ``endurance`` — per-device
-      memory traffic of the load and the NVM lifetime under it.
+      memory traffic of the load and the NVM lifetime under it,
+    * ``inference_cycles_per_step`` / ``inference_step_latency_s`` —
+      the *measured* per-env-step cycle budget an execution backend
+      charged during the fleet run (zero when rollouts ran on the
+      uncosted float path); from it, the inference rate the array
+      sustains and the fleet's utilization of it.
     """
 
     config_name: str
@@ -223,6 +229,8 @@ class FleetLoadProjection:
     iteration_energy_j: float
     traffic: IterationTraffic
     endurance: EnduranceEstimate
+    inference_cycles_per_step: float = 0.0
+    inference_step_latency_s: float = 0.0
 
     @property
     def utilization(self) -> float:
@@ -251,6 +259,26 @@ class FleetLoadProjection:
         """NVM write traffic demanded, bits/sec (the endurance driver)."""
         return self.traffic.nvm_write_bits * self.train_iterations_per_second
 
+    @property
+    def inference_sustainable_steps_per_second(self) -> float:
+        """Env steps/sec the array sustains at the measured cycle budget.
+
+        ``inf`` when no backend cycles were measured (nothing to bound).
+        """
+        if self.inference_step_latency_s <= 0.0:
+            return float("inf")
+        return 1.0 / self.inference_step_latency_s
+
+    @property
+    def inference_utilization(self) -> float:
+        """Demanded step rate / sustainable inference step rate."""
+        return self.steps_per_second * self.inference_step_latency_s
+
+    @property
+    def inference_realtime_feasible(self) -> bool:
+        """Whether the array keeps up with the fleet's inference demand."""
+        return self.inference_utilization <= 1.0
+
 
 def project_fleet_load(
     simulator: TrafficSimulator,
@@ -259,19 +287,26 @@ def project_fleet_load(
     steps_per_second: float,
     train_iterations_per_second: float,
     endurance_cycles: float = 1e12,
+    inference_cycles_per_step: float = 0.0,
+    array: ArrayConfig = PAPER_ARRAY,
 ) -> FleetLoadProjection:
     """Map a measured fleet workload onto the accelerator's cost model.
 
     ``batch_size`` is the fleet's training batch (typically the agent
     batch times the fleet width); ``steps_per_second`` and
     ``train_iterations_per_second`` come from the scheduler's measured
-    rounds.  Combines the Fig. 13 iteration-cost model with the traffic
+    rounds.  ``inference_cycles_per_step`` is the average array-cycle
+    budget the fleet's execution backend charged per env step (0 when
+    rollouts ran on the uncosted float path); ``array`` converts it to
+    latency.  Combines the Fig. 13 iteration-cost model with the traffic
     simulator's per-device bit counts and the NVM endurance estimate.
     """
     if num_envs <= 0:
         raise ValueError("num_envs must be positive")
     if steps_per_second <= 0 or train_iterations_per_second <= 0:
         raise ValueError("rates must be positive")
+    if inference_cycles_per_step < 0:
+        raise ValueError("inference_cycles_per_step cannot be negative")
     from repro.perf.training import TrainingIterationModel
 
     cost = TrainingIterationModel(simulator.cost_model).iteration_cost(batch_size)
@@ -290,4 +325,6 @@ def project_fleet_load(
         iteration_energy_j=cost.iteration_energy_j,
         traffic=traffic,
         endurance=endurance,
+        inference_cycles_per_step=inference_cycles_per_step,
+        inference_step_latency_s=array.seconds(inference_cycles_per_step),
     )

@@ -3,6 +3,15 @@
 Implements eq. (1) of the paper: ``Q(s,a) = r + gamma * max_a' Q(s',a')``
 regressed with gradient descent, where backpropagation covers only the
 layers selected by the active :class:`~repro.rl.transfer.TransferConfig`.
+
+Action selection routes through a pluggable
+:class:`~repro.backend.ExecutionBackend` — float NumPy by default, or
+the quantized / systolic datapaths for hardware-in-the-loop rollouts —
+mirroring the paper's split: *inference* runs on the accelerator's
+fixed-point datapath, *training* stays in floating point off-device.
+Every backend forward records a :class:`~repro.backend.StepCost`;
+:meth:`QLearningAgent.drain_inference_cost` hands the accumulated cycle
+budget to whoever is accounting (the fleet scheduler, per round).
 """
 
 from __future__ import annotations
@@ -11,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import ExecutionBackend, NumpyBackend, StepCost, merge_step_costs
 from repro.env.episode import Transition
 from repro.nn.losses import q_learning_loss
 from repro.nn.network import Network
@@ -85,6 +95,12 @@ class QLearningAgent:
         With a target network, select the bootstrap action with the
         online network but evaluate it with the target (double DQN);
         reduces the max-operator's overestimation bias.
+    backend:
+        Execution backend for action selection (``None`` selects the
+        float :class:`~repro.backend.NumpyBackend`, bitwise-identical
+        to calling the network directly).  Training always
+        backpropagates through the float network regardless of the
+        backend — inference-on-accelerator, training-off-device.
     """
 
     def __init__(
@@ -102,6 +118,7 @@ class QLearningAgent:
         grad_clip: float = 5.0,
         target_sync_every: int | None = None,
         double_dqn: bool = False,
+        backend: ExecutionBackend | None = None,
     ):
         if not 0.0 <= gamma < 1.0:
             raise ValueError("gamma must be in [0, 1)")
@@ -131,31 +148,65 @@ class QLearningAgent:
         self.optimizer = optimizer or SGD(
             network.parameters(self.first_trainable), lr=learning_rate, momentum=0.9
         )
+        if backend is not None and backend.network is not network:
+            # A backend over some other network would serve one policy
+            # while training (and sync()-ing) another — the deployed
+            # policy would silently never improve.
+            raise ValueError("backend must wrap the agent's own network")
+        self.backend = backend or NumpyBackend(network)
+        self._pending_costs: list[StepCost] = []
         self.step_count = 0
         self.train_count = 0
         self.last_loss = float("nan")
 
     # ------------------------------------------------------------------
     def q_values(self, state: np.ndarray) -> np.ndarray:
-        """Q(s, .) for a single state (adds the batch axis)."""
+        """Q(s, .) for a single state under the *float* network.
+
+        This is the training-side view of the policy; the deployed
+        (possibly quantised) view is ``backend.forward_batch``.
+        """
         return self.network.predict(state[None, ...])[0]
 
+    def _backend_q_values(self, states: np.ndarray) -> np.ndarray:
+        """Backend forward pass, recording its step cost in the ledger."""
+        q_values, cost = self.backend.forward_batch(states)
+        self._pending_costs.append(cost)
+        if len(self._pending_costs) >= 1024:
+            # Long undrained runs (plain train_agent loops) must not
+            # accumulate one record per step — compact in place.
+            self._pending_costs = [
+                merge_step_costs(self._pending_costs, backend=self.backend.name)
+            ]
+        return q_values
+
+    def drain_inference_cost(self) -> StepCost:
+        """Accumulated backend :class:`StepCost` since the last drain.
+
+        Clears the ledger; the fleet scheduler calls this once per round
+        to thread per-round cycle budgets into its report.
+        """
+        cost = merge_step_costs(self._pending_costs, backend=self.backend.name)
+        self._pending_costs.clear()
+        return cost
+
     def select_action(self, state: np.ndarray, greedy: bool = False) -> int:
-        """Epsilon-greedy action selection."""
+        """Epsilon-greedy action selection (greedy leg via the backend)."""
         eps = 0.0 if greedy else self.epsilon.value(self.step_count)
         self.step_count += 1
         if self.rng.random() < eps:
             return int(self.rng.integers(self.num_actions))
-        return int(np.argmax(self.q_values(state)))
+        return int(np.argmax(self._backend_q_values(state[None, ...])[0]))
 
     def act_batch(self, states: np.ndarray, greedy: bool = False) -> np.ndarray:
         """Epsilon-greedy actions for a whole fleet of states at once.
 
         ``states`` is (N, C, H, W); returns (N,) int actions.  One
-        forward pass serves all N environments, instead of N single-state
-        passes.  Each state consumes one exploration-schedule step and
-        one uniform draw, mirroring N :meth:`select_action` calls (the
-        random draws come from the same generator, in batch order).
+        backend forward pass serves all N environments, instead of N
+        single-state passes.  Each state consumes one
+        exploration-schedule step and one uniform draw, mirroring N
+        :meth:`select_action` calls (the random draws come from the same
+        generator, in batch order).
         """
         states = np.asarray(states)
         if states.ndim < 2:
@@ -171,7 +222,7 @@ class QLearningAgent:
             # Mirror select_action: a fully exploring batch skips the
             # forward pass entirely.
             return self.rng.integers(self.num_actions, size=n).astype(np.int64)
-        greedy_actions = np.argmax(self.network.predict(states), axis=1)
+        greedy_actions = np.argmax(self._backend_q_values(states), axis=1)
         if not np.any(explore):
             return greedy_actions.astype(np.int64)
         random_actions = self.rng.integers(self.num_actions, size=n)
@@ -257,6 +308,9 @@ class QLearningAgent:
             and self.train_count % self.target_sync_every == 0
         ):
             self._target_state = self.network.state_dict()
+        # Write the updated weights back to the deployed datapath (a
+        # no-op for the float backend).
+        self.backend.sync()
         return loss
 
     def _bootstrap_values(self, next_states: np.ndarray) -> np.ndarray:

@@ -15,7 +15,10 @@ provides:
   im2col/GEMM kernels (:mod:`repro.systolic.kernels`) and cycle
   statistics in closed form (:mod:`repro.systolic.cycles`), running
   paper-scale layers and whole batches in one call; ``"pe"`` retains
-  the loop-level per-PE oracle the fast path is proven against,
+  the loop-level per-PE oracle the fast path is proven against.  FC
+  weight tiles stay resident while a batch streams through, so their
+  load cycles amortise across the batch (the Fig. 13 fps-vs-batch
+  weight-reuse effect) at both fidelities,
 * a throughput benchmark harness (:mod:`repro.systolic.bench`) backing
   ``python -m repro systolic-bench``.
 """

@@ -24,9 +24,15 @@ Derivation, matching the oracle loop structure:
 * FC tiles — the tile schedule of Figs. 7/8 charges ``tile.size`` MACs
   and ``tile_rows + tile_cols`` drain per tile; summed in closed form
   over the ragged tile grid.
+* FC tile *loads* — streaming an ``r x c`` weight tile into the array
+  costs ``r`` cycles (one broadside row per cycle).  A batch of vectors
+  reuses the resident tile: loads are charged once per tile-batch, not
+  per sample, which is the Fig. 13 fps-vs-batch effect — cycles per
+  sample strictly decrease as the batch grows.
 
-A batch of ``n`` images/vectors repeats the schedule ``n`` times, so
-every counter scales linearly with the batch.
+A batch of ``n`` images/vectors repeats the MAC/drain schedule ``n``
+times (those counters scale linearly with the batch); FC weight loads
+are amortised across the batch as above.
 """
 
 from __future__ import annotations
@@ -59,11 +65,22 @@ class SimulationStats:
 
 @dataclass(frozen=True)
 class FCScheduleStats:
-    """Tile-schedule statistics of one FC pass (either direction)."""
+    """Tile-schedule statistics of one FC pass (either direction).
+
+    ``tiles`` and ``load_cycles`` count distinct weight tiles streamed
+    into the array — charged once per batch (weight reuse); ``mac_cycles``
+    and ``drain_cycles`` repeat per sample.
+    """
 
     tiles: int
     mac_cycles: int
     drain_cycles: int
+    load_cycles: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        """Load + MAC + drain cycles of the schedule."""
+        return self.load_cycles + self.mac_cycles + self.drain_cycles
 
 
 def conv_rowstationary_stats(
@@ -110,12 +127,17 @@ def fc_tile_stats(
     """Closed-form counters for the Fig. 7/8 FC tile schedule.
 
     Both directions stream the same (in_features x out_features) tile
-    grid, so forward and transposed-backward share these numbers.
+    grid, so forward and transposed-backward share these numbers.  Each
+    weight tile is loaded into the array once and stays resident while
+    the whole batch streams through it (one broadside row per cycle, so
+    an ``r x c`` tile costs ``r`` load cycles); MAC and drain cycles
+    repeat per sample.
     """
     row_tiles = -(-in_features // array.rows)
     col_tiles = -(-out_features // array.cols)
     return FCScheduleStats(
-        tiles=batch * row_tiles * col_tiles,
+        tiles=row_tiles * col_tiles,
         mac_cycles=batch * in_features * out_features,
         drain_cycles=batch * (in_features * col_tiles + out_features * row_tiles),
+        load_cycles=in_features * col_tiles,
     )

@@ -16,7 +16,9 @@ with the tile/MAC/drain counters from the closed-form schedule model
 cost milliseconds.  ``fidelity="pe"`` executes the tile schedule
 explicitly (per-tile loads, per-lane dot products, wavefront drains) and
 is the oracle the fast path is proven against.  A batch of vectors
-(B, I) repeats the schedule per vector, so every counter scales with B.
+(B, I) streams through each *resident* weight tile: tile loads are
+charged once per batch (the Fig. 13 weight-reuse effect), while MAC and
+drain counters repeat per vector.
 
 These simulators ground the FC pass-count model of
 :mod:`repro.perf.layer_cost`.
@@ -38,17 +40,23 @@ __all__ = ["FCSimResult", "simulate_fc_forward", "simulate_fc_backward_transpose
 
 @dataclass(frozen=True)
 class FCSimResult:
-    """Output and schedule statistics of one simulated FC pass."""
+    """Output and schedule statistics of one simulated FC pass.
+
+    ``tiles``/``load_cycles`` are charged once per batch (the weight
+    tiles stay resident while every vector streams through);
+    ``mac_cycles``/``drain_cycles`` repeat per vector.
+    """
 
     output: np.ndarray
     tiles: int
     mac_cycles: int
     drain_cycles: int
+    load_cycles: int = 0
 
     @property
     def total_cycles(self) -> int:
-        """MAC + drain cycles of the simulated schedule."""
-        return self.mac_cycles + self.drain_cycles
+        """Load + MAC + drain cycles of the simulated schedule."""
+        return self.load_cycles + self.mac_cycles + self.drain_cycles
 
 
 def _tile_ranges(size: int, tile: int):
@@ -68,23 +76,28 @@ def _pe_tile_schedule(
     multiplies its vector element and sums accumulate along each row.
     Only the contraction axis differs; tiles, MACs and drains are
     charged identically in both directions.
+
+    Tiles iterate *outermost* so each weight tile is loaded once
+    (``tile_rows`` broadside load cycles) and stays resident while the
+    whole batch streams through it — weight reuse across the batch.
     """
     in_f, out_f = matrix.shape
     n = batch.shape[0]
     output = np.zeros((n, out_f if forward else in_f))
-    tiles = mac_cycles = drain_cycles = 0
-    for b in range(n):
-        for r0, r1 in _tile_ranges(in_f, array.rows):
-            for c0, c1 in _tile_ranges(out_f, array.cols):
-                tiles += 1
-                tile = matrix[r0:r1, c0:c1]
+    tiles = mac_cycles = drain_cycles = load_cycles = 0
+    for r0, r1 in _tile_ranges(in_f, array.rows):
+        for c0, c1 in _tile_ranges(out_f, array.cols):
+            tiles += 1
+            tile = matrix[r0:r1, c0:c1]
+            load_cycles += r1 - r0
+            for b in range(n):
                 if forward:
                     output[b, c0:c1] += (batch[b, r0:r1, None] * tile).sum(axis=0)
                 else:
                     output[b, r0:r1] += (tile * batch[b, None, c0:c1]).sum(axis=1)
                 mac_cycles += tile.size
                 drain_cycles += (r1 - r0) + (c1 - c0)
-    return output, tiles, mac_cycles, drain_cycles
+    return output, tiles, mac_cycles, drain_cycles, load_cycles
 
 
 def _prepare(vector: np.ndarray, matrix: np.ndarray, features_axis: int):
@@ -122,7 +135,9 @@ def simulate_fc_forward(
     if fidelity == "fast":
         output = fc_forward_gemm(batch, matrix)
         sched = fc_tile_stats(in_f, out_f, array, batch=batch.shape[0])
-        counters = (sched.tiles, sched.mac_cycles, sched.drain_cycles)
+        counters = (
+            sched.tiles, sched.mac_cycles, sched.drain_cycles, sched.load_cycles,
+        )
     else:
         output, *counters = _pe_tile_schedule(batch, matrix, array, forward=True)
     return FCSimResult(output[0] if single else output, *counters)
@@ -148,7 +163,9 @@ def simulate_fc_backward_transposed(
     if fidelity == "fast":
         output = fc_backward_gemm(batch, matrix)
         sched = fc_tile_stats(in_f, out_f, array, batch=batch.shape[0])
-        counters = (sched.tiles, sched.mac_cycles, sched.drain_cycles)
+        counters = (
+            sched.tiles, sched.mac_cycles, sched.drain_cycles, sched.load_cycles,
+        )
     else:
         output, *counters = _pe_tile_schedule(batch, matrix, array, forward=False)
     return FCSimResult(output[0] if single else output, *counters)

@@ -1,0 +1,402 @@
+"""Execution backends: numerics equivalence, cycle budgets, fleet threading.
+
+The backend seam's contracts:
+
+* ``NumpyBackend`` is bitwise the float network (the agent's historical
+  behaviour) with a zero cycle budget;
+* ``QuantizedBackend`` is bitwise ``QuantizedNetwork.predict_batch``;
+* ``SystolicBackend`` (quantized) is bitwise the quantized backend —
+  the integer GEMM datapath computes the exact same numbers — and its
+  ``pe`` fidelity passthrough matches ``fast`` over a shape grid;
+* cycle budgets come from the closed-form systolic accounting and
+  thread through the agent's ledger into fleet round reports;
+* after an online training update, ``sync()`` write-back keeps the
+  deployed datapath current.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKENDS,
+    NumpyBackend,
+    QuantizedBackend,
+    StepCost,
+    SystolicBackend,
+    make_backend,
+    merge_step_costs,
+)
+from repro.fixedpoint import Q8_8
+from repro.fleet import FleetScheduler, VecNavigationEnv
+from repro.nn import QuantizedNetwork, build_network, scaled_drone_net_spec
+from repro.nn.layers import Conv2D, Dense, Flatten, ReLU
+from repro.nn.network import Network
+from repro.rl import EpsilonSchedule, QLearningAgent, config_by_name
+from repro.systolic import conv_rowstationary_stats, fc_tile_stats
+
+SIDE = 16
+
+
+@pytest.fixture(scope="module")
+def rollout_states():
+    """Seeded on-policy rollout states (the agreement-rate population)."""
+    vec_env = VecNavigationEnv.from_names(
+        ["indoor-apartment", "outdoor-forest"],
+        seeds=[0, 1, 2, 3],
+        image_side=SIDE,
+        max_episode_steps=100,
+    )
+    network = build_network(scaled_drone_net_spec(input_side=SIDE), seed=0)
+    agent = QLearningAgent(
+        network,
+        config=config_by_name("L4"),
+        epsilon=EpsilonSchedule(1.0, 0.1, 200),
+        seed=0,
+        batch_size=4,
+    )
+    scheduler = FleetScheduler(agent, vec_env, train_every=2, eval_steps=10)
+    scheduler.run(rounds=1, steps_per_round=40)
+    states, _, _, _, _ = agent.replay.sample(128, np.random.default_rng(7))
+    return network, states
+
+
+def make_net(seed: int = 0) -> Network:
+    return build_network(scaled_drone_net_spec(input_side=SIDE), seed=seed)
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        assert {"numpy", "quantized", "systolic"} <= set(BACKENDS)
+
+    def test_make_backend_instantiates(self):
+        net = make_net()
+        assert isinstance(make_backend("numpy", net), NumpyBackend)
+        assert isinstance(make_backend("systolic", net), SystolicBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("tpu", make_net())
+
+
+class TestStepCost:
+    def test_totals_and_merge(self):
+        a = StepCost(backend="systolic", states=4, macs=10,
+                     layer_cycles={"CONV1": 100, "FC1": 50})
+        b = StepCost(backend="systolic", states=2, macs=5,
+                     layer_cycles={"FC1": 25})
+        merged = merge_step_costs([a, b])
+        assert merged.total_cycles == 175
+        assert merged.states == 6
+        assert merged.macs == 15
+        assert merged.layer_cycles == {"CONV1": 100, "FC1": 75}
+        assert merged.cycles_per_state == pytest.approx(175 / 6)
+        assert a.array_seconds() == pytest.approx(150 / 1e9)
+
+    def test_empty_merge_is_zero(self):
+        zero = merge_step_costs([], backend="numpy")
+        assert zero.total_cycles == 0 and zero.states == 0
+
+
+class TestNumpyBackend:
+    def test_bitwise_matches_agent_q_values(self, rng):
+        net = make_net()
+        agent = QLearningAgent(net, config=config_by_name("L4"), seed=0)
+        backend = NumpyBackend(net)
+        states = rng.uniform(0, 1, size=(5, 1, SIDE, SIDE))
+        # Like-for-like calls are bitwise identical: single state against
+        # q_values (both one-state batches), whole batch against predict.
+        for i in range(5):
+            assert np.array_equal(
+                backend.forward_batch(states[i][None])[0][0],
+                agent.q_values(states[i]),
+            )
+        q_values, cost = backend.forward_batch(states)
+        assert np.array_equal(q_values, net.predict(states))
+        assert cost.total_cycles == 0 and cost.states == 5
+        assert backend.agreement_rate(states) == 1.0
+
+
+class TestQuantizedBackend:
+    def test_bitwise_matches_quantized_network(self, rng):
+        net = make_net()
+        backend = QuantizedBackend(net)
+        reference = QuantizedNetwork(net)
+        states = rng.uniform(0, 1, size=(6, 1, SIDE, SIDE))
+        q_values, cost = backend.forward_batch(states)
+        assert np.array_equal(q_values, reference.predict_batch(states))
+        # The scalar weight-swap path is the cross-validation oracle.
+        assert np.array_equal(q_values, reference.predict(states))
+        assert cost.total_cycles == 0
+
+    def test_agreement_on_seeded_rollout_states(self, rollout_states):
+        network, states = rollout_states
+        assert QuantizedBackend(network).agreement_rate(states) >= 0.95
+
+
+class TestSystolicBackend:
+    def test_quantized_numerics_bitwise_match_quantized_backend(self, rng):
+        net = make_net()
+        states = rng.uniform(0, 1, size=(4, 1, SIDE, SIDE))
+        sys_q, sys_cost = SystolicBackend(net).forward_batch(states)
+        quant_q, _ = QuantizedBackend(net).forward_batch(states)
+        assert np.array_equal(sys_q, quant_q)
+        assert sys_cost.total_cycles > 0
+
+    def test_float_mode_matches_network_predict(self, rng):
+        net = make_net()
+        states = rng.uniform(0, 1, size=(4, 1, SIDE, SIDE))
+        q_values, cost = SystolicBackend(net, quantized=False).forward_batch(states)
+        assert np.allclose(q_values, net.predict(states), rtol=1e-12, atol=1e-12)
+        assert cost.total_cycles > 0
+
+    def test_agreement_on_seeded_rollout_states(self, rollout_states):
+        network, states = rollout_states
+        assert SystolicBackend(network).agreement_rate(states) >= 0.95
+
+    @pytest.mark.parametrize(
+        "channels,side,filters,kernel,stride,features",
+        [
+            (1, 8, 2, 3, 1, 6),
+            (2, 9, 3, 3, 2, 5),
+            (1, 10, 2, 5, 2, 7),
+        ],
+    )
+    def test_fast_vs_pe_fidelity_agree(
+        self, channels, side, filters, kernel, stride, features
+    ):
+        """The pe oracle passthrough computes the exact same raw-integer
+        datapath results and cycle budgets as the GEMM fast path."""
+        rng = np.random.default_rng(side * kernel + stride)
+        conv = Conv2D(channels, filters, kernel, stride=stride, name="c", rng=rng)
+        out_c, oh, ow = conv.output_shape(side, side)
+        net = Network(
+            [conv, ReLU(), Flatten(),
+             Dense(out_c * oh * ow, features, name="d", rng=rng)],
+            name="grid-net",
+        )
+        states = rng.uniform(0, 1, size=(3, channels, side, side))
+        fast_q, fast_cost = SystolicBackend(net, fidelity="fast").forward_batch(states)
+        pe_q, pe_cost = SystolicBackend(net, fidelity="pe").forward_batch(states)
+        assert np.array_equal(fast_q, pe_q)
+        assert fast_cost.layer_cycles == pe_cost.layer_cycles
+        assert fast_cost.total_cycles == pe_cost.total_cycles > 0
+
+    def test_cycle_budgets_are_the_closed_form_stats(self, rng):
+        net = make_net()
+        n = 4
+        states = rng.uniform(0, 1, size=(n, 1, SIDE, SIDE))
+        _, cost = SystolicBackend(net).forward_batch(states)
+        conv1 = net.layers[0]
+        expected = conv_rowstationary_stats(
+            conv1.in_channels, SIDE + 2 * conv1.pad, SIDE + 2 * conv1.pad,
+            conv1.out_channels, conv1.kernel_size, conv1.kernel_size,
+            stride=conv1.stride, batch=n,
+        )
+        assert cost.layer_cycles["CONV1"] == expected.total_cycles
+        fc5 = next(l for l in net.layers if getattr(l, "name", "") == "FC5")
+        assert cost.layer_cycles["FC5"] == fc_tile_stats(
+            fc5.in_features, fc5.out_features, batch=n
+        ).total_cycles
+
+    def test_fc_weight_reuse_amortises_across_fleet_batch(self, rng):
+        """Doubling the state batch less-than-doubles FC cycles (loads
+        charged once), while conv cycles scale exactly linearly."""
+        net = make_net()
+        backend = SystolicBackend(net)
+        _, c1 = backend.forward_batch(rng.uniform(0, 1, size=(1, 1, SIDE, SIDE)))
+        _, c8 = backend.forward_batch(rng.uniform(0, 1, size=(8, 1, SIDE, SIDE)))
+        assert c8.layer_cycles["CONV1"] == 8 * c1.layer_cycles["CONV1"]
+        assert c8.layer_cycles["FC1"] < 8 * c1.layer_cycles["FC1"]
+
+    def test_sync_tracks_online_updates(self, rng):
+        net = make_net()
+        backend = SystolicBackend(net)
+        states = rng.uniform(0, 1, size=(2, 1, SIDE, SIDE))
+        stale_q, _ = backend.forward_batch(states)
+        for p in net.parameters():
+            p.value = p.value + 0.01
+        # Without sync the datapath still serves the downloaded snapshot.
+        assert np.array_equal(backend.forward_batch(states)[0], stale_q)
+        backend.sync()
+        fresh_q, _ = backend.forward_batch(states)
+        assert np.array_equal(fresh_q, SystolicBackend(net).forward_batch(states)[0])
+        assert not np.array_equal(fresh_q, stale_q)
+
+    def test_state_batch_shape_validated(self):
+        with pytest.raises(ValueError, match="state batch"):
+            SystolicBackend(make_net()).forward_batch(np.zeros((SIDE, SIDE)))
+
+    def test_bad_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            SystolicBackend(make_net(), fidelity="warp")
+
+
+class TestAgentRouting:
+    def test_default_backend_is_float_numpy(self):
+        agent = QLearningAgent(make_net(), config=config_by_name("L4"), seed=0)
+        assert isinstance(agent.backend, NumpyBackend)
+
+    def test_backend_over_foreign_network_rejected(self):
+        """Serving one network while training another must not construct."""
+        with pytest.raises(ValueError, match="agent's own network"):
+            QLearningAgent(
+                make_net(), config=config_by_name("L4"), seed=0,
+                backend=QuantizedBackend(make_net(seed=1)),
+            )
+
+    def test_act_batch_records_cost_and_drain_clears(self, rng):
+        net = make_net()
+        agent = QLearningAgent(
+            net, config=config_by_name("L4"), seed=0,
+            epsilon=EpsilonSchedule(0.0, 0.0, 1),
+            backend=SystolicBackend(net),
+        )
+        states = rng.uniform(0, 1, size=(4, 1, SIDE, SIDE))
+        agent.act_batch(states)
+        agent.act_batch(states, greedy=True)
+        cost = agent.drain_inference_cost()
+        assert cost.backend == "systolic"
+        assert cost.states == 8
+        assert cost.total_cycles > 0
+        assert agent.drain_inference_cost().states == 0
+
+    def test_greedy_actions_follow_the_backend_policy(self, rng):
+        net = make_net()
+        backend = QuantizedBackend(net)
+        agent = QLearningAgent(
+            net, config=config_by_name("L4"), seed=0, backend=backend
+        )
+        states = rng.uniform(0, 1, size=(6, 1, SIDE, SIDE))
+        actions = agent.act_batch(states, greedy=True)
+        expected, _ = backend.greedy_actions(states)
+        assert np.array_equal(actions, expected)
+
+    def test_train_step_syncs_backend(self, rollout_states):
+        """After an online update the quantised datapath must serve the
+        written-back weights, not the downloaded snapshot."""
+        network, states = rollout_states
+        net = make_net(seed=3)
+        backend = QuantizedBackend(net)
+        agent = QLearningAgent(
+            net, config=config_by_name("L4"), seed=0, batch_size=4,
+            backend=backend,
+        )
+        before = backend.forward_batch(states[:4])[0]
+        from repro.env.episode import Transition
+
+        for i in range(8):
+            agent.observe(Transition(
+                state=states[i], action=int(i % 5), reward=1.0,
+                next_state=states[i + 1], done=False,
+            ))
+        agent.train_step()
+        after = backend.forward_batch(states[:4])[0]
+        assert not np.array_equal(before, after)
+        refreshed = QuantizedBackend(net).forward_batch(states[:4])[0]
+        assert np.array_equal(after, refreshed)
+
+
+class TestFleetThreading:
+    def make_fleet(self, num_envs=4):
+        return VecNavigationEnv.from_names(
+            ["indoor-apartment", "outdoor-forest"],
+            seeds=list(range(num_envs)),
+            image_side=SIDE,
+            max_episode_steps=100,
+        )
+
+    def test_rounds_carry_cycle_budgets(self):
+        net = make_net()
+        agent = QLearningAgent(
+            net, config=config_by_name("L4"), seed=0, batch_size=4,
+            epsilon=EpsilonSchedule(1.0, 0.1, 200),
+            backend=SystolicBackend(net),
+        )
+        scheduler = FleetScheduler(agent, self.make_fleet(), train_every=2,
+                                   eval_steps=10)
+        report = scheduler.run(rounds=2, steps_per_round=20)
+        assert report.backend == "systolic"
+        for stats in report.rounds:
+            assert stats.backend == "systolic"
+            assert stats.inference_cycles > 0
+            assert stats.inference_states > 0
+            assert stats.inference_macs > 0
+            assert stats.inference_array_seconds > 0
+            assert stats.cycles_per_env_step > 0
+        assert report.total_inference_cycles == sum(
+            r.inference_cycles for r in report.rounds
+        )
+        assert report.cycles_per_env_step > 0
+        projection = scheduler.project_load(report)
+        assert projection.inference_cycles_per_step == pytest.approx(
+            report.cycles_per_env_step
+        )
+        assert projection.inference_step_latency_s > 0
+        assert projection.inference_sustainable_steps_per_second < float("inf")
+        assert projection.inference_utilization > 0
+
+    def test_custom_array_config_threads_into_seconds_and_projection(self):
+        """A backend running at a non-default clock must convert its own
+        cycles with its own clock, not the paper array's."""
+        from repro.systolic import ArrayConfig
+
+        half_clock = ArrayConfig(clock_hz=5e8)
+        net = make_net()
+        agent = QLearningAgent(
+            net, config=config_by_name("L4"), seed=0, batch_size=4,
+            epsilon=EpsilonSchedule(1.0, 0.1, 200),
+            backend=SystolicBackend(net, config=half_clock),
+        )
+        scheduler = FleetScheduler(agent, self.make_fleet(), train_every=2)
+        report = scheduler.run(rounds=1, steps_per_round=20)
+        stats = report.rounds[0]
+        assert stats.inference_array_seconds == pytest.approx(
+            stats.inference_cycles / 5e8
+        )
+        projection = scheduler.project_load(report)
+        assert projection.inference_step_latency_s == pytest.approx(
+            report.cycles_per_env_step / 5e8
+        )
+
+    def test_numpy_backend_rounds_have_zero_budget(self):
+        net = make_net()
+        agent = QLearningAgent(
+            net, config=config_by_name("L4"), seed=0, batch_size=4,
+            epsilon=EpsilonSchedule(1.0, 0.1, 200),
+        )
+        scheduler = FleetScheduler(agent, self.make_fleet(), train_every=2)
+        report = scheduler.run(rounds=1, steps_per_round=20)
+        assert report.backend == "numpy"
+        assert report.total_inference_cycles == 0
+        projection = scheduler.project_load(report)
+        assert projection.inference_cycles_per_step == 0.0
+        assert projection.inference_sustainable_steps_per_second == float("inf")
+        assert projection.inference_realtime_feasible
+
+    def test_quantized_outputs_stay_on_the_activation_grid(self, rollout_states):
+        network, states = rollout_states
+        q_values, _ = SystolicBackend(network).forward_batch(states)
+        assert np.all(Q8_8.representable(q_values))
+
+
+class TestFleetCliBackend:
+    def test_backend_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["fleet", "--backend", "systolic"])
+        assert args.backend == "systolic"
+        assert build_parser().parse_args(["fleet"]).backend == "numpy"
+
+    def test_fleet_command_with_systolic_backend(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "fleet", "--num-envs", "4", "--rounds", "2", "--steps", "30",
+            "--eval-steps", "10", "--seed", "1",
+            "--envs", "indoor-apartment", "outdoor-forest",
+            "--backend", "systolic",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend 'systolic'" in out
+        assert "kcycles/env-step measured" in out
+        assert "action agreement" in out

@@ -144,7 +144,10 @@ class TestCostObservationBatch:
         agent = make_agent()
         vec_env = make_fleet()
         scheduler = FleetScheduler(agent, vec_env, eval_steps=0)
-        cost = scheduler.cost_observation_batch()
+        # Deprecated post-hoc path: still honours its float contract,
+        # but tells callers to route rollouts through SystolicBackend.
+        with pytest.warns(DeprecationWarning, match="SystolicBackend"):
+            cost = scheduler.cost_observation_batch()
         # One batched systolic call per parametric layer, whole fleet.
         assert cost.num_envs == 6
         assert cost.q_values.shape == (6, 5)

@@ -83,12 +83,12 @@ def test_fc_fast_equals_pe_oracle(in_f, out_f, batch, seed):
         fast = simulate(vec, m, array=SMALL_ARRAY, fidelity="fast")
         oracle = simulate(vec, m, array=SMALL_ARRAY, fidelity="pe")
         assert np.allclose(fast.output, oracle.output, rtol=1e-10, atol=1e-10)
-        assert (fast.tiles, fast.mac_cycles, fast.drain_cycles) == (
-            oracle.tiles, oracle.mac_cycles, oracle.drain_cycles,
+        assert (fast.tiles, fast.mac_cycles, fast.drain_cycles, fast.load_cycles) == (
+            oracle.tiles, oracle.mac_cycles, oracle.drain_cycles, oracle.load_cycles,
         )
     closed = fc_tile_stats(in_f, out_f, SMALL_ARRAY, batch=batch)
-    assert (closed.tiles, closed.mac_cycles, closed.drain_cycles) == (
-        oracle.tiles, oracle.mac_cycles, oracle.drain_cycles,
+    assert (closed.tiles, closed.mac_cycles, closed.drain_cycles, closed.load_cycles) == (
+        oracle.tiles, oracle.mac_cycles, oracle.drain_cycles, oracle.load_cycles,
     )
 
 

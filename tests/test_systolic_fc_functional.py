@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.systolic import (
+    fc_tile_stats,
     simulate_fc_backward_transposed,
     simulate_fc_forward,
 )
@@ -54,10 +55,26 @@ class TestForward:
         singles = [simulate_fc_forward(v, m) for v in vs]
         assert batched.output.shape == (4, 9)
         assert np.allclose(batched.output, np.stack([s.output for s in singles]))
-        # Counters scale linearly with the batch.
-        assert batched.tiles == sum(s.tiles for s in singles)
+        # MAC/drain counters scale linearly with the batch; weight tiles
+        # stay resident, so tile loads are charged once, not per sample.
         assert batched.mac_cycles == sum(s.mac_cycles for s in singles)
         assert batched.drain_cycles == sum(s.drain_cycles for s in singles)
+        assert batched.tiles == singles[0].tiles
+        assert batched.load_cycles == singles[0].load_cycles
+
+    def test_weight_reuse_cycles_per_sample_strictly_decreasing(self):
+        """Fig. 13 fps-vs-batch trend: amortising the tile loads across
+        a batch makes cycles/sample strictly decrease with batch size."""
+        per_sample = [
+            fc_tile_stats(96, 64, batch=b).total_cycles / b
+            for b in (1, 2, 4, 8, 16)
+        ]
+        assert all(a > b for a, b in zip(per_sample, per_sample[1:]))
+        # The amortised component is exactly the (constant) load cost.
+        s1, s16 = fc_tile_stats(96, 64, batch=1), fc_tile_stats(96, 64, batch=16)
+        assert s1.load_cycles == s16.load_cycles > 0
+        assert s16.mac_cycles == 16 * s1.mac_cycles
+        assert s16.drain_cycles == 16 * s1.drain_cycles
 
     def test_fast_matches_pe_oracle(self, rng):
         v = rng.normal(size=50)
@@ -65,8 +82,8 @@ class TestForward:
         fast = simulate_fc_forward(v, m, fidelity="fast")
         oracle = simulate_fc_forward(v, m, fidelity="pe")
         assert np.allclose(fast.output, oracle.output)
-        assert (fast.tiles, fast.mac_cycles, fast.drain_cycles) == (
-            oracle.tiles, oracle.mac_cycles, oracle.drain_cycles,
+        assert (fast.tiles, fast.mac_cycles, fast.drain_cycles, fast.load_cycles) == (
+            oracle.tiles, oracle.mac_cycles, oracle.drain_cycles, oracle.load_cycles,
         )
 
 
@@ -109,8 +126,8 @@ class TestBackwardTransposed:
         assert fast.output.shape == (3, 7)
         assert np.allclose(fast.output, vs @ m.T)
         assert np.allclose(fast.output, oracle.output)
-        assert (fast.tiles, fast.mac_cycles, fast.drain_cycles) == (
-            oracle.tiles, oracle.mac_cycles, oracle.drain_cycles,
+        assert (fast.tiles, fast.mac_cycles, fast.drain_cycles, fast.load_cycles) == (
+            oracle.tiles, oracle.mac_cycles, oracle.drain_cycles, oracle.load_cycles,
         )
 
 
