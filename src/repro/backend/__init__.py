@@ -4,7 +4,7 @@ One seam — :meth:`ExecutionBackend.forward_batch(states) ->
 (q_values, StepCost)` — replaces the four places that used to
 re-implement "run the network": the agent's float predict, the
 quantised network, the systolic fast path and the fleet scheduler's
-post-hoc batch costing.  Three registered implementations:
+post-hoc batch costing.  Four registered implementations:
 
 * ``numpy`` — :class:`NumpyBackend`, the float path, zero overhead and
   zero cycle budget (the default; bitwise-identical to the historical
@@ -14,17 +14,27 @@ post-hoc batch costing.  Three registered implementations:
 * ``systolic`` — :class:`SystolicBackend`, the accelerator-in-the-loop
   path: integer GEMM numerics on quantized raw codes through the shared
   systolic kernels plus closed-form per-step cycle budgets, with a
-  ``fidelity="pe"`` oracle passthrough.
+  ``fidelity="pe"`` oracle passthrough;
+* ``sharded`` — :class:`ShardedBackend`, K systolic arrays behind one
+  seam (``shard="sample"`` splits the batch, ``shard="layer"`` splits
+  conv filters / FC output neurons), bitwise-equal to the single-array
+  path and reporting per-array / critical-path cycle budgets as a
+  :class:`ShardCost`.
 
-``python -m repro fleet --backend {numpy,quantized,systolic}`` selects
-one for whole fleet rollouts; this is the seam multi-array sharding,
-async rollouts and batch weight-reuse experiments plug into.
+Training-side weight updates reach a deployed datapath through the
+double-buffered :class:`WeightBus` (flip every ``sync_every`` updates,
+tracked staleness) instead of a synchronous per-update ``sync()``.
+
+``python -m repro fleet --backend {numpy,quantized,systolic,sharded}``
+selects one for whole fleet rollouts.
 """
 
 from repro.backend.base import (
     BACKENDS,
     ExecutionBackend,
+    ShardCost,
     StepCost,
+    WeightBus,
     make_backend,
     merge_step_costs,
     register_backend,
@@ -32,15 +42,20 @@ from repro.backend.base import (
 from repro.backend.numpy_backend import NumpyBackend
 from repro.backend.quantized_backend import QuantizedBackend
 from repro.backend.systolic_backend import SystolicBackend
+from repro.backend.sharded import SHARD_POLICIES, ShardedBackend
 
 __all__ = [
     "BACKENDS",
     "ExecutionBackend",
     "StepCost",
+    "ShardCost",
+    "WeightBus",
     "make_backend",
     "merge_step_costs",
     "register_backend",
     "NumpyBackend",
     "QuantizedBackend",
     "SystolicBackend",
+    "ShardedBackend",
+    "SHARD_POLICIES",
 ]

@@ -11,8 +11,19 @@ projection consumes the measured cycles — so swapping a backend swaps
 the numerics *and* the hardware accounting everywhere at once.
 
 Backends register themselves under a short name (``numpy``,
-``quantized``, ``systolic``) via :func:`register_backend`;
+``quantized``, ``systolic``, ``sharded``) via :func:`register_backend`;
 :func:`make_backend` resolves CLI-style names to instances.
+
+Two further pieces live here because every backend shares them:
+
+* :class:`ShardCost` — a :class:`StepCost` that additionally carries
+  per-array cycle totals, the critical-path cycles of the parallel
+  schedule and the merge/broadcast overhead, produced by the
+  multi-array :class:`~repro.backend.sharded.ShardedBackend`;
+* :class:`WeightBus` — the double-buffered weight path between the
+  float trainer and a deployed datapath, replacing the synchronous
+  per-update ``backend.sync()`` write-back with a configurable flip
+  cadence and a tracked staleness counter.
 """
 
 from __future__ import annotations
@@ -26,7 +37,9 @@ from repro.systolic.array import ArrayConfig, PAPER_ARRAY
 
 __all__ = [
     "StepCost",
+    "ShardCost",
     "merge_step_costs",
+    "WeightBus",
     "ExecutionBackend",
     "BACKENDS",
     "register_backend",
@@ -63,16 +76,84 @@ class StepCost:
         """Time the modelled array needs for this cost."""
         return config.seconds(self.total_cycles)
 
+    # Single-array view of the sharded fields, so consumers (the fleet
+    # scheduler, the traffic projection) read one shape of record.
+    @property
+    def shards(self) -> int:
+        """Number of arrays this cost executed on (1 for plain costs)."""
+        return 1
+
+    @property
+    def critical_path_cycles(self) -> int:
+        """Wall-clock cycles of the schedule; all of them on one array."""
+        return self.total_cycles
+
+    @property
+    def merge_cycles(self) -> int:
+        """Inter-array merge/broadcast cycles (none on one array)."""
+        return 0
+
+
+@dataclass(frozen=True)
+class ShardCost(StepCost):
+    """A :class:`StepCost` executed across K parallel arrays.
+
+    ``layer_cycles`` (and so ``total_cycles``) keep their meaning of
+    *work*: the cycles summed over every array, the number a single
+    array would need to burn serially (plus the replicated FC tile
+    loads each array charges for its own copy).  The parallel schedule
+    adds three fields:
+
+    * ``shard_cycles`` — per-array totals over the run (index = array);
+    * ``critical_path_cycles`` — the wall-clock cycles of the parallel
+      schedule: per forward pass, the slowest array (sample sharding)
+      or the sum over layers of the slowest array per layer (layer
+      sharding), plus the merge/broadcast cycles.  Merged records sum
+      their critical paths — forwards are serialized by the rollout
+      loop even when each one is internally parallel;
+    * ``merge_cycles`` — the inter-array traffic charged for gathering
+      shard outputs (and, under layer sharding, re-broadcasting the
+      merged activation), one element per link cycle.
+    """
+
+    shards: int = 1
+    shard_cycles: tuple[int, ...] = ()
+    critical_path_cycles: int = 0
+    merge_cycles: int = 0
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Work cycles over critical-path cycles (<= ``shards``)."""
+        if self.critical_path_cycles <= 0:
+            return 1.0
+        return self.total_cycles / self.critical_path_cycles
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Parallel speedup per array (1.0 = perfect scaling)."""
+        return self.parallel_speedup / self.shards if self.shards else 0.0
+
+    def critical_path_seconds(self, config: ArrayConfig = PAPER_ARRAY) -> float:
+        """Wall-clock time of the parallel schedule on the modelled arrays."""
+        return config.seconds(self.critical_path_cycles)
+
 
 def merge_step_costs(costs: list[StepCost], backend: str = "") -> StepCost:
     """Sum a sequence of :class:`StepCost` records into one total.
 
     Layer cycles merge key-wise, ``states``/``macs`` add.  An empty list
     merges to a zero cost (useful for rounds where every action explored
-    and no forward pass ran).
+    and no forward pass ran).  When any record is a :class:`ShardCost`
+    the merge stays sharded: per-array totals add index-wise (a plain
+    single-array record charges array 0), critical paths add — the
+    forwards ran one after another — and the result is a
+    :class:`ShardCost` over the widest shard count seen.
     """
     layer_cycles: dict[str, int] = {}
     states = macs = 0
+    sharded = any(isinstance(cost, ShardCost) for cost in costs)
+    shards = critical = merge = 0
+    shard_cycles: list[int] = []
     for cost in costs:
         states += cost.states
         macs += cost.macs
@@ -80,9 +161,104 @@ def merge_step_costs(costs: list[StepCost], backend: str = "") -> StepCost:
             layer_cycles[name] = layer_cycles.get(name, 0) + cycles
         if not backend:
             backend = cost.backend
+        if sharded:
+            shards = max(shards, cost.shards)
+            critical += cost.critical_path_cycles
+            merge += cost.merge_cycles
+            per_array = (
+                cost.shard_cycles
+                if isinstance(cost, ShardCost)
+                else (cost.total_cycles,)
+            )
+            if len(per_array) > len(shard_cycles):
+                shard_cycles.extend([0] * (len(per_array) - len(shard_cycles)))
+            for i, cycles in enumerate(per_array):
+                shard_cycles[i] += cycles
+    if sharded:
+        return ShardCost(
+            backend=backend, states=states, macs=macs,
+            layer_cycles=layer_cycles, shards=shards,
+            shard_cycles=tuple(shard_cycles),
+            critical_path_cycles=critical, merge_cycles=merge,
+        )
     return StepCost(
         backend=backend, states=states, macs=macs, layer_cycles=layer_cycles
     )
+
+
+class WeightBus:
+    """Double-buffered weight path between the trainer and the datapath.
+
+    The paper's split — training in float off-device, inference on the
+    quantised array — used to be modelled with a *synchronous* write-back:
+    every ``train_step`` called ``backend.sync()``, stalling the serving
+    datapath behind each float update.  The bus decouples them with two
+    buffers:
+
+    * the **staging buffer** is the live float network the optimizer
+      writes continuously (:meth:`publish` marks each completed update);
+    * the **serving buffer** is the backend's quantised snapshot, which
+      only refreshes when the bus *flips* — every ``sync_every``
+      published updates (the SRAM weight download of Fig. 3b, now
+      amortised over several updates).
+
+    Between flips the datapath serves weights that are up to
+    ``sync_every - 1`` updates stale; :attr:`staleness` tracks how many
+    published updates the serving snapshot is currently behind, and
+    :meth:`note_serve` accumulates the staleness each served state
+    actually saw, so the agreement/staleness tradeoff is measured rather
+    than implicit.  ``sync_every=1`` reproduces the old synchronous
+    behaviour exactly.  A backend with no snapshot
+    (``has_snapshot=False``, the float path) always serves the live
+    weights: its bus never accumulates staleness, whatever the cadence.
+    """
+
+    def __init__(self, backend: "ExecutionBackend", sync_every: int = 1):
+        if sync_every <= 0:
+            raise ValueError("sync_every must be positive")
+        self.backend = backend
+        self.sync_every = sync_every if backend.has_snapshot else 1
+        #: Published updates the serving snapshot is currently behind.
+        self.staleness = 0
+        #: Updates published since construction.
+        self.publishes = 0
+        #: Buffer flips (datapath downloads) since construction.
+        self.flips = 0
+        self._serve_staleness_sum = 0
+        self._serves = 0
+
+    def publish(self) -> bool:
+        """Record one completed training update in the staging buffer.
+
+        Flips the serving buffer when ``sync_every`` updates have
+        accumulated; returns whether this publish flipped.
+        """
+        self.publishes += 1
+        self.staleness += 1
+        if self.staleness >= self.sync_every:
+            self.flip()
+            return True
+        return False
+
+    def flip(self) -> None:
+        """Download the staged weights into the serving datapath now."""
+        self.backend.sync()
+        self.flips += 1
+        self.staleness = 0
+
+    def note_serve(self, states: int = 1) -> None:
+        """Record that ``states`` states were served at current staleness."""
+        self._serve_staleness_sum += self.staleness * states
+        self._serves += states
+
+    def drain_serve_staleness(self) -> float:
+        """Mean staleness (in updates) of states served since last drain."""
+        mean = (
+            self._serve_staleness_sum / self._serves if self._serves else 0.0
+        )
+        self._serve_staleness_sum = 0
+        self._serves = 0
+        return mean
 
 
 class ExecutionBackend:
@@ -100,6 +276,11 @@ class ExecutionBackend:
 
     #: The wrapped float network (set by subclass constructors).
     network: Network
+
+    #: Whether the backend serves from a captured weight snapshot.
+    #: ``False`` means forwards always read the live network (the float
+    #: path), so a :class:`WeightBus` in front of it has no staleness.
+    has_snapshot: bool = True
 
     def forward_batch(self, states: np.ndarray) -> tuple[np.ndarray, StepCost]:
         """Q values and accelerator cost for an (N, C, H, W) state batch."""

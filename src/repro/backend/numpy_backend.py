@@ -17,7 +17,11 @@ class NumpyBackend(ExecutionBackend):
     Bitwise-identical to calling the network directly (the agent's
     historical behaviour), with a zero :class:`StepCost` — there is no
     hardware model on this path, so fleet reports carry no cycle budget.
+    There is no weight snapshot either: every forward reads the live
+    network, so a weight bus in front of this backend has no staleness.
     """
+
+    has_snapshot = False
 
     def __init__(self, network: Network):
         self.network = network

@@ -1,0 +1,321 @@
+"""Multi-array execution backend: K systolic arrays behind one seam.
+
+The ROADMAP's "serves heavy traffic" direction needs more than one
+32x32 array.  :class:`ShardedBackend` composes K child backends
+(default :class:`~repro.backend.systolic_backend.SystolicBackend`s,
+one per simulated array) behind the ordinary
+``forward_batch(states) -> (q_values, cost)`` seam, under two shard
+policies:
+
+* ``shard="sample"`` — data parallelism: the observation batch splits
+  into K contiguous chunks (:func:`numpy.array_split` semantics, so
+  uneven batches work) and each array runs the *whole* network over
+  its chunk with a full weight copy.  Only the Q-value gather crosses
+  arrays.
+* ``shard="layer"`` — tensor parallelism: every array holds ``1/K`` of
+  each layer's weights (conv filters / FC output neurons, contiguous
+  slices) and computes that slice of the layer's output from the full
+  input activation; after every parametric layer the slices gather
+  into the full activation, which is re-broadcast to all arrays for
+  the next layer.
+
+Both policies are **bitwise-equal** to the single-array path when
+``quantized=True`` (the default): every sample's and every output
+channel's arithmetic is the exact same integer datapath — splitting a
+batch or slicing an output dimension removes no term and reorders no
+per-element sum — and the re-quantisation between layers is
+elementwise, so it commutes with the concatenation that merges shard
+outputs.  (``quantized=False`` float numerics agree only to round-off
+under sample sharding, because BLAS may re-associate sums for
+different batch shapes.)
+
+Costs come back as a :class:`~repro.backend.base.ShardCost`:
+``layer_cycles`` stay *work* (summed over arrays — note each array
+charges its own FC tile loads, so sharded work slightly exceeds
+single-array work), ``shard_cycles`` are per-array totals,
+``critical_path_cycles`` is the wall-clock of the parallel schedule
+(max over arrays per parallel region, plus merge traffic), and
+``merge_cycles`` charges one cycle per element that crosses an
+inter-array link (gathers, and layer-sharding's re-broadcasts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ExecutionBackend, ShardCost, register_backend
+from repro.backend.systolic_backend import SystolicBackend
+from repro.fixedpoint.qformat import QFormat, Q2_13, Q8_8
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.network import Network
+from repro.systolic.array import ArrayConfig
+from repro.systolic.functional import FunctionalSystolicArray
+
+__all__ = ["ShardedBackend", "SHARD_POLICIES"]
+
+#: Supported shard policies.
+SHARD_POLICIES = ("sample", "layer")
+
+
+def _slice_layer(layer, lo: int, hi: int):
+    """A copy of ``layer`` holding output slice ``[lo:hi)`` of its weights.
+
+    Conv2D slices the filter axis, Dense the output-feature axis; the
+    input dimension stays full because layer sharding broadcasts the
+    whole activation to every array.  Weight *values* are placeholders
+    until the first :meth:`ShardedBackend.sync` copies the live slice
+    in (the model-download broadcast).
+    """
+    if isinstance(layer, Conv2D):
+        sliced = Conv2D(
+            layer.in_channels, hi - lo, layer.kernel_size,
+            stride=layer.stride, pad=layer.pad, name=layer.name,
+        )
+    elif isinstance(layer, Dense):
+        sliced = Dense(layer.in_features, hi - lo, name=layer.name)
+    else:  # pragma: no cover - guarded by the caller
+        raise TypeError(f"cannot shard {type(layer).__name__}")
+    return sliced
+
+
+def _copy_slice(src, dst, lo: int, hi: int) -> None:
+    """Copy output slice ``[lo:hi)`` of ``src``'s weights into ``dst``."""
+    if isinstance(src, Conv2D):
+        dst.weight.value[...] = src.weight.value[lo:hi]
+    else:
+        dst.weight.value[...] = src.weight.value[:, lo:hi]
+    dst.bias.value[...] = src.bias.value[lo:hi]
+
+
+@register_backend("sharded")
+class ShardedBackend(ExecutionBackend):
+    """K simulated systolic arrays composed behind one backend.
+
+    Parameters
+    ----------
+    network:
+        The trained float network (single source of weights).
+    shards:
+        Number of arrays K (>= 1).
+    shard:
+        ``"sample"`` (split the batch) or ``"layer"`` (split conv
+        filters / FC output neurons).
+    config / fidelity / quantized / weight_format / activation_format:
+        Passed through to every child :class:`SystolicBackend` — each
+        array runs the same datapath the single-array backend models.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        shards: int = 2,
+        shard: str = "sample",
+        config: ArrayConfig | None = None,
+        fidelity: str = "fast",
+        quantized: bool = True,
+        weight_format: QFormat = Q2_13,
+        activation_format: QFormat = Q8_8,
+    ):
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        if shard not in SHARD_POLICIES:
+            raise ValueError(
+                f"unknown shard policy {shard!r}; expected one of {SHARD_POLICIES}"
+            )
+        self.network = network
+        self.shards = shards
+        self.shard = shard
+        self.fidelity = fidelity
+        self.quantized = quantized
+        self.activation_format = activation_format
+        child_kwargs = dict(
+            config=config, fidelity=fidelity, quantized=quantized,
+            weight_format=weight_format, activation_format=activation_format,
+        )
+        if shard == "sample":
+            # Data parallelism: every array downloads the full model.
+            # All K copies are byte-identical, so one simulated child
+            # stands in for every array (the simulation quantises once
+            # per sync, not K times) — the K entries are the same
+            # object, indexed per-array for the forward loop.
+            self.children = [SystolicBackend(network, **child_kwargs)] * shards
+            self._plan = None
+        else:
+            self._plan = self._build_layer_plan(network, shards)
+            self.children = [
+                SystolicBackend(net, **child_kwargs)
+                for net in self._shard_networks
+            ]
+            self.sync()
+        self.config = self.children[0].config
+
+    # ------------------------------------------------------------------
+    def _build_layer_plan(self, network: Network, shards: int):
+        """Per-layer shard assignments for the ``layer`` policy.
+
+        Returns ``{layer_index: [(array, sliced_layer, lo, hi), ...]}``
+        covering every parametric layer, and stores one sliced
+        sub-network per array (arrays left idle by a layer narrower
+        than K simply get no slice of it).
+        """
+        plan: dict[int, list[tuple[int, object, int, int]]] = {}
+        per_array_layers: list[list] = [[] for _ in range(shards)]
+        for index, layer in network.parametric_layers():
+            width = (
+                layer.out_channels
+                if isinstance(layer, Conv2D)
+                else layer.out_features
+            )
+            bounds = np.linspace(0, width, shards + 1).astype(int)
+            assignments = []
+            for k in range(shards):
+                lo, hi = int(bounds[k]), int(bounds[k + 1])
+                if hi <= lo:
+                    continue  # layer narrower than K: array k sits idle
+                sliced = _slice_layer(layer, lo, hi)
+                assignments.append((k, sliced, lo, hi))
+                per_array_layers[k].append(sliced)
+            plan[index] = assignments
+        self._shard_networks = [
+            Network(layers or [Dense(1, 1, name=f"idle{k}")],
+                    name=f"{network.name}.shard{k}")
+            for k, layers in enumerate(per_array_layers)
+        ]
+        return plan
+
+    def sync(self) -> None:
+        """Broadcast the live float weights to every array's datapath.
+
+        Sample sharding re-quantises the full weight set once — the K
+        per-array copies are byte-identical, so the children share the
+        quantised operands.  Layer sharding copies each array's slice
+        out of the live network first (the sliced sub-networks own
+        their parameters), then re-quantises it.
+        """
+        if self.shard == "sample":
+            self.children[0].sync()
+            return
+        for index, assignments in self._plan.items():
+            layer = self.network.layers[index]
+            for _k, sliced, lo, hi in assignments:
+                _copy_slice(layer, sliced, lo, hi)
+        for child in self.children:
+            child.sync()
+
+    # ------------------------------------------------------------------
+    def _requantize(self, x: np.ndarray) -> np.ndarray:
+        return self.activation_format.quantize(x) if self.quantized else x
+
+    def forward_batch(self, states: np.ndarray) -> tuple[np.ndarray, ShardCost]:
+        x = np.asarray(states, dtype=np.float64)
+        if x.ndim != 4:
+            raise ValueError(f"expected an (N, C, H, W) state batch, got {x.shape}")
+        if self.shard == "sample":
+            return self._forward_sample(x)
+        return self._forward_layer_sharded(x)
+
+    def _forward_sample(self, x: np.ndarray) -> tuple[np.ndarray, ShardCost]:
+        """Each array runs the whole network over its batch chunk."""
+        n = x.shape[0]
+        chunks = np.array_split(x, self.shards)
+        outputs = []
+        shard_cycles = [0] * self.shards
+        layer_cycles: dict[str, int] = {}
+        macs = 0
+        merge = 0
+        for k, chunk in enumerate(chunks):
+            if chunk.shape[0] == 0:
+                continue  # batch narrower than K: array k sits idle
+            q_k, cost_k = self.children[k].forward_batch(chunk)
+            outputs.append(q_k)
+            shard_cycles[k] = cost_k.total_cycles
+            macs += cost_k.macs
+            for name, cycles in cost_k.layer_cycles.items():
+                layer_cycles[name] = layer_cycles.get(name, 0) + cycles
+            if k > 0:
+                # Gathering array k's Q rows to the root array: one
+                # element per link cycle (array 0's rows stay put).
+                merge += q_k.size
+        q_values = np.concatenate(outputs, axis=0)
+        critical = max(shard_cycles) + merge
+        return q_values, ShardCost(
+            backend=self.name, states=n, macs=macs, layer_cycles=layer_cycles,
+            shards=self.shards, shard_cycles=tuple(shard_cycles),
+            critical_path_cycles=critical, merge_cycles=merge,
+        )
+
+    def _forward_layer_sharded(self, x: np.ndarray) -> tuple[np.ndarray, ShardCost]:
+        """Every array computes its output slice of each layer.
+
+        Layers execute in sequence (true data dependency); within a
+        layer the K slices run in parallel, so the layer contributes
+        its *slowest* slice to the critical path.  After each
+        parametric layer the slices gather to a hub array — the first
+        array assigned to the layer — into the full activation
+        (concatenation along the channel/feature axis reproduces the
+        original output order — slices are contiguous); elementwise /
+        pooling layers run there.  When the next parametric layer is
+        reached, the activation it consumes — post-pooling, so the
+        tensor that actually moves — is broadcast from the hub to the
+        *other* arrays assigned to it (nothing after the last layer:
+        the Q values are already gathered; nothing for the first, whose
+        input arrives from the host).  Both transfers charge one cycle
+        per element moved.
+        """
+        n = x.shape[0]
+        x = self._requantize(x)
+        shard_cycles = [0] * self.shards
+        layer_cycles: dict[str, int] = {}
+        macs = 0
+        merge = 0
+        critical = 0
+        hub: int | None = None
+        pe_sim = (
+            FunctionalSystolicArray(self.config, fidelity="pe")
+            if self.fidelity == "pe"
+            else None
+        )
+
+        def charge(name: str, cycles: int) -> None:
+            while name in layer_cycles:
+                name += "'"
+            layer_cycles[name] = cycles
+
+        for index, layer in enumerate(self.network.layers):
+            assignments = self._plan.get(index)
+            if not assignments:
+                # ReLU / pooling / flatten run on the merged activation
+                # (vector units / comparators) — no MAC cycles, exactly
+                # as on the single-array path.
+                x = layer.forward(x, training=False)
+            else:
+                if hub is not None:
+                    # Broadcast the hub's activation to the other
+                    # arrays computing this layer.
+                    consumers = {k for k, *_rest in assignments}
+                    merge += len(consumers - {hub}) * x.size
+                parts = []
+                slice_cycles = []
+                work = 0
+                for k, sliced, _lo, _hi in assignments:
+                    out_k, cycles_k, macs_k = self.children[k].forward_layer(
+                        sliced, x, pe_sim
+                    )
+                    parts.append(out_k)
+                    shard_cycles[k] += cycles_k
+                    slice_cycles.append(cycles_k)
+                    work += cycles_k
+                    macs += macs_k
+                x = np.concatenate(parts, axis=1)
+                charge(layer.name, work)
+                # Gather every non-hub slice into the full activation.
+                hub = assignments[0][0]
+                merge += x.size - parts[0].size
+                critical += max(slice_cycles)
+            x = self._requantize(x)
+        critical += merge
+        return x, ShardCost(
+            backend=self.name, states=n, macs=macs, layer_cycles=layer_cycles,
+            shards=self.shards, shard_cycles=tuple(shard_cycles),
+            critical_path_cycles=critical, merge_cycles=merge,
+        )

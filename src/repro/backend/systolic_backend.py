@@ -19,9 +19,11 @@ Runs the Q network the way the paper's accelerator does:
   and counters are identical (same exact-integer argument), just slow.
   Intended for validation on reduced shapes.
 
-``quantized=False`` keeps the float numerics of the historical
-``FleetScheduler.cost_observation_batch`` path (cycles still charged);
-the deprecated method is now a thin wrapper over this mode.
+``quantized=False`` disables the fixed-point datapath and serves float
+numerics while still charging cycles — the post-hoc "cost this
+observation batch" mode.  :meth:`SystolicBackend.forward_layer` exposes
+the per-layer primitive (one conv or FC pass on this array) that the
+multi-array :class:`~repro.backend.sharded.ShardedBackend` composes.
 """
 
 from __future__ import annotations
@@ -58,7 +60,7 @@ class SystolicBackend(ExecutionBackend):
     quantized:
         ``False`` disables the fixed-point datapath and runs float
         numerics (matching ``Network.predict``) while still charging
-        cycles — the legacy ``cost_observation_batch`` behaviour.
+        cycles — for costing a batch without quantising the policy.
     weight_format / activation_format:
         The 16-bit corners of the paper's datapath.
     """
@@ -96,6 +98,11 @@ class SystolicBackend(ExecutionBackend):
         and partial sum of the datapath stays below 2^53, so the GEMMs
         are exact in float64 — same integers as an int64 matmul — while
         dispatching to BLAS instead of NumPy's slow integer loop.
+
+        Float mode copies the values: the snapshot must not alias the
+        live parameters, or in-place optimizer updates would leak into
+        the datapath between syncs and the weight bus's staleness
+        would be fictitious.
         """
         for p in self.network.parameters():
             if self.quantized:
@@ -103,7 +110,7 @@ class SystolicBackend(ExecutionBackend):
                 self._raw[p.name] = raw.astype(np.float64)
                 self._value[p.name] = self.weight_format.from_raw(raw)
             else:
-                self._value[p.name] = p.value
+                self._value[p.name] = p.value.copy()
 
     # ------------------------------------------------------------------
     def _weights(self, layer) -> tuple[np.ndarray, np.ndarray]:
@@ -163,6 +170,31 @@ class SystolicBackend(ExecutionBackend):
             cycles, macs = sched.total_cycles, sched.mac_cycles
         return out + b, cycles, macs
 
+    def forward_layer(
+        self, layer, x: np.ndarray, pe_sim=None
+    ) -> tuple[np.ndarray, int, int]:
+        """One parametric layer on this array: ``(output, cycles, macs)``.
+
+        The single-layer primitive multi-array composition builds on:
+        a :class:`~repro.backend.sharded.ShardedBackend` hands each
+        child array its slice of a layer (full input, a subset of the
+        output channels / features) and merges the outputs.  Bias is
+        added; the activation re-quantisation between layers is the
+        caller's job — it must happen *after* shard outputs merge, and
+        it is elementwise, so merge-then-quantise equals
+        quantise-then-merge and the sharded datapath stays bitwise
+        equal to this single-array path.
+        """
+        if isinstance(layer, Conv2D):
+            if self.fidelity == "pe" and pe_sim is None:
+                pe_sim = FunctionalSystolicArray(self.config, fidelity="pe")
+            return self._conv(layer, x, pe_sim)
+        if isinstance(layer, Dense):
+            return self._dense(layer, x)
+        raise TypeError(
+            f"forward_layer handles Conv2D/Dense, got {type(layer).__name__}"
+        )
+
     # ------------------------------------------------------------------
     def forward_batch(self, states: np.ndarray) -> tuple[np.ndarray, StepCost]:
         x = np.asarray(states, dtype=np.float64)
@@ -186,12 +218,8 @@ class SystolicBackend(ExecutionBackend):
             layer_cycles[name] = cycles
 
         for layer in self.network.layers:
-            if isinstance(layer, Conv2D):
-                x, cycles, macs = self._conv(layer, x, pe_sim)
-                charge(layer.name, cycles)
-                total_macs += macs
-            elif isinstance(layer, Dense):
-                x, cycles, macs = self._dense(layer, x)
+            if isinstance(layer, (Conv2D, Dense)):
+                x, cycles, macs = self.forward_layer(layer, x, pe_sim)
                 charge(layer.name, cycles)
                 total_macs += macs
             else:

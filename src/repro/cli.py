@@ -11,6 +11,8 @@
     python -m repro map --env outdoor-forest  # ASCII world render
     python -m repro fleet --num-envs 16 --rounds 2 --steps 150 --seed 0
     python -m repro fleet --backend systolic  # hardware-in-the-loop rollouts
+    python -m repro fleet --backend sharded --shards 4 --shard-policy sample \\
+        --sync-every 4                        # K arrays + async weight bus
     python -m repro systolic-bench            # fast path vs PE oracle
 
 The ``systolic-bench`` command measures the vectorized systolic fast
@@ -26,13 +28,19 @@ rollout → train → evaluate rounds with batched inference/updates, then
 reports per-round throughput (env steps/sec, episodes/sec), safe flight
 distance per environment class, and the measured load projected onto
 the paper platform's FPS / energy / NVM-endurance model.  Its
-``--backend {numpy,quantized,systolic}`` flag selects the execution
-backend action selection routes through (:mod:`repro.backend`):
+``--backend {numpy,quantized,systolic,sharded}`` flag selects the
+execution backend action selection routes through (:mod:`repro.backend`):
 ``numpy`` is the float path, ``quantized`` the 16-bit fixed-point
-datapath, and ``systolic`` the accelerator-in-the-loop path whose
+datapath, ``systolic`` the accelerator-in-the-loop path whose
 rollouts carry per-step array-cycle budgets into the report and the
-platform projection — plus a fixed-point-vs-float action-agreement
-check over replayed rollout states.
+platform projection, and ``sharded`` composes K systolic arrays
+(``--shards K``, ``--shard-policy {sample,layer}``) and additionally
+reports critical-path cycles, scaling efficiency and pipeline overlap.
+``--sync-every N`` sets the weight-bus flip cadence — the deployed
+datapath refreshes its quantised snapshot every N training updates
+instead of after every one, and the report carries the measured
+snapshot staleness.  A fixed-point-vs-float action-agreement check
+over replayed rollout states closes the report.
 """
 
 from __future__ import annotations
@@ -198,11 +206,9 @@ def _cmd_rl(args) -> None:
 
 
 def _cmd_fleet(args) -> None:
-    import warnings
-
     import numpy as np
 
-    from repro.backend import make_backend
+    from repro.backend import SystolicBackend, make_backend
     from repro.fleet import FleetScheduler, VecNavigationEnv
     from repro.nn import build_network, scaled_drone_net_spec
     from repro.rl import EpsilonSchedule, QLearningAgent
@@ -228,12 +234,18 @@ def _cmd_fleet(args) -> None:
     total_agent_steps = (
         args.num_envs * (args.steps + args.eval_steps) * args.rounds
     )
+    backend_kwargs = (
+        {"shards": args.shards, "shard": args.shard_policy}
+        if args.backend == "sharded"
+        else {}
+    )
     agent = QLearningAgent(
         network,
         config=config_by_name(args.config),
         epsilon=EpsilonSchedule(1.0, 0.1, max(total_agent_steps // 2, 1)),
         seed=args.seed,
-        backend=make_backend(args.backend, network),
+        backend=make_backend(args.backend, network, **backend_kwargs),
+        sync_every=args.sync_every,
     )
     scheduler = FleetScheduler(
         agent, vec_env, train_every=args.train_every, eval_steps=args.eval_steps
@@ -292,15 +304,33 @@ def _cmd_fleet(args) -> None:
             f"({'feasible' if projection.inference_realtime_feasible else 'OVERLOADED'})"
         )
     elif args.backend == "numpy":
-        # Float rollouts carry no budget: keep the legacy one-shot
-        # costing of the current observation batch on the fast path.
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            cost = scheduler.cost_observation_batch()
+        # Float rollouts carry no budget: cost the current observation
+        # batch post hoc on a float-numerics systolic backend.
+        q_cost = SystolicBackend(network, quantized=False).forward_batch(
+            scheduler.observations
+        )[1]
         print(
-            f"systolic fast path: one {cost.num_envs}-env observation batch = "
-            f"{cost.total_cycles / 1e6:.2f} Mcycles "
-            f"({cost.array_seconds * 1e6:.0f} us on the paper array)"
+            f"systolic fast path: one {q_cost.states}-env observation batch = "
+            f"{q_cost.total_cycles / 1e6:.2f} Mcycles "
+            f"({q_cost.array_seconds() * 1e6:.0f} us on the paper array)"
+        )
+    if report.shards > 1:
+        print(
+            f"sharded over {report.shards} arrays "
+            f"({args.shard_policy} policy): critical path "
+            f"{report.critical_path_cycles_per_env_step / 1e3:.1f} "
+            f"kcycles/env-step -> {report.shards}-array platform sustains "
+            f"{projection.sharded_sustainable_steps_per_second:.0f} steps/s "
+            f"(speedup {projection.sharding_speedup:.2f}x, scaling "
+            f"efficiency {projection.scaling_efficiency:.2f})"
+        )
+    if report.total_inference_cycles > 0 or (
+        args.sync_every > 1 and agent.backend.has_snapshot
+    ):
+        print(
+            f"weight bus: sync every {agent.weight_bus.sync_every} updates, "
+            f"mean served staleness {report.mean_sync_staleness:.2f} updates; "
+            f"pipeline overlap fraction {report.pipeline_overlap_fraction:.2f}"
         )
     if args.backend != "numpy" and len(agent.replay) > 0:
         sample = min(len(agent.replay), 256)
@@ -435,10 +465,26 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["L2", "L3", "L4", "E2E"])
     p_fleet.add_argument(
         "--backend", default="numpy",
-        choices=["numpy", "quantized", "systolic"],
+        choices=["numpy", "quantized", "systolic", "sharded"],
         help="execution backend for action selection: float numpy "
-             "(default), 16-bit fixed point, or the quantized systolic "
-             "datapath with per-step cycle budgets",
+             "(default), 16-bit fixed point, the quantized systolic "
+             "datapath with per-step cycle budgets, or K sharded "
+             "systolic arrays (see --shards/--shard-policy)",
+    )
+    p_fleet.add_argument(
+        "--shards", type=int, default=4,
+        help="number of systolic arrays composed by --backend sharded",
+    )
+    p_fleet.add_argument(
+        "--shard-policy", default="sample", choices=["sample", "layer"],
+        help="sharded backend policy: split the observation batch "
+             "(sample) or each layer's filters/neurons (layer)",
+    )
+    p_fleet.add_argument(
+        "--sync-every", type=int, default=1,
+        help="weight-bus flip cadence: the deployed datapath refreshes "
+             "its quantised snapshot every N training updates "
+             "(1 = synchronous write-back)",
     )
     p_fleet.add_argument("--seed", type=int, default=0)
     p_fleet.set_defaults(func=_cmd_fleet)

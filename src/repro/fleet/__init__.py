@@ -16,10 +16,15 @@ accelerator scales the compute side — by batching:
   (:meth:`~repro.rl.agent.QLearningAgent.train_step_batch`) replaces N
   small ones, and one replay buffer pools the fleet's experience with
   per-env episode accounting.
-* :class:`FleetScheduler` drives rollout → train → evaluate rounds,
-  measures throughput (steps/sec, episodes/sec, SFD per environment
-  class) and projects the load onto the paper platform's FPS / latency
-  / energy / endurance model via :func:`repro.perf.traffic.project_fleet_load`.
+* :class:`FleetScheduler` drives pipelined rollout/train rounds
+  (rollout chunks interleave with the training due between them, on a
+  double-buffered weight snapshot, so a pipelined platform overlaps
+  the two — the measured hidden fraction is reported) plus a greedy
+  evaluate phase, measures throughput (steps/sec, episodes/sec, SFD
+  per environment class) and projects the load onto the paper
+  platform's FPS / latency / energy / endurance model via
+  :func:`repro.perf.traffic.project_fleet_load` — including what K
+  sharded arrays sustain when the agent's backend shards.
 
 ``python -m repro fleet`` exposes the scheduler from the shell;
 ``benchmarks/test_fleet_throughput.py`` proves the fleet beats the

@@ -1,38 +1,41 @@
-"""Fleet scheduler: rollout → train → evaluate rounds with throughput
+"""Fleet scheduler: pipelined rollout/train rounds with throughput
 accounting.
 
 :class:`FleetScheduler` drives a :class:`~repro.fleet.vec_env.VecNavigationEnv`
 and a shared :class:`~repro.rl.agent.QLearningAgent` through repeated
-rounds:
-
-1. **rollout** — collect experience from all N environments with
-   batched action selection, training online every ``train_every``
-   fleet steps;
-2. **train** — extra replay-only updates (experience re-use, no env
-   stepping);
-3. **evaluate** — greedy batched rollout measuring safe flight distance
-   per environment class, without training.
+rounds.  Each round's rollout phase is an **interleaved pipeline**
+rather than a strict rollout-then-train sequence: the rollout splits
+into chunks of ``pipeline_chunk`` fleet steps, and the training updates
+due after chunk *i* are eligible to overlap chunk *i+1*'s inference —
+the deployed datapath serves a double-buffered weight snapshot (the
+agent's :class:`~repro.backend.WeightBus`), so acting never has to wait
+for the float optimizer.  Execution in-process stays serial and
+deterministic (one RNG stream, fixed interleave order); the *measured*
+chunk timings quantify the overlap a two-stage pipelined platform
+would hide (``pipeline_overlap_fraction``).  A round ends with extra
+replay-only updates and a greedy evaluation window, as before.
 
 Each round records wall-clock throughput (env steps/sec, episodes/sec,
 training iterations/sec) and — when the agent's execution backend
 models hardware — the per-round accelerator cycle budget its forward
 passes were charged (:class:`~repro.backend.StepCost` totals, drained
-from the agent's ledger).  :meth:`FleetScheduler.project_load` feeds
-the measured rates *and* measured cycles into
-:func:`repro.perf.traffic.project_fleet_load`, so a simulated fleet's
-demand maps onto the paper platform's FPS / latency / energy /
-endurance model — the "heavy traffic" question made concrete.
+from the agent's ledger), including the multi-array fields when the
+backend shards (:class:`~repro.backend.ShardCost`): shard count,
+critical-path cycles, and the mean weight-snapshot staleness served.
+:meth:`FleetScheduler.project_load` feeds the measured rates *and*
+measured cycles into :func:`repro.perf.traffic.project_fleet_load`, so
+a simulated fleet's demand maps onto the paper platform's FPS /
+latency / energy / endurance model — the "heavy traffic" question made
+concrete, now including what K arrays sustain.
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.backend import StepCost
 from repro.fleet.runner import scaled_train_batch
 from repro.fleet.vec_env import VecNavigationEnv
 from repro.perf.traffic import (
@@ -47,29 +50,7 @@ __all__ = [
     "RoundStats",
     "FleetReport",
     "FleetScheduler",
-    "FleetObservationCost",
 ]
-
-
-@dataclass(frozen=True)
-class FleetObservationCost:
-    """Systolic-array cost of one fleet observation batch.
-
-    Produced by the deprecated
-    :meth:`FleetScheduler.cost_observation_batch`: the whole fleet's
-    observations go through the functional systolic fast path in one
-    batched call per layer, yielding both the Q values the array would
-    produce and the cycles it would charge.  Superseded by routing the
-    rollouts themselves through a
-    :class:`~repro.backend.SystolicBackend`, which charges the same
-    budgets continuously instead of post hoc.
-    """
-
-    num_envs: int
-    q_values: np.ndarray
-    layer_cycles: dict[str, int]
-    total_cycles: int
-    array_seconds: float
 
 
 @dataclass(frozen=True)
@@ -96,6 +77,14 @@ class RoundStats:
     inference_macs: int = 0
     inference_cycles: int = 0
     inference_array_seconds: float = 0.0
+    #: Arrays the backend executed on (1 unless sharded).
+    shards: int = 1
+    #: Wall-clock cycles of the (possibly parallel) backend schedule.
+    critical_path_cycles: int = 0
+    #: Mean weight-snapshot staleness (in updates) of served states.
+    sync_staleness: float = 0.0
+    #: Fraction of rollout+train wall time a two-stage pipeline hides.
+    pipeline_overlap_fraction: float = 0.0
 
     @property
     def wall_seconds(self) -> float:
@@ -106,6 +95,13 @@ class RoundStats:
     def cycles_per_env_step(self) -> float:
         """Modelled array cycles per env step served this round."""
         return self.inference_cycles / self.env_steps if self.env_steps else 0.0
+
+    @property
+    def critical_path_cycles_per_env_step(self) -> float:
+        """Wall-clock array cycles per env step (max over shards)."""
+        return (
+            self.critical_path_cycles / self.env_steps if self.env_steps else 0.0
+        )
 
     @property
     def steps_per_second(self) -> float:
@@ -199,6 +195,45 @@ class FleetReport:
             else 0.0
         )
 
+    @property
+    def shards(self) -> int:
+        """Arrays the backend executed on (max over rounds)."""
+        return max((r.shards for r in self.rounds), default=1)
+
+    @property
+    def total_critical_path_cycles(self) -> int:
+        """Wall-clock array cycles across all rounds (max over shards)."""
+        return sum(r.critical_path_cycles for r in self.rounds)
+
+    @property
+    def critical_path_cycles_per_env_step(self) -> float:
+        """Average wall-clock array cycles per env step."""
+        return (
+            self.total_critical_path_cycles / self.total_env_steps
+            if self.total_env_steps
+            else 0.0
+        )
+
+    @property
+    def mean_sync_staleness(self) -> float:
+        """Env-step-weighted mean staleness of the served weight snapshot."""
+        if self.total_env_steps == 0:
+            return 0.0
+        weighted = sum(r.sync_staleness * r.env_steps for r in self.rounds)
+        return weighted / self.total_env_steps
+
+    @property
+    def pipeline_overlap_fraction(self) -> float:
+        """Wall-time-weighted mean pipeline overlap across rounds."""
+        wall = sum(r.rollout_seconds + r.train_seconds for r in self.rounds)
+        if wall <= 0.0:
+            return 0.0
+        weighted = sum(
+            r.pipeline_overlap_fraction * (r.rollout_seconds + r.train_seconds)
+            for r in self.rounds
+        )
+        return weighted / wall
+
 
 class FleetScheduler:
     """Drives rollout → train → evaluate rounds over a fleet.
@@ -220,6 +255,13 @@ class FleetScheduler:
     batch_scale:
         Training-batch multiplier (default: fleet width), so one update
         carries ``agent.batch_size * batch_scale`` samples.
+    pipeline_chunk:
+        Rollout chunk size (fleet steps) of the interleaved pipeline;
+        the training updates due in a chunk run between chunks, on
+        experience up to that boundary, and may overlap the next
+        chunk's inference on a pipelined platform.  Defaults to
+        ``train_every`` — one update between consecutive chunks, the
+        finest-grained pipeline the training cadence allows.
     """
 
     def __init__(
@@ -230,18 +272,33 @@ class FleetScheduler:
         extra_train_updates: int = 0,
         eval_steps: int = 0,
         batch_scale: int | None = None,
+        pipeline_chunk: int | None = None,
     ):
         if train_every <= 0:
             raise ValueError("train_every must be positive")
         if extra_train_updates < 0 or eval_steps < 0:
             raise ValueError("phase sizes cannot be negative")
+        if pipeline_chunk is not None and pipeline_chunk <= 0:
+            raise ValueError("pipeline_chunk must be positive")
         self.agent = agent
         self.vec_env = vec_env
         self.train_every = train_every
         self.extra_train_updates = extra_train_updates
         self.eval_steps = eval_steps
+        self.pipeline_chunk = pipeline_chunk or train_every
         self.train_batch = scaled_train_batch(agent, vec_env.num_envs, batch_scale)
         self._states: np.ndarray | None = None
+
+    @property
+    def observations(self) -> np.ndarray:
+        """Current fleet observation batch (resets the fleet if needed).
+
+        The (N, C, H, W) states the next rollout step would act on —
+        the natural batch to cost on a backend post hoc.
+        """
+        if self._states is None:
+            self._states = self.vec_env.reset()
+        return np.asarray(self._states, dtype=np.float64)
 
     @property
     def _array_config(self):
@@ -251,36 +308,86 @@ class FleetScheduler:
         return getattr(self.agent.backend, "config", None) or PAPER_ARRAY
 
     # ------------------------------------------------------------------
-    def _rollout(self, steps: int) -> tuple[int, int, int, list[float], float]:
-        """Collect ``steps`` fleet steps with online training."""
+    def _rollout(
+        self, steps: int
+    ) -> tuple[int, int, int, list[float], float, float, float]:
+        """Collect ``steps`` fleet steps as an interleaved pipeline.
+
+        The rollout splits into chunks of ``pipeline_chunk`` steps.
+        Within a chunk the fleet only acts and observes (inference on
+        the bus's weight snapshot); the training updates due in the
+        chunk (one per ``train_every`` steps, once replay holds a
+        batch) run at the chunk boundary.  Because inference reads the
+        double-buffered snapshot and training writes the float staging
+        weights, chunk *i*'s training is independent of chunk *i+1*'s
+        inference until the bus flips — a pipelined platform runs them
+        concurrently.  Execution here stays serial (determinism: one
+        RNG stream, fixed order), but both stage durations are
+        measured, and the overlap a two-stage pipeline would hide —
+        ``sum(min(train_i, rollout_{i+1}))`` — is returned in seconds.
+
+        Returns ``(env_steps, episodes, updates, losses,
+        rollout_seconds, train_seconds, hidden_seconds)``.
+        """
         if self._states is None:
             self._states = self.vec_env.reset()
         states = self._states
         episodes = 0
         updates = 0
         losses: list[float] = []
-        start = time.perf_counter()
-        for step in range(steps):
-            actions = self.agent.act_batch(states)
-            next_states, rewards, dones, infos = self.vec_env.step(actions)
-            self.agent.observe_batch(
-                self.vec_env.make_transitions(
-                    states, actions, rewards, dones, next_states, infos
+        chunk_rollout_walls: list[float] = []
+        chunk_train_walls: list[float] = []
+        done_steps = 0
+        while done_steps < steps:
+            this_chunk = min(self.pipeline_chunk, steps - done_steps)
+            start = time.perf_counter()
+            for _ in range(this_chunk):
+                actions = self.agent.act_batch(states)
+                next_states, rewards, dones, infos = self.vec_env.step(actions)
+                self.agent.observe_batch(
+                    self.vec_env.make_transitions(
+                        states, actions, rewards, dones, next_states, infos
+                    )
                 )
+                episodes += sum(
+                    1
+                    for i, info in enumerate(infos)
+                    if dones[i] or info["truncated"]
+                )
+                states = next_states
+            acted = time.perf_counter()
+            # Updates due in this chunk: the train_every cadence points
+            # it covered, run back to back at the boundary.
+            due = sum(
+                1
+                for s in range(done_steps, done_steps + this_chunk)
+                if s % self.train_every == 0
             )
-            episodes += sum(
-                1 for i, info in enumerate(infos) if dones[i] or info["truncated"]
-            )
-            if (
-                len(self.agent.replay) >= self.train_batch
-                and step % self.train_every == 0
-            ):
+            for _ in range(due):
+                if len(self.agent.replay) < self.train_batch:
+                    break
                 losses.append(self.agent.train_step_batch(self.train_batch))
                 updates += 1
-            states = next_states
+            trained = time.perf_counter()
+            chunk_rollout_walls.append(acted - start)
+            chunk_train_walls.append(trained - acted)
+            done_steps += this_chunk
         self._states = states
-        wall = time.perf_counter() - start
-        return steps * self.vec_env.num_envs, episodes, updates, losses, wall
+        rollout_wall = sum(chunk_rollout_walls)
+        train_wall = sum(chunk_train_walls)
+        hidden = sum(
+            min(chunk_train_walls[i], chunk_rollout_walls[i + 1])
+            for i in range(len(chunk_rollout_walls) - 1)
+        )
+        return (
+            steps * self.vec_env.num_envs,
+            episodes,
+            updates,
+            losses,
+            rollout_wall,
+            train_wall,
+            hidden,
+        )
 
     def _train(self) -> tuple[int, list[float], float]:
         """Replay-only updates (no env stepping)."""
@@ -327,7 +434,7 @@ class FleetScheduler:
 
     # ------------------------------------------------------------------
     def run(self, rounds: int, steps_per_round: int) -> FleetReport:
-        """Execute ``rounds`` rollout/train/evaluate rounds."""
+        """Execute ``rounds`` pipelined rollout/train/evaluate rounds."""
         if rounds <= 0 or steps_per_round <= 0:
             raise ValueError("rounds and steps_per_round must be positive")
         report = FleetReport(
@@ -335,77 +442,66 @@ class FleetScheduler:
             config_name=self.agent.config.name,
             backend=self.agent.backend.name,
         )
-        # Discard cost records from before this run so round 0 only
-        # carries its own budget.
+        # Discard cost/staleness records from before this run so round 0
+        # only carries its own budget.
         self.agent.drain_inference_cost()
-        for index in range(rounds):
-            steps, episodes, updates, losses, roll_wall = self._rollout(
-                steps_per_round
-            )
-            extra_updates, extra_losses, train_wall = self._train()
-            eval_steps, eval_episodes, eval_sfd, eval_wall = self._evaluate()
-            losses = losses + extra_losses
-            cost = self.agent.drain_inference_cost()
-            report.rounds.append(
-                RoundStats(
-                    round_index=index,
-                    env_steps=steps + eval_steps,
-                    episodes=episodes + eval_episodes,
-                    train_updates=updates + extra_updates,
-                    rollout_seconds=roll_wall,
-                    train_seconds=train_wall,
-                    eval_seconds=eval_wall,
-                    mean_loss=float(np.mean(losses)) if losses else float("nan"),
-                    eval_sfd_by_class=eval_sfd,
-                    backend=cost.backend,
-                    inference_states=cost.states,
-                    inference_macs=cost.macs,
-                    inference_cycles=cost.total_cycles,
-                    inference_array_seconds=cost.array_seconds(self._array_config),
+        self.agent.weight_bus.drain_serve_staleness()
+        try:
+            for index in range(rounds):
+                (
+                    steps, episodes, updates, losses,
+                    roll_wall, pipeline_train_wall, hidden_seconds,
+                ) = self._rollout(steps_per_round)
+                extra_updates, extra_losses, train_wall = self._train()
+                eval_steps, eval_episodes, eval_sfd, eval_wall = self._evaluate()
+                losses = losses + extra_losses
+                # Fraction of the round's rollout+train wall a two-stage
+                # pipeline hides; the denominator matches the
+                # rollout_seconds + train_seconds recorded below, so the
+                # report-level weighted mean is exactly
+                # total-hidden / total-serial.
+                serial = roll_wall + pipeline_train_wall + train_wall
+                overlap = hidden_seconds / serial if serial > 0.0 else 0.0
+                cost = self.agent.drain_inference_cost()
+                staleness = self.agent.weight_bus.drain_serve_staleness()
+                report.rounds.append(
+                    RoundStats(
+                        round_index=index,
+                        env_steps=steps + eval_steps,
+                        episodes=episodes + eval_episodes,
+                        train_updates=updates + extra_updates,
+                        rollout_seconds=roll_wall,
+                        train_seconds=pipeline_train_wall + train_wall,
+                        eval_seconds=eval_wall,
+                        mean_loss=float(np.mean(losses)) if losses else float("nan"),
+                        eval_sfd_by_class=eval_sfd,
+                        backend=cost.backend,
+                        inference_states=cost.states,
+                        inference_macs=cost.macs,
+                        inference_cycles=cost.total_cycles,
+                        inference_array_seconds=cost.array_seconds(self._array_config),
+                        shards=cost.shards,
+                        critical_path_cycles=cost.critical_path_cycles,
+                        sync_staleness=staleness,
+                        pipeline_overlap_fraction=overlap,
+                    )
                 )
-            )
+            # Deployment barrier: a completed run leaves no undeployed
+            # updates — the bus bounds staleness *during* serving, but
+            # the final weights must ship when the run hands back.
+            if self.agent.weight_bus.staleness > 0:
+                self.agent.weight_bus.flip()
+        finally:
+            # A mid-round exception must not leak this round's partial
+            # costs (or staleness) into the next run's first round.
+            self.agent.drain_inference_cost()
+            self.agent.weight_bus.drain_serve_staleness()
         # Close every env's final crash-free segment so it counts.
         for env in self.vec_env.envs:
             env.tracker.flush()
         report.sfd_by_class = self.vec_env.sfd_by_class()
         report.crash_counts = [int(v) for v in self.vec_env.crash_counts]
         return report
-
-    def cost_observation_batch(self, fidelity: str = "fast") -> FleetObservationCost:
-        """Deprecated: cost one fleet observation batch post hoc.
-
-        Thin wrapper over a float-numerics
-        :class:`~repro.backend.SystolicBackend` (``quantized=False``
-        keeps the historical ``q_values == network.predict`` contract).
-        Prefer constructing the agent with a systolic backend so every
-        rollout forward pass carries its cycle budget into
-        :class:`RoundStats` instead of costing one snapshot after the
-        fact.
-        """
-        from repro.backend import SystolicBackend
-
-        warnings.warn(
-            "FleetScheduler.cost_observation_batch is deprecated; build the "
-            "agent with backend=SystolicBackend(network) so fleet rounds "
-            "carry per-step cycle budgets in RoundStats/FleetReport",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if self._states is None:
-            self._states = self.vec_env.reset()
-        backend = SystolicBackend(
-            self.agent.network, fidelity=fidelity, quantized=False
-        )
-        q_values, cost = backend.forward_batch(
-            np.asarray(self._states, dtype=np.float64)
-        )
-        return FleetObservationCost(
-            num_envs=self.vec_env.num_envs,
-            q_values=q_values,
-            layer_cycles=dict(cost.layer_cycles),
-            total_cycles=cost.total_cycles,
-            array_seconds=cost.array_seconds(PAPER_ARRAY),
-        )
 
     def project_load(
         self,
@@ -419,7 +515,10 @@ class FleetScheduler:
         backend charged cycles, the measured cycles-per-step budget is
         threaded into the projection (``inference_cycles_per_step``),
         so the platform's inference headroom comes from what the
-        datapath actually charged rather than an analytic estimate.
+        datapath actually charged rather than an analytic estimate;
+        sharded backends additionally thread their array count and
+        measured critical-path budget, so the projection reports what
+        K arrays sustain and the scaling efficiency of the split.
         Raises ``ValueError`` when the report measured no training
         iterations — there is no load to project, and a clamped rate
         would print a nonsense utilization/endurance instead of
@@ -443,4 +542,6 @@ class FleetScheduler:
             train_iterations_per_second=report.train_iterations_per_second,
             inference_cycles_per_step=report.cycles_per_env_step,
             array=self._array_config,
+            shards=report.shards,
+            critical_path_cycles_per_step=report.critical_path_cycles_per_env_step,
         )

@@ -216,7 +216,11 @@ class FleetLoadProjection:
       the *measured* per-env-step cycle budget an execution backend
       charged during the fleet run (zero when rollouts ran on the
       uncosted float path); from it, the inference rate the array
-      sustains and the fleet's utilization of it.
+      sustains and the fleet's utilization of it,
+    * ``shards`` / ``critical_path_cycles_per_step`` — when the backend
+      executed on K arrays, the measured wall-clock (critical-path)
+      cycle budget per env step; from it, the step rate the K-array
+      platform sustains and the scaling efficiency of the split.
     """
 
     config_name: str
@@ -231,6 +235,9 @@ class FleetLoadProjection:
     endurance: EnduranceEstimate
     inference_cycles_per_step: float = 0.0
     inference_step_latency_s: float = 0.0
+    shards: int = 1
+    critical_path_cycles_per_step: float = 0.0
+    critical_path_step_latency_s: float = 0.0
 
     @property
     def utilization(self) -> float:
@@ -279,6 +286,41 @@ class FleetLoadProjection:
         """Whether the array keeps up with the fleet's inference demand."""
         return self.inference_utilization <= 1.0
 
+    @property
+    def sharded_sustainable_steps_per_second(self) -> float:
+        """Env steps/sec the K-array platform sustains.
+
+        Uses the measured critical-path budget — the wall-clock cycles
+        of the parallel schedule — so it reflects what sharding
+        actually buys.  ``inf`` when no critical path was measured.
+        """
+        if self.critical_path_step_latency_s <= 0.0:
+            return float("inf")
+        return 1.0 / self.critical_path_step_latency_s
+
+    @property
+    def sharded_utilization(self) -> float:
+        """Demanded step rate / K-array sustainable step rate."""
+        return self.steps_per_second * self.critical_path_step_latency_s
+
+    @property
+    def sharding_speedup(self) -> float:
+        """Single-array-equivalent work cycles over critical-path cycles.
+
+        How much faster the K-array schedule serves a step than one
+        array burning the same work serially (<= ``shards``; the gap is
+        merge traffic plus replicated FC tile loads).  1.0 when
+        unsharded or unmeasured.
+        """
+        if self.critical_path_cycles_per_step <= 0.0:
+            return 1.0
+        return self.inference_cycles_per_step / self.critical_path_cycles_per_step
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Sharding speedup per array (1.0 = perfect scaling)."""
+        return self.sharding_speedup / self.shards if self.shards else 0.0
+
 
 def project_fleet_load(
     simulator: TrafficSimulator,
@@ -289,6 +331,8 @@ def project_fleet_load(
     endurance_cycles: float = 1e12,
     inference_cycles_per_step: float = 0.0,
     array: ArrayConfig = PAPER_ARRAY,
+    shards: int = 1,
+    critical_path_cycles_per_step: float = 0.0,
 ) -> FleetLoadProjection:
     """Map a measured fleet workload onto the accelerator's cost model.
 
@@ -298,7 +342,10 @@ def project_fleet_load(
     rounds.  ``inference_cycles_per_step`` is the average array-cycle
     budget the fleet's execution backend charged per env step (0 when
     rollouts ran on the uncosted float path); ``array`` converts it to
-    latency.  Combines the Fig. 13 iteration-cost model with the traffic
+    latency.  ``shards`` and ``critical_path_cycles_per_step`` carry a
+    sharded backend's array count and measured wall-clock budget, from
+    which the K-array sustainable step rate and scaling efficiency
+    derive.  Combines the Fig. 13 iteration-cost model with the traffic
     simulator's per-device bit counts and the NVM endurance estimate.
     """
     if num_envs <= 0:
@@ -307,6 +354,10 @@ def project_fleet_load(
         raise ValueError("rates must be positive")
     if inference_cycles_per_step < 0:
         raise ValueError("inference_cycles_per_step cannot be negative")
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if critical_path_cycles_per_step < 0:
+        raise ValueError("critical_path_cycles_per_step cannot be negative")
     from repro.perf.training import TrainingIterationModel
 
     cost = TrainingIterationModel(simulator.cost_model).iteration_cost(batch_size)
@@ -327,4 +378,7 @@ def project_fleet_load(
         endurance=endurance,
         inference_cycles_per_step=inference_cycles_per_step,
         inference_step_latency_s=array.seconds(inference_cycles_per_step),
+        shards=shards,
+        critical_path_cycles_per_step=critical_path_cycles_per_step,
+        critical_path_step_latency_s=array.seconds(critical_path_cycles_per_step),
     )

@@ -20,7 +20,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.backend import ExecutionBackend, NumpyBackend, StepCost, merge_step_costs
+from repro.backend import (
+    ExecutionBackend,
+    NumpyBackend,
+    StepCost,
+    WeightBus,
+    merge_step_costs,
+)
 from repro.env.episode import Transition
 from repro.nn.losses import q_learning_loss
 from repro.nn.network import Network
@@ -101,6 +107,14 @@ class QLearningAgent:
         to calling the network directly).  Training always
         backpropagates through the float network regardless of the
         backend — inference-on-accelerator, training-off-device.
+    sync_every:
+        Flip cadence of the :class:`~repro.backend.WeightBus` between
+        the float trainer and the deployed datapath: the backend's
+        serving snapshot refreshes every this many training updates.
+        1 (default) is the synchronous write-back after every update;
+        larger values let inference run on a bounded-staleness snapshot
+        while training proceeds — the async-rollout tradeoff, measured
+        by the bus's staleness counters.
     """
 
     def __init__(
@@ -119,6 +133,7 @@ class QLearningAgent:
         target_sync_every: int | None = None,
         double_dqn: bool = False,
         backend: ExecutionBackend | None = None,
+        sync_every: int = 1,
     ):
         if not 0.0 <= gamma < 1.0:
             raise ValueError("gamma must be in [0, 1)")
@@ -154,6 +169,7 @@ class QLearningAgent:
             # policy would silently never improve.
             raise ValueError("backend must wrap the agent's own network")
         self.backend = backend or NumpyBackend(network)
+        self.weight_bus = WeightBus(self.backend, sync_every=sync_every)
         self._pending_costs: list[StepCost] = []
         self.step_count = 0
         self.train_count = 0
@@ -170,6 +186,7 @@ class QLearningAgent:
 
     def _backend_q_values(self, states: np.ndarray) -> np.ndarray:
         """Backend forward pass, recording its step cost in the ledger."""
+        self.weight_bus.note_serve(states.shape[0])
         q_values, cost = self.backend.forward_batch(states)
         self._pending_costs.append(cost)
         if len(self._pending_costs) >= 1024:
@@ -308,9 +325,10 @@ class QLearningAgent:
             and self.train_count % self.target_sync_every == 0
         ):
             self._target_state = self.network.state_dict()
-        # Write the updated weights back to the deployed datapath (a
-        # no-op for the float backend).
-        self.backend.sync()
+        # Publish the update on the weight bus; the deployed datapath
+        # flips to the staged weights every sync_every updates (every
+        # update by default — the synchronous SRAM write-back).
+        self.weight_bus.publish()
         return loss
 
     def _bootstrap_values(self, next_states: np.ndarray) -> np.ndarray:

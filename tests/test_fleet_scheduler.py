@@ -117,9 +117,78 @@ class TestFleetScheduler:
             FleetScheduler(agent, vec_env, train_every=0)
         with pytest.raises(ValueError):
             FleetScheduler(agent, vec_env, eval_steps=-1)
+        with pytest.raises(ValueError):
+            FleetScheduler(agent, vec_env, pipeline_chunk=0)
         scheduler = FleetScheduler(agent, vec_env)
         with pytest.raises(ValueError):
             scheduler.run(rounds=0, steps_per_round=5)
+
+    def test_pipeline_measures_overlap(self):
+        """Chunked rollout/train interleaving reports the overlap a
+        two-stage pipeline would hide, once training actually runs."""
+        agent = make_agent()
+        scheduler = FleetScheduler(agent, make_fleet(), train_every=2)
+        report = scheduler.run(rounds=2, steps_per_round=30)
+        assert report.total_train_updates > 0
+        assert 0.0 < report.pipeline_overlap_fraction < 1.0
+        for stats in report.rounds:
+            assert 0.0 <= stats.pipeline_overlap_fraction < 1.0
+        # Chunking must not change the step/episode accounting.
+        assert report.total_env_steps == 2 * 30 * 6
+
+    def test_pipeline_chunk_size_preserves_update_cadence(self):
+        """Once replay is warm, chunk size only moves *when* in the
+        round updates run, never how many."""
+        reports = []
+        for chunk in (None, 10):
+            agent = make_agent()
+            scheduler = FleetScheduler(
+                agent, make_fleet(), train_every=2, pipeline_chunk=chunk
+            )
+            # Warm-up round fills replay (its updates may differ by the
+            # chunk boundary at which replay first holds a batch).
+            scheduler.run(rounds=1, steps_per_round=10)
+            reports.append(scheduler.run(rounds=1, steps_per_round=30))
+        assert (
+            reports[0].total_train_updates == reports[1].total_train_updates > 0
+        )
+
+    def test_mid_round_exception_cannot_leak_costs(self):
+        """The try/finally drain: a rollout crash must not leave this
+        round's partial StepCosts (or staleness) for the next run."""
+        from repro.backend import SystolicBackend
+
+        network = build_network(scaled_drone_net_spec(input_side=SIDE), seed=0)
+        agent = QLearningAgent(
+            network,
+            config=config_by_name("L4"),
+            epsilon=EpsilonSchedule(0.0, 0.0, 1),  # always greedy: every
+            seed=0,                                # step records a cost
+            batch_size=4,
+            backend=SystolicBackend(network),
+        )
+        vec_env = make_fleet(4)
+        scheduler = FleetScheduler(agent, vec_env, train_every=2)
+        calls = {"n": 0}
+        original_step = vec_env.step
+
+        def crashing_step(actions):
+            calls["n"] += 1
+            if calls["n"] == 5:
+                raise RuntimeError("env crashed mid-round")
+            return original_step(actions)
+
+        vec_env.step = crashing_step
+        with pytest.raises(RuntimeError, match="mid-round"):
+            scheduler.run(rounds=2, steps_per_round=10)
+        # The crashed round's forwards were drained, not left pending.
+        assert agent.drain_inference_cost().states == 0
+        assert agent.weight_bus.drain_serve_staleness() == 0.0
+        vec_env.step = original_step
+        report = scheduler.run(rounds=1, steps_per_round=10)
+        # Round 0 of the new run carries exactly its own states: 10
+        # greedy fleet steps over 4 envs.
+        assert report.rounds[0].inference_states == 10 * 4
 
     def test_project_load_builds_projection(self):
         agent = make_agent(config="E2E")
@@ -139,27 +208,36 @@ class TestFleetScheduler:
         assert projection.energy_watts > 0
 
 
-class TestCostObservationBatch:
-    def test_matches_network_predict_and_charges_cycles(self):
+class TestObservationCosting:
+    def test_observation_batch_costs_on_a_float_systolic_backend(self):
+        """The post-hoc costing path: cost the scheduler's current
+        observation batch directly on a float-numerics SystolicBackend
+        (the migration target of the removed cost_observation_batch)."""
+        from repro.backend import SystolicBackend
+
         agent = make_agent()
         vec_env = make_fleet()
         scheduler = FleetScheduler(agent, vec_env, eval_steps=0)
-        # Deprecated post-hoc path: still honours its float contract,
-        # but tells callers to route rollouts through SystolicBackend.
-        with pytest.warns(DeprecationWarning, match="SystolicBackend"):
-            cost = scheduler.cost_observation_batch()
-        # One batched systolic call per parametric layer, whole fleet.
-        assert cost.num_envs == 6
-        assert cost.q_values.shape == (6, 5)
-        states = scheduler._states
-        assert np.allclose(cost.q_values, agent.network.predict(states))
+        states = scheduler.observations
+        assert states.shape[0] == 6
+        q_values, cost = SystolicBackend(
+            agent.network, quantized=False
+        ).forward_batch(states)
+        assert q_values.shape == (6, 5)
+        assert np.allclose(q_values, agent.network.predict(states))
         # Every conv/dense layer charged cycles; totals are consistent.
         assert set(cost.layer_cycles) == {
             l.name for l in agent.network.layers if l.parameters()
         }
         assert all(v > 0 for v in cost.layer_cycles.values())
         assert cost.total_cycles == sum(cost.layer_cycles.values())
-        assert cost.array_seconds == pytest.approx(cost.total_cycles / 1e9)
+        assert cost.array_seconds() == pytest.approx(cost.total_cycles / 1e9)
+
+    def test_deprecated_wrapper_is_gone(self):
+        assert not hasattr(FleetScheduler, "cost_observation_batch")
+        import repro.fleet.scheduler as scheduler_module
+
+        assert not hasattr(scheduler_module, "FleetObservationCost")
 
 
 class TestProjectFleetLoad:
@@ -185,6 +263,48 @@ class TestProjectFleetLoad:
             project_fleet_load(
                 sim, num_envs=1, batch_size=8,
                 steps_per_second=0.0, train_iterations_per_second=1.0,
+            )
+
+    def test_sharded_fields_project_k_array_rates(self):
+        sim = TrafficSimulator(modified_alexnet_spec(), config_by_name("L4"))
+        projection = project_fleet_load(
+            sim,
+            num_envs=16,
+            batch_size=128,
+            steps_per_second=2000.0,
+            train_iterations_per_second=15.0,
+            inference_cycles_per_step=36000.0,
+            shards=4,
+            critical_path_cycles_per_step=9500.0,
+        )
+        assert projection.shards == 4
+        assert projection.critical_path_step_latency_s == pytest.approx(9.5e-6)
+        assert projection.sharded_sustainable_steps_per_second == pytest.approx(
+            1.0 / 9.5e-6
+        )
+        assert projection.sharding_speedup == pytest.approx(36000.0 / 9500.0)
+        assert projection.scaling_efficiency == pytest.approx(
+            36000.0 / 9500.0 / 4
+        )
+        assert projection.sharded_utilization == pytest.approx(2000.0 * 9.5e-6)
+        # Unsharded projections expose the single-array view.
+        plain = project_fleet_load(
+            sim, num_envs=16, batch_size=128,
+            steps_per_second=2000.0, train_iterations_per_second=15.0,
+        )
+        assert plain.shards == 1
+        assert plain.sharding_speedup == 1.0
+        assert plain.sharded_sustainable_steps_per_second == float("inf")
+        with pytest.raises(ValueError):
+            project_fleet_load(
+                sim, num_envs=16, batch_size=128, steps_per_second=2000.0,
+                train_iterations_per_second=15.0, shards=0,
+            )
+        with pytest.raises(ValueError):
+            project_fleet_load(
+                sim, num_envs=16, batch_size=128, steps_per_second=2000.0,
+                train_iterations_per_second=15.0,
+                critical_path_cycles_per_step=-1.0,
             )
 
 

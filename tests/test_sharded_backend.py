@@ -1,0 +1,345 @@
+"""Sharded multi-array backend and the double-buffered weight bus.
+
+Contracts under test:
+
+* ``ShardedBackend`` is **bitwise-equal** in Q values to the
+  single-array ``SystolicBackend`` for both shard policies, over
+  K in {1, 2, 4} and uneven batch sizes — splitting a batch or slicing
+  an output dimension must not change one bit of the fixed-point
+  datapath's results;
+* ``ShardCost`` separates work (summed layer cycles) from wall-clock
+  (critical path = slowest array + merge traffic), and merged records
+  accumulate critical paths serially;
+* sample sharding at K=4 serves the fleet observation batch in
+  <= 0.3x the single-array cycle budget (the multi-array payoff);
+* the ``WeightBus`` flips the serving snapshot every ``sync_every``
+  published updates, tracks the staleness served, and at
+  ``sync_every <= 4`` the stale fixed-point policy still agrees with
+  the float policy on >= 0.95 of seeded rollout states.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKENDS,
+    ShardCost,
+    ShardedBackend,
+    StepCost,
+    SystolicBackend,
+    WeightBus,
+    make_backend,
+    merge_step_costs,
+)
+from repro.fleet import FleetScheduler, VecNavigationEnv
+from repro.nn import build_network, scaled_drone_net_spec
+from repro.nn.layers import Conv2D, Dense, Flatten, ReLU
+from repro.nn.network import Network
+from repro.rl import EpsilonSchedule, QLearningAgent, config_by_name
+
+SIDE = 16
+
+
+def make_net(seed: int = 0) -> Network:
+    return build_network(scaled_drone_net_spec(input_side=SIDE), seed=seed)
+
+
+@pytest.fixture(scope="module")
+def stale_rollout():
+    """A fleet trained through a sharded backend at sync_every=4.
+
+    Returns (agent, replay states) after a multi-round run in which the
+    datapath served snapshots up to 3 updates stale.
+    """
+    vec_env = VecNavigationEnv.from_names(
+        ["indoor-apartment", "outdoor-forest"],
+        seeds=[0, 1, 2, 3],
+        image_side=SIDE,
+        max_episode_steps=100,
+    )
+    network = make_net()
+    agent = QLearningAgent(
+        network,
+        config=config_by_name("L4"),
+        epsilon=EpsilonSchedule(1.0, 0.1, 200),
+        seed=0,
+        batch_size=4,
+        backend=ShardedBackend(network, shards=4, shard="sample"),
+        sync_every=4,
+    )
+    scheduler = FleetScheduler(agent, vec_env, train_every=2, eval_steps=10)
+    report = scheduler.run(rounds=2, steps_per_round=40)
+    states, _, _, _, _ = agent.replay.sample(128, np.random.default_rng(7))
+    return agent, states, report
+
+
+class TestRegistryAndValidation:
+    def test_registered(self):
+        assert "sharded" in BACKENDS
+        backend = make_backend("sharded", make_net(), shards=2, shard="layer")
+        assert isinstance(backend, ShardedBackend)
+        assert backend.shards == 2 and backend.shard == "layer"
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedBackend(make_net(), shards=0)
+        with pytest.raises(ValueError, match="shard policy"):
+            ShardedBackend(make_net(), shards=2, shard="pipeline")
+
+    def test_state_batch_shape_validated(self):
+        with pytest.raises(ValueError, match="state batch"):
+            ShardedBackend(make_net()).forward_batch(np.zeros((SIDE, SIDE)))
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("policy", ["sample", "layer"])
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("batch", [1, 5, 8])
+    def test_matches_single_array(self, policy, shards, batch):
+        net = make_net()
+        rng = np.random.default_rng(batch * 17 + shards)
+        states = rng.uniform(0, 1, size=(batch, 1, SIDE, SIDE))
+        ref_q, _ = SystolicBackend(net).forward_batch(states)
+        q, cost = ShardedBackend(net, shards=shards, shard=policy).forward_batch(
+            states
+        )
+        assert np.array_equal(q, ref_q)
+        assert cost.shards == shards
+        assert len(cost.shard_cycles) == shards
+
+    def test_uneven_batch_across_arrays(self, rng):
+        """7 states over 4 arrays: chunk sizes 2/2/2/1, still bitwise."""
+        net = make_net()
+        states = rng.uniform(0, 1, size=(7, 1, SIDE, SIDE))
+        ref_q, _ = SystolicBackend(net).forward_batch(states)
+        q, cost = ShardedBackend(net, shards=4, shard="sample").forward_batch(
+            states
+        )
+        assert np.array_equal(q, ref_q)
+        # The short chunk burns fewer cycles than the long ones.
+        assert cost.shard_cycles[3] < cost.shard_cycles[0]
+
+    def test_batch_narrower_than_arrays(self, rng):
+        """2 states over 4 arrays: two arrays sit idle, still bitwise."""
+        net = make_net()
+        states = rng.uniform(0, 1, size=(2, 1, SIDE, SIDE))
+        ref_q, _ = SystolicBackend(net).forward_batch(states)
+        q, cost = ShardedBackend(net, shards=4, shard="sample").forward_batch(
+            states
+        )
+        assert np.array_equal(q, ref_q)
+        assert cost.shard_cycles[2] == 0 and cost.shard_cycles[3] == 0
+
+    def test_layer_narrower_than_arrays(self, rng):
+        """K=8 > FC5's 5 outputs: some arrays idle on that layer."""
+        net = make_net()
+        states = rng.uniform(0, 1, size=(3, 1, SIDE, SIDE))
+        ref_q, _ = SystolicBackend(net).forward_batch(states)
+        q, _ = ShardedBackend(net, shards=8, shard="layer").forward_batch(states)
+        assert np.array_equal(q, ref_q)
+
+    def test_pe_fidelity_passthrough(self):
+        """The oracle passthrough shards to the same bits and budgets."""
+        rng = np.random.default_rng(5)
+        conv = Conv2D(1, 4, 3, stride=1, name="c", rng=rng)
+        _, oh, ow = conv.output_shape(8, 8)
+        net = Network(
+            [conv, ReLU(), Flatten(), Dense(4 * oh * ow, 6, name="d", rng=rng)],
+            name="tiny",
+        )
+        states = rng.uniform(0, 1, size=(4, 1, 8, 8))
+        fast_q, fast_cost = ShardedBackend(
+            net, shards=2, shard="layer", fidelity="fast"
+        ).forward_batch(states)
+        pe_q, pe_cost = ShardedBackend(
+            net, shards=2, shard="layer", fidelity="pe"
+        ).forward_batch(states)
+        assert np.array_equal(fast_q, pe_q)
+        assert fast_cost.layer_cycles == pe_cost.layer_cycles
+
+    def test_sync_broadcasts_updates_to_all_arrays(self, rng):
+        states = rng.uniform(0, 1, size=(4, 1, SIDE, SIDE))
+        for policy in ("sample", "layer"):
+            net = make_net()
+            backend = ShardedBackend(net, shards=3, shard=policy)
+            stale_q = backend.forward_batch(states)[0]
+            for p in net.parameters():
+                p.value = p.value + 0.01
+            # Without sync every array still serves the old download.
+            assert np.array_equal(backend.forward_batch(states)[0], stale_q)
+            backend.sync()
+            fresh_q = backend.forward_batch(states)[0]
+            assert np.array_equal(
+                fresh_q, SystolicBackend(net).forward_batch(states)[0]
+            )
+            assert not np.array_equal(fresh_q, stale_q)
+
+
+class TestShardCost:
+    def test_sample_critical_path_is_slowest_array_plus_merge(self, rng):
+        net = make_net()
+        states = rng.uniform(0, 1, size=(8, 1, SIDE, SIDE))
+        _, cost = ShardedBackend(net, shards=4, shard="sample").forward_batch(
+            states
+        )
+        assert cost.critical_path_cycles == max(cost.shard_cycles) + cost.merge_cycles
+        # Work is the per-array total; layer_cycles sum to it.
+        assert cost.total_cycles == sum(cost.shard_cycles)
+        assert cost.total_cycles == sum(cost.layer_cycles.values())
+        # Q-value gather: 3 non-root arrays x 2 states x 5 actions.
+        assert cost.merge_cycles == 3 * 2 * 5
+        assert 1.0 < cost.parallel_speedup <= 4.0
+        assert 0.0 < cost.scaling_efficiency <= 1.0
+        assert cost.critical_path_seconds() == pytest.approx(
+            cost.critical_path_cycles / 1e9
+        )
+
+    def test_layer_policy_charges_merge_and_broadcast(self, rng):
+        net = make_net()
+        states = rng.uniform(0, 1, size=(2, 1, SIDE, SIDE))
+        _, cost = ShardedBackend(net, shards=2, shard="layer").forward_batch(
+            states
+        )
+        assert cost.merge_cycles > 0
+        assert cost.critical_path_cycles > cost.merge_cycles
+        assert cost.critical_path_cycles < cost.total_cycles
+        assert cost.total_cycles == sum(cost.shard_cycles)
+
+    def test_single_shard_is_the_single_array_cost(self, rng):
+        net = make_net()
+        states = rng.uniform(0, 1, size=(4, 1, SIDE, SIDE))
+        _, single = SystolicBackend(net).forward_batch(states)
+        _, cost = ShardedBackend(net, shards=1, shard="sample").forward_batch(
+            states
+        )
+        assert cost.total_cycles == single.total_cycles
+        assert cost.critical_path_cycles == single.total_cycles
+        assert cost.merge_cycles == 0
+
+    def test_k4_serves_fleet_batch_under_a_third_of_single_array(self, rng):
+        """The acceptance bound: K=4 sample sharding's critical path is
+        <= 0.3x the single-array cycles on the fleet observation batch."""
+        net = make_net()
+        states = rng.uniform(0, 1, size=(64, 1, SIDE, SIDE))
+        _, single = SystolicBackend(net).forward_batch(states)
+        _, cost = ShardedBackend(net, shards=4, shard="sample").forward_batch(
+            states
+        )
+        assert cost.critical_path_cycles <= 0.3 * single.total_cycles
+
+    def test_merge_accumulates_critical_paths_serially(self):
+        a = ShardCost(
+            backend="sharded", states=4, macs=10,
+            layer_cycles={"CONV1": 100}, shards=2, shard_cycles=(60, 40),
+            critical_path_cycles=70, merge_cycles=10,
+        )
+        b = ShardCost(
+            backend="sharded", states=2, macs=5,
+            layer_cycles={"CONV1": 50}, shards=2, shard_cycles=(25, 25),
+            critical_path_cycles=30, merge_cycles=5,
+        )
+        merged = merge_step_costs([a, b])
+        assert isinstance(merged, ShardCost)
+        assert merged.shards == 2
+        assert merged.shard_cycles == (85, 65)
+        assert merged.critical_path_cycles == 100
+        assert merged.merge_cycles == 15
+        assert merged.total_cycles == 150
+
+    def test_merge_mixes_plain_costs_onto_array_zero(self):
+        plain = StepCost(backend="systolic", states=1, layer_cycles={"FC1": 20})
+        shard = ShardCost(
+            backend="sharded", states=2, layer_cycles={"FC1": 30},
+            shards=2, shard_cycles=(18, 12),
+            critical_path_cycles=20, merge_cycles=2,
+        )
+        merged = merge_step_costs([plain, shard])
+        assert isinstance(merged, ShardCost)
+        assert merged.shard_cycles == (38, 12)
+        # The plain record's cycles are its own critical path.
+        assert merged.critical_path_cycles == 40
+
+    def test_plain_cost_exposes_single_array_view(self):
+        cost = StepCost(backend="systolic", states=2, layer_cycles={"FC1": 9})
+        assert cost.shards == 1
+        assert cost.critical_path_cycles == cost.total_cycles == 9
+        assert cost.merge_cycles == 0
+
+
+class TestWeightBus:
+    def test_flips_every_sync_every_publishes(self, rng):
+        net = make_net()
+        backend = SystolicBackend(net)
+        bus = WeightBus(backend, sync_every=3)
+        states = rng.uniform(0, 1, size=(2, 1, SIDE, SIDE))
+        stale_q = backend.forward_batch(states)[0]
+        flipped = []
+        for _ in range(3):
+            for p in net.parameters():
+                p.value = p.value + 0.01
+            flipped.append(bus.publish())
+        assert flipped == [False, False, True]
+        assert bus.flips == 1 and bus.publishes == 3 and bus.staleness == 0
+        # Only the flip refreshed the serving snapshot.
+        fresh_q = backend.forward_batch(states)[0]
+        assert not np.array_equal(fresh_q, stale_q)
+        assert np.array_equal(fresh_q, SystolicBackend(net).forward_batch(states)[0])
+
+    def test_serving_snapshot_stays_stale_between_flips(self, rng):
+        net = make_net()
+        backend = SystolicBackend(net)
+        bus = WeightBus(backend, sync_every=4)
+        states = rng.uniform(0, 1, size=(2, 1, SIDE, SIDE))
+        before = backend.forward_batch(states)[0]
+        for p in net.parameters():
+            p.value = p.value + 0.01
+        bus.publish()
+        assert bus.staleness == 1
+        assert np.array_equal(backend.forward_batch(states)[0], before)
+        bus.flip()  # forced download
+        assert bus.staleness == 0
+        assert not np.array_equal(backend.forward_batch(states)[0], before)
+
+    def test_serve_staleness_accounting(self):
+        bus = WeightBus(SystolicBackend(make_net()), sync_every=4)
+        bus.note_serve(4)       # staleness 0
+        bus.publish()
+        bus.note_serve(4)       # staleness 1
+        bus.publish()
+        bus.note_serve(2)       # staleness 2
+        assert bus.drain_serve_staleness() == pytest.approx((4 * 1 + 2 * 2) / 10)
+        assert bus.drain_serve_staleness() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sync_every"):
+            WeightBus(SystolicBackend(make_net()), sync_every=0)
+
+    def test_agent_default_is_synchronous(self):
+        agent = QLearningAgent(make_net(), config=config_by_name("L4"), seed=0)
+        assert agent.weight_bus.sync_every == 1
+
+
+class TestStalenessRegression:
+    def test_agreement_stays_high_at_sync_every_4(self, stale_rollout):
+        """Serving a snapshot up to 3 updates stale must not break the
+        policy: fixed-point vs float action agreement >= 0.95."""
+        agent, states, _report = stale_rollout
+        assert agent.backend.agreement_rate(states) >= 0.95
+
+    def test_round_stats_measure_staleness_and_shards(self, stale_rollout):
+        agent, _states, report = stale_rollout
+        assert report.backend == "sharded"
+        assert report.shards == 4
+        assert report.total_critical_path_cycles > 0
+        # Work strictly exceeds the parallel wall-clock.
+        assert (
+            report.total_critical_path_cycles < report.total_inference_cycles
+        )
+        # sync_every=4 with many updates: served staleness is visible
+        # but bounded by the flip cadence.
+        assert 0.0 < report.mean_sync_staleness < 4.0
+        for stats in report.rounds:
+            assert stats.shards == 4
+            assert 0 < stats.critical_path_cycles < stats.inference_cycles
+        # The bus flipped on cadence: staleness never reached sync_every.
+        assert agent.weight_bus.staleness < 4
