@@ -286,6 +286,30 @@ class ExecutionBackend:
         """Q values and accelerator cost for an (N, C, H, W) state batch."""
         raise NotImplementedError
 
+    def train_cost(
+        self,
+        batch_size: int,
+        state_shape: tuple[int, ...],
+        first_trainable: int = 0,
+    ) -> StepCost:
+        """Cost of one batch-N training iteration on this backend's array.
+
+        Fig. 3b's iteration — N forward passes plus the backward GEMMs
+        of the trainable tail (dL/dW and the Fig. 8 transposed dL/dX)
+        and the weight update — executed on the same datapath that
+        serves inference.  ``state_shape`` is one state's (C, H, W);
+        ``first_trainable`` is the layer index where backpropagation
+        stops, exactly as the agent holds it.
+
+        The default models the paper's split — training runs off-device
+        in float, charging the array nothing.  Backends with a hardware
+        model override this with the closed-form whole-network
+        training-step accounting (:mod:`repro.systolic.training`), so an
+        agent constructed with ``train_on_array=True`` charges every
+        update to the array it serves from.
+        """
+        return StepCost(backend=self.name, states=batch_size)
+
     def sync(self) -> None:
         """Refresh any internal snapshot of the network's weights.
 

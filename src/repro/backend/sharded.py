@@ -203,6 +203,54 @@ class ShardedBackend(ExecutionBackend):
             child.sync()
 
     # ------------------------------------------------------------------
+    def train_cost(
+        self,
+        batch_size: int,
+        state_shape: tuple[int, ...],
+        first_trainable: int = 0,
+    ) -> ShardCost:
+        """Data-parallel training step across the K arrays.
+
+        The training batch splits into K contiguous chunks
+        (``array_split`` semantics, like sample-sharded inference);
+        every array runs its chunk's forward and backward GEMMs against
+        a full weight copy, then the per-array weight gradients
+        all-reduce to the root array — ``merge_cycles`` charges one
+        cycle per gradient element shipped by each non-root active
+        array.  Training shards data-parallel under *both* shard
+        policies: a model-parallel backward for the layer policy is a
+        ROADMAP follow-up.
+        """
+        from repro.systolic.training import network_training_step_cost
+
+        sizes = [len(chunk) for chunk in np.array_split(np.arange(batch_size), self.shards)]
+        shard_cycles = [0] * self.shards
+        layer_cycles: dict[str, int] = {}
+        macs = 0
+        active = 0
+        for k, size in enumerate(sizes):
+            if size == 0:
+                continue  # batch narrower than K: array k sits idle
+            active += 1
+            step = network_training_step_cost(
+                self.network, state_shape, size,
+                config=self.config, first_trainable=first_trainable,
+            )
+            shard_cycles[k] = step.total_cycles
+            macs += step.total_macs
+            for layer in step.layers:
+                name = layer.name
+                layer_cycles[name] = layer_cycles.get(name, 0) + layer.total_cycles
+        grad_elements = sum(p.size for p in self.network.parameters(first_trainable))
+        merge = max(active - 1, 0) * grad_elements
+        critical = max(shard_cycles) + merge
+        return ShardCost(
+            backend=self.name, states=batch_size, macs=macs,
+            layer_cycles=layer_cycles, shards=self.shards,
+            shard_cycles=tuple(shard_cycles),
+            critical_path_cycles=critical, merge_cycles=merge,
+        )
+
     def _requantize(self, x: np.ndarray) -> np.ndarray:
         return self.activation_format.quantize(x) if self.quantized else x
 

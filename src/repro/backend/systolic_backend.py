@@ -196,6 +196,40 @@ class SystolicBackend(ExecutionBackend):
         )
 
     # ------------------------------------------------------------------
+    def train_cost(
+        self,
+        batch_size: int,
+        state_shape: tuple[int, ...],
+        first_trainable: int = 0,
+    ) -> StepCost:
+        """Closed-form cost of one batch-N training step on this array.
+
+        Whole-network accounting from :mod:`repro.systolic.training`:
+        the batch's forward passes over every layer plus, for layers at
+        index >= ``first_trainable``, the Section V.B backward GEMMs
+        (dW outer product and the Fig. 8 transposed dX).  Pure shape
+        arithmetic — no numerics execute, so charging every agent
+        update is cheap.  Training numerics themselves stay in float
+        off the datapath (the paper's split); this models what running
+        them *on* the array would cost it.
+        """
+        from repro.systolic.training import network_training_step_cost
+
+        step = network_training_step_cost(
+            self.network, state_shape, batch_size,
+            config=self.config, first_trainable=first_trainable,
+        )
+        layer_cycles: dict[str, int] = {}
+        for layer in step.layers:
+            name = layer.name
+            while name in layer_cycles:
+                name += "'"
+            layer_cycles[name] = layer.total_cycles
+        return StepCost(
+            backend=self.name, states=batch_size,
+            macs=step.total_macs, layer_cycles=layer_cycles,
+        )
+
     def forward_batch(self, states: np.ndarray) -> tuple[np.ndarray, StepCost]:
         x = np.asarray(states, dtype=np.float64)
         if x.ndim != 4:

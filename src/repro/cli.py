@@ -13,14 +13,21 @@
     python -m repro fleet --backend systolic  # hardware-in-the-loop rollouts
     python -m repro fleet --backend sharded --shards 4 --shard-policy sample \\
         --sync-every 4                        # K arrays + async weight bus
+    python -m repro fleet --backend systolic --train-on-array \\
+                                              # charge training to the array
     python -m repro systolic-bench            # fast path vs PE oracle
+    python -m repro systolic-bench --training # whole-network training step
 
 The ``systolic-bench`` command measures the vectorized systolic fast
 path (:mod:`repro.systolic`, ``fidelity="fast"``) against the loop-level
 PE oracle on a small conv layer — re-proving output and cycle-count
 equivalence as it times them — then runs the paper-scale modified
 AlexNet through the functional simulators (infeasible for the oracle)
-and reports per-layer wall time, MACs and modelled array cycles.
+and reports per-layer wall time, MACs and modelled array cycles.  Its
+``--training`` mode does the same for a whole training step (Fig. 3b):
+the paper-scale per-layer forward / dL/dW / dL/dX cycle table from the
+closed-form model, plus a fast-vs-oracle equivalence benchmark of the
+chained backward passes on a reduced spec.
 
 The ``fleet`` command runs the vectorized multi-environment engine
 (:mod:`repro.fleet`): one shared agent drives N environments through
@@ -39,8 +46,12 @@ reports critical-path cycles, scaling efficiency and pipeline overlap.
 ``--sync-every N`` sets the weight-bus flip cadence — the deployed
 datapath refreshes its quantised snapshot every N training updates
 instead of after every one, and the report carries the measured
-snapshot staleness.  A fixed-point-vs-float action-agreement check
-over replayed rollout states closes the report.
+snapshot staleness.  ``--train-on-array`` charges every training update
+the closed-form whole-network training-step cost on the backend's
+array(s) and projects whether rollout and training fit *concurrently*
+(combined utilization, single- and K-array).  A
+fixed-point-vs-float action-agreement check over replayed rollout
+states closes the report.
 """
 
 from __future__ import annotations
@@ -246,6 +257,7 @@ def _cmd_fleet(args) -> None:
         seed=args.seed,
         backend=make_backend(args.backend, network, **backend_kwargs),
         sync_every=args.sync_every,
+        train_on_array=args.train_on_array,
     )
     scheduler = FleetScheduler(
         agent, vec_env, train_every=args.train_every, eval_steps=args.eval_steps
@@ -314,6 +326,16 @@ def _cmd_fleet(args) -> None:
             f"{q_cost.total_cycles / 1e6:.2f} Mcycles "
             f"({q_cost.array_seconds() * 1e6:.0f} us on the paper array)"
         )
+    if report.total_training_cycles > 0:
+        print(
+            f"training on array: "
+            f"{report.training_cycles_per_update / 1e3:.1f} kcycles/update "
+            f"measured -> array sustains "
+            f"{projection.training_sustainable_updates_per_second:.1f} updates/s; "
+            f"combined rollout+train utilization "
+            f"{projection.combined_array_utilization:.4f} "
+            f"({'feasible' if projection.combined_realtime_feasible else 'OVERLOADED'})"
+        )
     if report.shards > 1:
         print(
             f"sharded over {report.shards} arrays "
@@ -324,6 +346,15 @@ def _cmd_fleet(args) -> None:
             f"(speedup {projection.sharding_speedup:.2f}x, scaling "
             f"efficiency {projection.scaling_efficiency:.2f})"
         )
+        if report.total_training_cycles > 0:
+            print(
+                f"concurrent rollout+train on {report.shards} arrays: "
+                f"training critical path "
+                f"{report.training_critical_path_cycles_per_update / 1e3:.1f} "
+                f"kcycles/update -> combined utilization "
+                f"{projection.sharded_combined_utilization:.4f} "
+                f"({'feasible' if projection.sharded_combined_utilization <= 1.0 else 'OVERLOADED'})"
+            )
     if report.total_inference_cycles > 0 or (
         args.sync_every > 1 and agent.backend.has_snapshot
     ):
@@ -350,6 +381,9 @@ def _cmd_systolic_bench(args) -> None:
     from repro.systolic import bench_conv_fast_vs_pe, simulate_network_forward
     from repro.systolic.bench import bench_payload
 
+    if args.training:
+        _systolic_training_bench(args)
+        return
     result = bench_conv_fast_vs_pe(
         channels=args.channels, side=args.side, filters=args.filters,
         kernel=args.kernel, stride=args.stride, seed=args.seed,
@@ -387,6 +421,77 @@ def _cmd_systolic_bench(args) -> None:
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(bench_payload(result, forward), fh, indent=2)
+        print(f"wrote {args.json}")
+
+
+def _systolic_training_bench(args) -> None:
+    """``systolic-bench --training``: whole-network training-step costs.
+
+    Prints the paper-scale per-layer forward / dL/dW / dL/dX cycle
+    table from the closed-form training-step model, the modelled
+    iteration rate at the requested batch, and a fast-vs-oracle
+    equivalence check (counters identical, gradients matching) on a
+    reduced spec the PE oracle can finish.
+    """
+    import json
+
+    from repro.systolic import bench_training_fast_vs_pe, training_step_stats
+
+    step = training_step_stats(batch=args.batch)
+    print(format_table(
+        ["Layer", "Kind", "Fwd Mcyc", "dW Mcyc", "dX Mcyc", "Upd kwts"],
+        [
+            [l.name, l.kind, round(l.forward_cycles / 1e6, 1),
+             round(l.dw_cycles / 1e6, 1), round(l.dx_cycles / 1e6, 1),
+             round(l.weight_elements / 1e3, 1)]
+            for l in step.layers
+        ],
+    ))
+    print(
+        f"{step.network} batch {step.batch} training step: "
+        f"{step.total_cycles / 1e9:.2f} Gcycles "
+        f"({step.total_forward_cycles / 1e9:.2f} fwd + "
+        f"{step.total_backward_cycles / 1e9:.2f} bwd) -> "
+        f"{step.iterations_per_second():.3f} iterations/s on the paper array; "
+        f"weight update {step.weight_update_bits() / 8e6:.1f} MB/step"
+    )
+    print()
+    bench = bench_training_fast_vs_pe(batch=args.batch, seed=args.seed)
+    print(format_table(
+        ["Path", "Seconds", "MMAC/s"],
+        [
+            ["pe oracle", round(bench.pe_seconds, 4),
+             round(bench.pe_macs_per_second / 1e6, 2)],
+            ["fast", round(bench.fast_seconds, 6),
+             round(bench.fast_macs_per_second / 1e6, 2)],
+        ],
+    ))
+    print(
+        f"{bench.network} batch {bench.batch} training step: fast path "
+        f"{bench.speedup:.0f}x over the oracle (counters and gradients "
+        "verified identical)"
+    )
+    if args.json:
+        payload = {
+            "training_step": {
+                "network": step.network,
+                "batch": step.batch,
+                "total_cycles": step.total_cycles,
+                "forward_cycles": step.total_forward_cycles,
+                "backward_cycles": step.total_backward_cycles,
+                "iterations_per_second": step.iterations_per_second(),
+                "weight_update_elements": step.weight_update_elements,
+            },
+            "bench_training": {
+                "network": bench.network,
+                "batch": bench.batch,
+                "speedup": bench.speedup,
+                "pe_seconds": bench.pe_seconds,
+                "fast_seconds": bench.fast_seconds,
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}")
 
 
@@ -486,6 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
              "its quantised snapshot every N training updates "
              "(1 = synchronous write-back)",
     )
+    p_fleet.add_argument(
+        "--train-on-array", action="store_true",
+        help="charge every training update to the backend's array "
+             "(whole-network forward + backward GEMM cycle model) and "
+             "project concurrent rollout+training feasibility",
+    )
     p_fleet.add_argument("--seed", type=int, default=0)
     p_fleet.set_defaults(func=_cmd_fleet)
     p_sys = sub.add_parser(
@@ -501,6 +612,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="AlexNet forward batch size")
     p_sys.add_argument("--skip-alexnet", action="store_true",
                        help="only run the fast-vs-oracle layer benchmark")
+    p_sys.add_argument("--training", action="store_true",
+                       help="whole-network training-step mode: paper-scale "
+                            "fwd/dW/dX cycle table + fast-vs-oracle "
+                            "training equivalence benchmark")
     p_sys.add_argument("--json", default=None,
                        help="also write machine-readable results to this path")
     p_sys.add_argument("--seed", type=int, default=0)

@@ -22,6 +22,12 @@ passes were charged (:class:`~repro.backend.StepCost` totals, drained
 from the agent's ledger), including the multi-array fields when the
 backend shards (:class:`~repro.backend.ShardCost`): shard count,
 critical-path cycles, and the mean weight-snapshot staleness served.
+Agents built with ``train_on_array=True`` additionally charge every
+training update the whole-network training-step cost
+(:mod:`repro.systolic.training`); the scheduler drains that second
+ledger per round too (``training_cycles`` /
+``training_cycles_per_update``), so the projection can report the
+combined rollout+training utilization of the array(s).
 :meth:`FleetScheduler.project_load` feeds the measured rates *and*
 measured cycles into :func:`repro.perf.traffic.project_fleet_load`, so
 a simulated fleet's demand maps onto the paper platform's FPS /
@@ -85,11 +91,25 @@ class RoundStats:
     sync_staleness: float = 0.0
     #: Fraction of rollout+train wall time a two-stage pipeline hides.
     pipeline_overlap_fraction: float = 0.0
+    #: Array cycles charged for this round's on-array training updates
+    #: (zero unless the agent trains on the array).
+    training_cycles: int = 0
+    training_macs: int = 0
+    training_array_seconds: float = 0.0
+    #: Wall-clock cycles of the (possibly sharded) training schedule.
+    training_critical_path_cycles: int = 0
 
     @property
     def wall_seconds(self) -> float:
         """Total wall-clock time of the round."""
         return self.rollout_seconds + self.train_seconds + self.eval_seconds
+
+    @property
+    def training_cycles_per_update(self) -> float:
+        """Modelled array cycles per training update this round."""
+        return (
+            self.training_cycles / self.train_updates if self.train_updates else 0.0
+        )
 
     @property
     def cycles_per_env_step(self) -> float:
@@ -211,6 +231,39 @@ class FleetReport:
         return (
             self.total_critical_path_cycles / self.total_env_steps
             if self.total_env_steps
+            else 0.0
+        )
+
+    @property
+    def total_training_cycles(self) -> int:
+        """On-array training cycles across all rounds."""
+        return sum(r.training_cycles for r in self.rounds)
+
+    @property
+    def total_training_critical_path_cycles(self) -> int:
+        """Wall-clock training cycles across all rounds (max over shards)."""
+        return sum(r.training_critical_path_cycles for r in self.rounds)
+
+    @property
+    def training_array_seconds(self) -> float:
+        """Modelled array time of all on-array training updates."""
+        return sum(r.training_array_seconds for r in self.rounds)
+
+    @property
+    def training_cycles_per_update(self) -> float:
+        """Average array cycles charged per training update."""
+        return (
+            self.total_training_cycles / self.total_train_updates
+            if self.total_train_updates
+            else 0.0
+        )
+
+    @property
+    def training_critical_path_cycles_per_update(self) -> float:
+        """Average wall-clock training cycles per update."""
+        return (
+            self.total_training_critical_path_cycles / self.total_train_updates
+            if self.total_train_updates
             else 0.0
         )
 
@@ -445,6 +498,7 @@ class FleetScheduler:
         # Discard cost/staleness records from before this run so round 0
         # only carries its own budget.
         self.agent.drain_inference_cost()
+        self.agent.drain_training_cost()
         self.agent.weight_bus.drain_serve_staleness()
         try:
             for index in range(rounds):
@@ -463,6 +517,7 @@ class FleetScheduler:
                 serial = roll_wall + pipeline_train_wall + train_wall
                 overlap = hidden_seconds / serial if serial > 0.0 else 0.0
                 cost = self.agent.drain_inference_cost()
+                train_cost = self.agent.drain_training_cost()
                 staleness = self.agent.weight_bus.drain_serve_staleness()
                 report.rounds.append(
                     RoundStats(
@@ -480,10 +535,16 @@ class FleetScheduler:
                         inference_macs=cost.macs,
                         inference_cycles=cost.total_cycles,
                         inference_array_seconds=cost.array_seconds(self._array_config),
-                        shards=cost.shards,
+                        shards=max(cost.shards, train_cost.shards),
                         critical_path_cycles=cost.critical_path_cycles,
                         sync_staleness=staleness,
                         pipeline_overlap_fraction=overlap,
+                        training_cycles=train_cost.total_cycles,
+                        training_macs=train_cost.macs,
+                        training_array_seconds=train_cost.array_seconds(
+                            self._array_config
+                        ),
+                        training_critical_path_cycles=train_cost.critical_path_cycles,
                     )
                 )
             # Deployment barrier: a completed run leaves no undeployed
@@ -493,8 +554,10 @@ class FleetScheduler:
                 self.agent.weight_bus.flip()
         finally:
             # A mid-round exception must not leak this round's partial
-            # costs (or staleness) into the next run's first round.
+            # costs (inference *or* training, or staleness) into the
+            # next run's first round.
             self.agent.drain_inference_cost()
+            self.agent.drain_training_cost()
             self.agent.weight_bus.drain_serve_staleness()
         # Close every env's final crash-free segment so it counts.
         for env in self.vec_env.envs:
@@ -544,4 +607,8 @@ class FleetScheduler:
             array=self._array_config,
             shards=report.shards,
             critical_path_cycles_per_step=report.critical_path_cycles_per_env_step,
+            training_cycles_per_update=report.training_cycles_per_update,
+            training_critical_path_cycles_per_update=(
+                report.training_critical_path_cycles_per_update
+            ),
         )

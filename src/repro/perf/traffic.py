@@ -220,7 +220,15 @@ class FleetLoadProjection:
     * ``shards`` / ``critical_path_cycles_per_step`` — when the backend
       executed on K arrays, the measured wall-clock (critical-path)
       cycle budget per env step; from it, the step rate the K-array
-      platform sustains and the scaling efficiency of the split.
+      platform sustains and the scaling efficiency of the split,
+    * ``training_cycles_per_update`` — the measured array cycles one
+      on-array training update charged (``fleet --train-on-array``;
+      zero when training stays off-device); from it the update rate the
+      array sustains and, combined with the inference budget, whether
+      the platform sustains *concurrent* rollout + training — on one
+      array (``combined_array_utilization``) or on the K sharded arrays
+      (``sharded_combined_utilization``, from the training critical
+      path).
     """
 
     config_name: str
@@ -238,6 +246,10 @@ class FleetLoadProjection:
     shards: int = 1
     critical_path_cycles_per_step: float = 0.0
     critical_path_step_latency_s: float = 0.0
+    training_cycles_per_update: float = 0.0
+    training_update_latency_s: float = 0.0
+    training_critical_path_cycles_per_update: float = 0.0
+    training_critical_path_latency_s: float = 0.0
 
     @property
     def utilization(self) -> float:
@@ -304,6 +316,50 @@ class FleetLoadProjection:
         return self.steps_per_second * self.critical_path_step_latency_s
 
     @property
+    def training_sustainable_updates_per_second(self) -> float:
+        """Training updates/sec the array sustains at the measured cost.
+
+        ``inf`` when training charged no cycles (off-device training).
+        """
+        if self.training_update_latency_s <= 0.0:
+            return float("inf")
+        return 1.0 / self.training_update_latency_s
+
+    @property
+    def training_array_utilization(self) -> float:
+        """Demanded update rate x measured per-update array time."""
+        return self.train_iterations_per_second * self.training_update_latency_s
+
+    @property
+    def combined_array_utilization(self) -> float:
+        """Single-array utilization of rollout inference *plus* training.
+
+        The datapath is time-shared: serving the fleet's forward passes
+        and executing its training updates both burn the same array's
+        cycles, so feasibility of concurrent rollout + training is the
+        sum of the two utilizations staying under 1.
+        """
+        return self.inference_utilization + self.training_array_utilization
+
+    @property
+    def combined_realtime_feasible(self) -> bool:
+        """Whether one array sustains rollout and training concurrently."""
+        return self.combined_array_utilization <= 1.0
+
+    @property
+    def sharded_combined_utilization(self) -> float:
+        """K-array utilization of concurrent rollout + training.
+
+        Uses the measured critical paths of both schedules — what the
+        K arrays actually spend wall-clock cycles on.
+        """
+        return (
+            self.sharded_utilization
+            + self.train_iterations_per_second
+            * self.training_critical_path_latency_s
+        )
+
+    @property
     def sharding_speedup(self) -> float:
         """Single-array-equivalent work cycles over critical-path cycles.
 
@@ -333,6 +389,8 @@ def project_fleet_load(
     array: ArrayConfig = PAPER_ARRAY,
     shards: int = 1,
     critical_path_cycles_per_step: float = 0.0,
+    training_cycles_per_update: float = 0.0,
+    training_critical_path_cycles_per_update: float = 0.0,
 ) -> FleetLoadProjection:
     """Map a measured fleet workload onto the accelerator's cost model.
 
@@ -345,8 +403,12 @@ def project_fleet_load(
     latency.  ``shards`` and ``critical_path_cycles_per_step`` carry a
     sharded backend's array count and measured wall-clock budget, from
     which the K-array sustainable step rate and scaling efficiency
-    derive.  Combines the Fig. 13 iteration-cost model with the traffic
-    simulator's per-device bit counts and the NVM endurance estimate.
+    derive.  ``training_cycles_per_update`` (and its critical-path
+    counterpart for sharded training) carries the measured on-array cost
+    of one training update, from which the combined rollout+training
+    utilizations derive.  Combines the Fig. 13 iteration-cost model with
+    the traffic simulator's per-device bit counts and the NVM endurance
+    estimate.
     """
     if num_envs <= 0:
         raise ValueError("num_envs must be positive")
@@ -358,6 +420,8 @@ def project_fleet_load(
         raise ValueError("shards must be positive")
     if critical_path_cycles_per_step < 0:
         raise ValueError("critical_path_cycles_per_step cannot be negative")
+    if training_cycles_per_update < 0 or training_critical_path_cycles_per_update < 0:
+        raise ValueError("training cycle budgets cannot be negative")
     from repro.perf.training import TrainingIterationModel
 
     cost = TrainingIterationModel(simulator.cost_model).iteration_cost(batch_size)
@@ -381,4 +445,12 @@ def project_fleet_load(
         shards=shards,
         critical_path_cycles_per_step=critical_path_cycles_per_step,
         critical_path_step_latency_s=array.seconds(critical_path_cycles_per_step),
+        training_cycles_per_update=training_cycles_per_update,
+        training_update_latency_s=array.seconds(training_cycles_per_update),
+        training_critical_path_cycles_per_update=(
+            training_critical_path_cycles_per_update
+        ),
+        training_critical_path_latency_s=array.seconds(
+            training_critical_path_cycles_per_update
+        ),
     )

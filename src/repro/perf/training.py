@@ -33,7 +33,14 @@ PAPER_BATCH_SIZES = (4, 8, 16)
 
 @dataclass(frozen=True)
 class IterationCost:
-    """Cost of one batch-N training iteration."""
+    """Cost of one batch-N training iteration.
+
+    ``forward_cycles``/``backward_cycles`` carry the whole-batch array
+    cycles of the systolic training-step model when the iteration model
+    was built with ``use_systolic=True`` (zero otherwise — the analytic
+    path has latencies but no cycle ledger); ``cycle_source`` records
+    which model produced them.
+    """
 
     config_name: str
     batch_size: int
@@ -43,6 +50,10 @@ class IterationCost:
     forward_energy_j: float
     backward_energy_j: float
     update_energy_j: float
+    forward_cycles: int = 0
+    backward_cycles: int = 0
+    weight_update_elements: int = 0
+    cycle_source: str = "analytic"
 
     @property
     def per_image_latency_s(self) -> float:
@@ -76,10 +87,38 @@ class IterationCost:
 
 
 class TrainingIterationModel:
-    """Wraps a :class:`LayerCostModel` with batch-iteration arithmetic."""
+    """Wraps a :class:`LayerCostModel` with batch-iteration arithmetic.
 
-    def __init__(self, cost_model: LayerCostModel):
+    ``use_systolic`` (default True) sources the per-iteration *cycles*
+    from the whole-network systolic training-step model
+    (:func:`repro.systolic.training.training_step_stats`) — the same
+    closed-form accounting the execution backends charge, proven equal
+    to the loop-level PE oracle — instead of leaving the ledger empty.
+    Latencies and energies stay on the analytic path (the calibrated
+    Fig. 12/13 model, whose per-layer efficiency factors reproduce the
+    published anchors): the systolic counters are *work* cycles at one
+    MAC per PE-cycle, so the two views bracket each other — the
+    analytic wall-clock must lie between the fully parallel
+    (``cycles / total_pes``) and fully serial (``cycles``) execution of
+    the systolic work, an invariant the tests pin.  ``use_systolic=
+    False`` keeps the pure analytic path (no cycle ledger) as the
+    fallback.
+    """
+
+    def __init__(self, cost_model: LayerCostModel, use_systolic: bool = True):
         self.cost_model = cost_model
+        self.use_systolic = use_systolic
+
+    def _systolic_step(self, batch_size: int):
+        """Whole-network training-step counters at ``batch_size``."""
+        from repro.systolic.training import training_step_stats
+
+        return training_step_stats(
+            self.cost_model.spec,
+            batch=batch_size,
+            config=self.cost_model.array,
+            train_last_k=self.cost_model.config.last_k_fc,
+        )
 
     def iteration_cost(self, batch_size: int) -> IterationCost:
         """Cost of one training iteration at ``batch_size``."""
@@ -88,6 +127,14 @@ class TrainingIterationModel:
         fwd_lat, fwd_energy = self.cost_model.forward_total()
         bwd_lat, bwd_energy = self.cost_model.backward_total()
         update = self.cost_model.update_cost()
+        forward_cycles = backward_cycles = update_elements = 0
+        source = "analytic"
+        if self.use_systolic:
+            step = self._systolic_step(batch_size)
+            forward_cycles = step.total_forward_cycles
+            backward_cycles = step.total_backward_cycles
+            update_elements = step.weight_update_elements
+            source = "systolic"
         return IterationCost(
             config_name=self.cost_model.config.name,
             batch_size=batch_size,
@@ -97,6 +144,10 @@ class TrainingIterationModel:
             forward_energy_j=fwd_energy,
             backward_energy_j=bwd_energy,
             update_energy_j=update.energy_j,
+            forward_cycles=forward_cycles,
+            backward_cycles=backward_cycles,
+            weight_update_elements=update_elements,
+            cycle_source=source,
         )
 
     def max_velocity(self, batch_size: int, d_min: float) -> float:

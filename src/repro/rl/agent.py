@@ -115,6 +115,17 @@ class QLearningAgent:
         larger values let inference run on a bounded-staleness snapshot
         while training proceeds — the async-rollout tradeoff, measured
         by the bus's staleness counters.
+    train_on_array:
+        When True, every training update additionally charges the
+        backend's array the closed-form cost of executing that batch's
+        forward + backward GEMMs on it (``backend.train_cost``), and
+        :meth:`drain_training_cost` hands the accumulated budget to the
+        fleet scheduler per round.  The *numerics* still backpropagate
+        through the float network either way — this models what
+        training on the datapath would cost, so the projection can
+        answer whether K arrays sustain concurrent rollout + training.
+        False (default) keeps the paper's training-off-device split:
+        updates charge the array nothing.
     """
 
     def __init__(
@@ -134,6 +145,7 @@ class QLearningAgent:
         double_dqn: bool = False,
         backend: ExecutionBackend | None = None,
         sync_every: int = 1,
+        train_on_array: bool = False,
     ):
         if not 0.0 <= gamma < 1.0:
             raise ValueError("gamma must be in [0, 1)")
@@ -171,6 +183,12 @@ class QLearningAgent:
         self.backend = backend or NumpyBackend(network)
         self.weight_bus = WeightBus(self.backend, sync_every=sync_every)
         self._pending_costs: list[StepCost] = []
+        self.train_on_array = train_on_array
+        self._pending_train_costs: list[StepCost] = []
+        # The closed-form training cost is a pure function of
+        # (batch, state shape, boundary) — memoise it per geometry so
+        # charging every update costs a dict lookup, not a layer walk.
+        self._train_cost_cache: dict[tuple, StepCost] = {}
         self.step_count = 0
         self.train_count = 0
         self.last_loss = float("nan")
@@ -205,6 +223,19 @@ class QLearningAgent:
         """
         cost = merge_step_costs(self._pending_costs, backend=self.backend.name)
         self._pending_costs.clear()
+        return cost
+
+    def drain_training_cost(self) -> StepCost:
+        """Accumulated on-array training :class:`StepCost` since last drain.
+
+        Empty (zero cost) unless the agent was constructed with
+        ``train_on_array=True`` and has trained; the fleet scheduler
+        drains it per round alongside the inference ledger.
+        """
+        cost = merge_step_costs(
+            self._pending_train_costs, backend=self.backend.name
+        )
+        self._pending_train_costs.clear()
         return cost
 
     def select_action(self, state: np.ndarray, greedy: bool = False) -> int:
@@ -329,6 +360,22 @@ class QLearningAgent:
         # flips to the staged weights every sync_every updates (every
         # update by default — the synchronous SRAM write-back).
         self.weight_bus.publish()
+        if self.train_on_array:
+            key = (batch_size, states.shape[1:], self.first_trainable)
+            cost = self._train_cost_cache.get(key)
+            if cost is None:
+                cost = self.backend.train_cost(
+                    batch_size, states.shape[1:],
+                    first_trainable=self.first_trainable,
+                )
+                self._train_cost_cache[key] = cost
+            self._pending_train_costs.append(cost)
+            if len(self._pending_train_costs) >= 1024:
+                self._pending_train_costs = [
+                    merge_step_costs(
+                        self._pending_train_costs, backend=self.backend.name
+                    )
+                ]
         return loss
 
     def _bootstrap_values(self, next_states: np.ndarray) -> np.ndarray:

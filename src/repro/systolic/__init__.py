@@ -34,8 +34,12 @@ from repro.systolic.kernels import (
 from repro.systolic.cycles import (
     SimulationStats,
     FCScheduleStats,
+    ConvBackwardStats,
     conv_rowstationary_stats,
     fc_tile_stats,
+    fc_backward_stats,
+    fc_weight_grad_stats,
+    conv_backward_gemm_stats,
 )
 from repro.systolic.conv_mapping import (
     MappingType,
@@ -61,6 +65,16 @@ from repro.systolic.bench import (
     NetworkForwardResult,
     bench_conv_fast_vs_pe,
     simulate_network_forward,
+)
+from repro.systolic.training import (
+    LayerTrainingCost,
+    TrainingStepCost,
+    TrainingStepResult,
+    TrainingBenchResult,
+    training_step_stats,
+    network_training_step_cost,
+    simulate_network_training_step,
+    bench_training_fast_vs_pe,
 )
 
 __all__ = [
@@ -98,4 +112,16 @@ __all__ = [
     "NetworkForwardResult",
     "bench_conv_fast_vs_pe",
     "simulate_network_forward",
+    "ConvBackwardStats",
+    "fc_backward_stats",
+    "fc_weight_grad_stats",
+    "conv_backward_gemm_stats",
+    "LayerTrainingCost",
+    "TrainingStepCost",
+    "TrainingStepResult",
+    "TrainingBenchResult",
+    "training_step_stats",
+    "network_training_step_cost",
+    "simulate_network_training_step",
+    "bench_training_fast_vs_pe",
 ]

@@ -28,6 +28,12 @@ pass occupying ``q`` array columns charges ``kh + ow + q - 1`` cycles —
 one cycle of stagger per additional occupied column.  (Earlier versions
 charged a flat ``kh + ow`` per pass, over- or under-counting whenever a
 final pass filled only part of the array.)
+
+Load accounting: each column pass loads the segment's filter rows once
+per channel (one broadside cycle per row), and the rows stay resident
+while the whole batch streams through — so conv load cycles amortise
+across a batch exactly like FC tile loads, making conv cycles per
+sample strictly decreasing in batch size (the Fig. 13 effect).
 """
 
 from __future__ import annotations
@@ -144,25 +150,27 @@ class FunctionalSystolicArray:
         ow: int,
     ) -> tuple[np.ndarray, SimulationStats]:
         """The loop-level oracle: one segment of kh PEs, one pass per
-        column batch, executed image by image."""
+        column batch, with filter rows resident across the batch."""
         n, c, _, _ = x.shape
         oc, _, kh, _ = weights.shape
         segment = [ProcessingElement(self.config.pe) for _ in range(kh)]
         cols = self.config.cols
         out = np.zeros((n, oc, oh, ow))
         wavefront_cycles = 0
-        for img in range(n):
-            image = x[img]
-            for out_ch in range(oc):
-                for row_base in range(0, oh, cols):
-                    rows_this_pass = min(cols, oh - row_base)
-                    # Row-stationary residency: each PE keeps its filter
-                    # row in the RF for the whole pass while input rows
-                    # stream past it, one per occupied column.
-                    for ch in range(c):
-                        for fr, pe in enumerate(segment):
-                            pe.clear()
-                            pe.load_filter_row(weights[out_ch, ch, fr])
+        for out_ch in range(oc):
+            for row_base in range(0, oh, cols):
+                rows_this_pass = min(cols, oh - row_base)
+                # Row-stationary residency, extended across the batch:
+                # each PE loads its filter row once (one broadside load
+                # cycle) and keeps it in the RF while *every* image's
+                # input rows stream past it — the conv analogue of the
+                # FC tile reuse, so load cycles do not scale with n.
+                for ch in range(c):
+                    for fr, pe in enumerate(segment):
+                        pe.clear()
+                        pe.load_filter_row(weights[out_ch, ch, fr])
+                        for img in range(n):
+                            image = x[img]
                             for col_pe in range(rows_this_pass):
                                 out_row = row_base + col_pe
                                 pe.clear_psum()
@@ -170,14 +178,15 @@ class FunctionalSystolicArray:
                                 out[img, out_ch, out_row] += pe.row_conv(
                                     stride=stride
                                 )
-                    # Vertical psum accumulation through the segment:
-                    # one drain wavefront per pass, staggered one cycle
-                    # per occupied column (see module docstring).
-                    wavefront_cycles += kh + ow + rows_this_pass - 1
+                # Vertical psum accumulation through the segment: one
+                # drain wavefront per pass *per image*, staggered one
+                # cycle per occupied column (see module docstring).
+                wavefront_cycles += n * (kh + ow + rows_this_pass - 1)
         stats = SimulationStats(
             total_pe_cycles=sum(pe.cycles for pe in segment),
             wavefront_cycles=wavefront_cycles,
             pes_used=kh * min(cols, oh),
+            load_cycles=sum(pe.load_cycles for pe in segment),
         )
         return out, stats
 

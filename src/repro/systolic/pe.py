@@ -68,13 +68,25 @@ class ProcessingElement:
         self.input_row: np.ndarray | None = None
         self.psum: np.ndarray | None = None
         self.cycles = 0
+        self.load_cycles = 0
 
     def load_filter_row(self, filter_row: np.ndarray) -> None:
-        """Store one row of filter taps in the RF."""
+        """Store one row of filter taps in the RF.
+
+        Charges one *load* cycle — the taps arrive broadside from the
+        global buffer, one row per cycle, exactly like one row of an FC
+        weight tile.  Loads are tracked separately from MAC cycles
+        (:attr:`load_cycles`) because they amortise differently: a
+        resident filter row serves every image of a batch, so the
+        schedule charges loads once per batch while MAC/drain charges
+        repeat per image (the conv side of the Fig. 13 weight-reuse
+        effect).
+        """
         if type(filter_row) is not np.ndarray or filter_row.dtype != _F64:
             filter_row = np.asarray(filter_row, dtype=_F64)
         self._check_rf(filter_row.size + (0 if self.input_row is None else self.input_row.size))
         self.filter_row = filter_row
+        self.load_cycles += 1
 
     def load_input_row(self, input_row: np.ndarray) -> None:
         """Store one row of input activations in the RF."""

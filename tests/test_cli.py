@@ -64,3 +64,37 @@ class TestCommands:
         assert payload["bench_layer"]["speedup"] > 1.0
         assert "shape" in payload["bench_layer"]
         assert "alexnet_forward" not in payload  # skipped above
+
+    def test_systolic_bench_training_mode(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "training.json"
+        assert main(["systolic-bench", "--training", "--batch", "2",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "dW Mcyc" in out and "dX Mcyc" in out
+        assert "training step" in out
+        assert "counters and gradients verified identical" in out
+        payload = json.loads(path.read_text())
+        assert payload["training_step"]["total_cycles"] > 0
+        assert payload["training_step"]["iterations_per_second"] > 0
+        assert payload["bench_training"]["speedup"] > 1.0
+
+    def test_fleet_train_on_array_smoke(self, capsys):
+        assert main([
+            "fleet", "--num-envs", "4", "--rounds", "1", "--steps", "30",
+            "--eval-steps", "0", "--seed", "1",
+            "--envs", "indoor-apartment", "outdoor-forest",
+            "--backend", "systolic", "--train-on-array",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "training on array:" in out
+        assert "kcycles/update measured" in out
+        assert "combined rollout+train utilization" in out
+
+    def test_train_on_array_flag_parses(self):
+        args = build_parser().parse_args(["fleet", "--train-on-array"])
+        assert args.train_on_array is True
+        assert build_parser().parse_args(["fleet"]).train_on_array is False
+        bench = build_parser().parse_args(["systolic-bench", "--training"])
+        assert bench.training is True

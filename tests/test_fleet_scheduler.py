@@ -155,7 +155,8 @@ class TestFleetScheduler:
 
     def test_mid_round_exception_cannot_leak_costs(self):
         """The try/finally drain: a rollout crash must not leave this
-        round's partial StepCosts (or staleness) for the next run."""
+        round's partial StepCosts — inference *or* on-array training —
+        (or staleness) for the next run."""
         from repro.backend import SystolicBackend
 
         network = build_network(scaled_drone_net_spec(input_side=SIDE), seed=0)
@@ -166,6 +167,7 @@ class TestFleetScheduler:
             seed=0,                                # step records a cost
             batch_size=4,
             backend=SystolicBackend(network),
+            train_on_array=True,
         )
         vec_env = make_fleet(4)
         scheduler = FleetScheduler(agent, vec_env, train_every=2)
@@ -174,21 +176,127 @@ class TestFleetScheduler:
 
         def crashing_step(actions):
             calls["n"] += 1
-            if calls["n"] == 5:
+            if calls["n"] == 8:
+                # Crash after replay warmed up enough to have trained,
+                # so the training ledger is non-trivially non-empty.
                 raise RuntimeError("env crashed mid-round")
             return original_step(actions)
 
         vec_env.step = crashing_step
         with pytest.raises(RuntimeError, match="mid-round"):
             scheduler.run(rounds=2, steps_per_round=10)
-        # The crashed round's forwards were drained, not left pending.
+        # The crashed round's forwards and training charges were
+        # drained, not left pending.
         assert agent.drain_inference_cost().states == 0
+        assert agent.drain_training_cost().total_cycles == 0
         assert agent.weight_bus.drain_serve_staleness() == 0.0
         vec_env.step = original_step
         report = scheduler.run(rounds=1, steps_per_round=10)
         # Round 0 of the new run carries exactly its own states: 10
         # greedy fleet steps over 4 envs.
         assert report.rounds[0].inference_states == 10 * 4
+        # ... and exactly its own training charges.
+        assert report.rounds[0].training_cycles == (
+            report.rounds[0].train_updates
+            * agent.backend.train_cost(
+                scheduler.train_batch, (1, SIDE, SIDE),
+                first_trainable=agent.first_trainable,
+            ).total_cycles
+        )
+
+    def test_train_on_array_rounds_carry_training_budget(self):
+        """--train-on-array threading: rounds report training cycles,
+        the report aggregates them, and the projection derives the
+        combined rollout+training utilization."""
+        from repro.backend import SystolicBackend
+
+        network = build_network(scaled_drone_net_spec(input_side=SIDE), seed=0)
+        agent = QLearningAgent(
+            network,
+            config=config_by_name("L4"),
+            epsilon=EpsilonSchedule(1.0, 0.1, 200),
+            seed=0,
+            batch_size=4,
+            backend=SystolicBackend(network),
+            train_on_array=True,
+        )
+        scheduler = FleetScheduler(agent, make_fleet(4), train_every=2)
+        report = scheduler.run(rounds=2, steps_per_round=20)
+        assert report.total_train_updates > 0
+        per_update = agent.backend.train_cost(
+            scheduler.train_batch, (1, SIDE, SIDE),
+            first_trainable=agent.first_trainable,
+        ).total_cycles
+        for stats in report.rounds:
+            assert stats.training_cycles == stats.train_updates * per_update
+            assert stats.training_macs > 0
+            assert stats.training_array_seconds == pytest.approx(
+                stats.training_cycles / 1e9
+            )
+            assert stats.training_critical_path_cycles == stats.training_cycles
+        assert report.training_cycles_per_update == pytest.approx(per_update)
+        projection = scheduler.project_load(report)
+        assert projection.training_cycles_per_update == pytest.approx(per_update)
+        assert projection.training_update_latency_s == pytest.approx(
+            per_update / 1e9
+        )
+        assert (
+            projection.training_sustainable_updates_per_second < float("inf")
+        )
+        assert projection.combined_array_utilization == pytest.approx(
+            projection.inference_utilization
+            + projection.training_array_utilization
+        )
+        assert projection.training_array_utilization > 0
+
+    def test_off_device_training_keeps_zero_budget(self):
+        """Without --train-on-array the training ledger stays empty and
+        the projection's training side is unbounded (off-device)."""
+        agent = make_agent()
+        scheduler = FleetScheduler(agent, make_fleet(4), train_every=2)
+        report = scheduler.run(rounds=1, steps_per_round=20)
+        assert report.total_training_cycles == 0
+        assert report.training_cycles_per_update == 0.0
+        projection = scheduler.project_load(report)
+        assert projection.training_cycles_per_update == 0.0
+        assert projection.training_sustainable_updates_per_second == float(
+            "inf"
+        )
+        assert projection.combined_array_utilization == pytest.approx(
+            projection.inference_utilization
+        )
+
+    def test_sharded_training_threads_critical_path(self):
+        """Sharded --train-on-array: the training critical path (data
+        parallel + gradient all-reduce) is below the serial work and
+        feeds the K-array concurrent utilization."""
+        from repro.backend import ShardedBackend
+
+        network = build_network(scaled_drone_net_spec(input_side=SIDE), seed=0)
+        agent = QLearningAgent(
+            network,
+            config=config_by_name("L4"),
+            epsilon=EpsilonSchedule(1.0, 0.1, 200),
+            seed=0,
+            batch_size=4,
+            backend=ShardedBackend(network, shards=4, shard="sample"),
+            train_on_array=True,
+        )
+        scheduler = FleetScheduler(agent, make_fleet(4), train_every=2)
+        report = scheduler.run(rounds=1, steps_per_round=30)
+        assert report.total_train_updates > 0
+        assert (
+            0
+            < report.total_training_critical_path_cycles
+            < report.total_training_cycles
+        )
+        projection = scheduler.project_load(report)
+        assert projection.training_critical_path_cycles_per_update == (
+            pytest.approx(report.training_critical_path_cycles_per_update)
+        )
+        assert projection.sharded_combined_utilization > (
+            projection.sharded_utilization
+        )
 
     def test_project_load_builds_projection(self):
         agent = make_agent(config="E2E")
@@ -306,6 +414,43 @@ class TestProjectFleetLoad:
                 train_iterations_per_second=15.0,
                 critical_path_cycles_per_step=-1.0,
             )
+        with pytest.raises(ValueError):
+            project_fleet_load(
+                sim, num_envs=16, batch_size=128, steps_per_second=2000.0,
+                train_iterations_per_second=15.0,
+                training_cycles_per_update=-1.0,
+            )
+
+    def test_training_fields_derive_combined_utilization(self):
+        sim = TrafficSimulator(modified_alexnet_spec(), config_by_name("L4"))
+        projection = project_fleet_load(
+            sim,
+            num_envs=16,
+            batch_size=128,
+            steps_per_second=2000.0,
+            train_iterations_per_second=15.0,
+            inference_cycles_per_step=36000.0,
+            training_cycles_per_update=2_000_000.0,
+            shards=4,
+            critical_path_cycles_per_step=9500.0,
+            training_critical_path_cycles_per_update=600_000.0,
+        )
+        assert projection.training_update_latency_s == pytest.approx(2e-3)
+        assert projection.training_sustainable_updates_per_second == (
+            pytest.approx(500.0)
+        )
+        assert projection.training_array_utilization == pytest.approx(
+            15.0 * 2e-3
+        )
+        assert projection.combined_array_utilization == pytest.approx(
+            2000.0 * 3.6e-5 + 15.0 * 2e-3
+        )
+        assert projection.combined_realtime_feasible == (
+            projection.combined_array_utilization <= 1.0
+        )
+        assert projection.sharded_combined_utilization == pytest.approx(
+            2000.0 * 9.5e-6 + 15.0 * 6e-4
+        )
 
 
 class TestExperimentFleetPath:
