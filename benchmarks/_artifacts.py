@@ -1,0 +1,63 @@
+"""Shared artifact writing for the throughput benchmark suites.
+
+Every throughput suite persists two views of its measurement: a human
+``*.txt`` table and a machine-readable ``BENCH_*.json`` payload (the
+CI-uploaded record the paper-vs-measured comparison and the future
+``repro.tune`` explorer consume).  The suites used to hand-roll the
+pair; :func:`write_artifacts` dedupes that and stamps every JSON
+payload with a schema version and the git commit it was measured at,
+so archived artifacts from different runs are comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+#: Bump when the stamped payload envelope changes shape.
+SCHEMA_VERSION = 1
+
+_GIT_SHA: str | None = None
+
+
+def git_sha() -> str:
+    """Short commit SHA of the repo the benchmark ran in (cached).
+
+    ``"unknown"`` when git is unavailable (e.g. an unpacked source
+    tarball) — artifacts must still be written.
+    """
+    global _GIT_SHA
+    if _GIT_SHA is None:
+        try:
+            proc = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                cwd=Path(__file__).parent,
+                timeout=10,
+            )
+            _GIT_SHA = proc.stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA = "unknown"
+    return _GIT_SHA
+
+
+def stamp(payload: dict) -> dict:
+    """``payload`` under the versioned envelope (stamps lead)."""
+    return {"schema_version": SCHEMA_VERSION, "git_sha": git_sha(), **payload}
+
+
+def write_artifacts(
+    results_dir: Path,
+    text_name: str,
+    text: str,
+    json_name: str | None = None,
+    payload: dict | None = None,
+) -> None:
+    """Write the text artifact and, when given, its stamped JSON twin."""
+    (results_dir / text_name).write_text(text + "\n")
+    if json_name is not None:
+        (results_dir / json_name).write_text(
+            json.dumps(stamp(payload or {}), indent=2) + "\n"
+        )

@@ -15,12 +15,11 @@ Artifacts: ``backend_throughput.txt`` (human-readable table) and
 fixed-point action agreement) for trajectory tracking.
 """
 
-import json
 import time
 
 import numpy as np
 
-from conftest import save_artifact
+from _artifacts import write_artifacts
 from repro.analysis import format_table
 from repro.backend import make_backend
 from repro.nn import build_network, scaled_drone_net_spec
@@ -86,14 +85,12 @@ def test_backend_throughput(benchmark, results_dir):
         f"{sys_r['total_cycles']} cycles ({sys_r['macs']} MACs) per "
         f"observation batch"
     )
-    save_artifact(results_dir, "backend_throughput.txt", table + footer)
-    save_artifact(
+    write_artifacts(
         results_dir,
+        "backend_throughput.txt",
+        table + footer,
         "BENCH_backends.json",
-        json.dumps(
-            {"batch": BATCH, "image_side": SIDE, "backends": results},
-            indent=2,
-        ),
+        {"batch": BATCH, "image_side": SIDE, "backends": results},
     )
 
     for name in BACKEND_NAMES:

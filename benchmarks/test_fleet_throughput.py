@@ -9,7 +9,9 @@ Two workloads over the same 16 environments (4 world classes x 4 seeds):
   trains with one ``batch x 16`` update where the baseline runs 16
   small ones).
 
-The artifact records steps/sec for both; the assertions pin the floors.
+Artifacts: ``fleet_throughput.txt`` (human-readable table) and
+``BENCH_fleet.json`` (machine-readable speedups and floors) for
+trajectory tracking; the assertions pin the floors.
 """
 
 import os
@@ -17,7 +19,7 @@ import time
 
 import numpy as np
 
-from conftest import save_artifact
+from _artifacts import write_artifacts
 from repro.analysis import format_table
 from repro.env import DepthCamera, NavigationEnv, StereoNoiseModel, make_environment
 from repro.fleet import VecNavigationEnv, compare_throughput
@@ -131,13 +133,34 @@ def test_fleet_throughput(benchmark, results_dir):
             round(training.speedup, 2),
         ],
     ]
-    save_artifact(
+    write_artifacts(
         results_dir,
         "fleet_throughput.txt",
         format_table(
             ["Workload", "Env steps", "Seq steps/s", "Fleet steps/s", "Speedup"],
             rows,
         ),
+        "BENCH_fleet.json",
+        {
+            "num_envs": NUM_ENVS,
+            "image_side": IMAGE_SIDE,
+            "rollout": {
+                "env_steps": total,
+                "sequential_seconds": sequential_s,
+                "fleet_seconds": fleet_s,
+                "speedup": rollout_speedup,
+                "floor": ROLLOUT_FLOOR,
+            },
+            "training": {
+                "env_steps": training.total_env_steps,
+                "sequential_steps_per_second": (
+                    training.sequential_steps_per_second
+                ),
+                "fleet_steps_per_second": training.fleet_steps_per_second,
+                "speedup": training.speedup,
+                "floor": TRAIN_FLOOR,
+            },
+        },
     )
 
     # Acceptance floors: a 16-env fleet rollout must beat 16 sequential

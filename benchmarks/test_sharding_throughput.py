@@ -18,12 +18,11 @@ Artifacts: ``sharding_throughput.txt`` (human-readable tables) and
 trajectory tracking.
 """
 
-import json
 import time
 
 import numpy as np
 
-from conftest import save_artifact
+from _artifacts import write_artifacts
 from repro.analysis import format_table
 from repro.backend import ShardedBackend, SystolicBackend
 from repro.fleet import FleetScheduler, VecNavigationEnv
@@ -198,11 +197,12 @@ def test_sharding_throughput(benchmark, results_dir):
             ["sync_every", "Serving agreement", "Flips"], staleness_rows
         )
     )
-    save_artifact(results_dir, "sharding_throughput.txt", body)
-    save_artifact(
+    write_artifacts(
         results_dir,
+        "sharding_throughput.txt",
+        body,
         "BENCH_sharding.json",
-        json.dumps({"batch": BATCH, "image_side": SIDE, **results}, indent=2),
+        {"batch": BATCH, "image_side": SIDE, **results},
     )
 
     # K-array scaling: critical path shrinks with K; the K=4 sample

@@ -17,10 +17,9 @@ Artifacts: ``systolic_throughput.txt`` (human-readable table) and
 trajectory tracking.
 """
 
-import json
 import os
 
-from conftest import save_artifact
+from _artifacts import write_artifacts
 from repro.analysis import format_table
 from repro.systolic import bench_conv_fast_vs_pe, simulate_network_forward
 from repro.systolic.bench import bench_payload
@@ -66,14 +65,12 @@ def test_systolic_throughput(benchmark, results_dir, spec):
         f"{forward.array_seconds() * 1e3:.2f} ms "
         f"({forward.total_array_cycles} cycles)"
     )
-    save_artifact(results_dir, "systolic_throughput.txt", table + footer)
-    save_artifact(
+    write_artifacts(
         results_dir,
+        "systolic_throughput.txt",
+        table + footer,
         "BENCH_systolic.json",
-        json.dumps(
-            bench_payload(result, forward) | {"speedup_floor": SPEEDUP_FLOOR},
-            indent=2,
-        ),
+        bench_payload(result, forward) | {"speedup_floor": SPEEDUP_FLOOR},
     )
 
     # bench_conv_fast_vs_pe already verified output + cycle equality.

@@ -22,10 +22,9 @@ Artifacts: ``training_throughput.txt`` (human-readable tables) and
 ledgers) for trajectory tracking.
 """
 
-import json
 import os
 
-from conftest import save_artifact
+from _artifacts import write_artifacts
 from repro.analysis import format_table
 from repro.nn.alexnet import build_network, scaled_drone_net_spec
 from repro.systolic import (
@@ -83,37 +82,35 @@ def test_training_throughput(benchmark, results_dir, spec):
         f"({train_budget.total_backward_cycles / 1e3:.1f} backward), "
         f"weight update {train_budget.weight_update_bits() / 8e3:.1f} KB"
     )
-    save_artifact(results_dir, "training_throughput.txt", body)
-    save_artifact(
+    write_artifacts(
         results_dir,
+        "training_throughput.txt",
+        body,
         "BENCH_training.json",
-        json.dumps(
-            {
-                "bench_training": {
-                    "network": bench.network,
-                    "batch": bench.batch,
-                    "speedup": bench.speedup,
-                    "pe_seconds": bench.pe_seconds,
-                    "fast_seconds": bench.fast_seconds,
-                    "macs": bench.macs,
-                },
-                "paper_scale": {
-                    config: {
-                        str(batch): {
-                            "total_cycles": step.total_cycles,
-                            "cycles_per_sample": step.cycles_per_sample,
-                            "iterations_per_second": (
-                                step.iterations_per_second()
-                            ),
-                        }
-                        for batch, step in by_batch.items()
-                    }
-                    for config, by_batch in paper.items()
-                },
-                "speedup_floor": SPEEDUP_FLOOR,
+        {
+            "bench_training": {
+                "network": bench.network,
+                "batch": bench.batch,
+                "speedup": bench.speedup,
+                "pe_seconds": bench.pe_seconds,
+                "fast_seconds": bench.fast_seconds,
+                "macs": bench.macs,
             },
-            indent=2,
-        ),
+            "paper_scale": {
+                config: {
+                    str(batch): {
+                        "total_cycles": step.total_cycles,
+                        "cycles_per_sample": step.cycles_per_sample,
+                        "iterations_per_second": (
+                            step.iterations_per_second()
+                        ),
+                    }
+                    for batch, step in by_batch.items()
+                }
+                for config, by_batch in paper.items()
+            },
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
     )
 
     # bench_training_fast_vs_pe already re-proved counter + gradient

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.nn.network import Network
+from repro.obs.probes import PROBE
 from repro.systolic.array import ArrayConfig, PAPER_ARRAY
 
 __all__ = [
@@ -93,6 +94,11 @@ class StepCost:
         """Inter-array merge/broadcast cycles (none on one array)."""
         return 0
 
+    @property
+    def critical_shard_index(self) -> int:
+        """Index of the array on the critical path (0: only one array)."""
+        return 0
+
 
 @dataclass(frozen=True)
 class ShardCost(StepCost):
@@ -113,13 +119,18 @@ class ShardCost(StepCost):
       loop even when each one is internally parallel;
     * ``merge_cycles`` — the inter-array traffic charged for gathering
       shard outputs (and, under layer sharding, re-broadcasting the
-      merged activation), one element per link cycle.
+      merged activation), one element per link cycle;
+    * ``critical_shard_index`` — which array burned the most cycles,
+      i.e. the one the wall clock waited on.  The fleet report and the
+      obs layer use it to label the slow span; ties break toward the
+      lowest index (``argmax`` semantics).
     """
 
     shards: int = 1
     shard_cycles: tuple[int, ...] = ()
     critical_path_cycles: int = 0
     merge_cycles: int = 0
+    critical_shard_index: int = 0
 
     @property
     def parallel_speedup(self) -> float:
@@ -175,11 +186,21 @@ def merge_step_costs(costs: list[StepCost], backend: str = "") -> StepCost:
             for i, cycles in enumerate(per_array):
                 shard_cycles[i] += cycles
     if sharded:
+        # The critical shard of the merged record is recomputed from the
+        # merged per-array totals: the array that burned the most cycles
+        # over the whole run, not whichever array happened to be slow in
+        # the last constituent record.
+        critical_index = (
+            max(range(len(shard_cycles)), key=shard_cycles.__getitem__)
+            if shard_cycles
+            else 0
+        )
         return ShardCost(
             backend=backend, states=states, macs=macs,
             layer_cycles=layer_cycles, shards=shards,
             shard_cycles=tuple(shard_cycles),
             critical_path_cycles=critical, merge_cycles=merge,
+            critical_shard_index=critical_index,
         )
     return StepCost(
         backend=backend, states=states, macs=macs, layer_cycles=layer_cycles
@@ -235,16 +256,38 @@ class WeightBus:
         """
         self.publishes += 1
         self.staleness += 1
+        if PROBE.enabled:
+            PROBE.count(
+                "repro_weightbus_publishes_total",
+                help="Training updates published to the staging buffer.",
+            )
         if self.staleness >= self.sync_every:
             self.flip()
             return True
+        if PROBE.enabled:
+            PROBE.gauge(
+                "repro_weightbus_staleness_updates",
+                self.staleness,
+                help="Updates the serving snapshot is currently behind.",
+            )
         return False
 
     def flip(self) -> None:
         """Download the staged weights into the serving datapath now."""
-        self.backend.sync()
+        with PROBE.span("weightbus.flip", staleness=self.staleness):
+            self.backend.sync()
         self.flips += 1
         self.staleness = 0
+        if PROBE.enabled:
+            PROBE.count(
+                "repro_weightbus_flips_total",
+                help="Serving-buffer flips (datapath weight downloads).",
+            )
+            PROBE.gauge(
+                "repro_weightbus_staleness_updates",
+                0,
+                help="Updates the serving snapshot is currently behind.",
+            )
 
     def note_serve(self, states: int = 1) -> None:
         """Record that ``states`` states were served at current staleness."""

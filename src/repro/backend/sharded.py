@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.backend.base import ExecutionBackend, ShardCost, register_backend
 from repro.backend.systolic_backend import SystolicBackend
+from repro.obs.probes import PROBE
 from repro.fixedpoint.qformat import QFormat, Q2_13, Q8_8
 from repro.nn.layers import Conv2D, Dense
 from repro.nn.network import Network
@@ -55,6 +56,13 @@ __all__ = ["ShardedBackend", "SHARD_POLICIES"]
 
 #: Supported shard policies.
 SHARD_POLICIES = ("sample", "layer")
+
+
+def _argmax(cycles: list[int]) -> int:
+    """Index of the slowest array (ties toward the lowest index)."""
+    if not cycles:
+        return 0
+    return max(range(len(cycles)), key=cycles.__getitem__)
 
 
 def _slice_layer(layer, lo: int, hi: int):
@@ -249,6 +257,7 @@ class ShardedBackend(ExecutionBackend):
             layer_cycles=layer_cycles, shards=self.shards,
             shard_cycles=tuple(shard_cycles),
             critical_path_cycles=critical, merge_cycles=merge,
+            critical_shard_index=_argmax(shard_cycles),
         )
 
     def _requantize(self, x: np.ndarray) -> np.ndarray:
@@ -274,7 +283,9 @@ class ShardedBackend(ExecutionBackend):
         for k, chunk in enumerate(chunks):
             if chunk.shape[0] == 0:
                 continue  # batch narrower than K: array k sits idle
-            q_k, cost_k = self.children[k].forward_batch(chunk)
+            with PROBE.span("shard.forward", shard=k, states=chunk.shape[0]) as sp:
+                q_k, cost_k = self.children[k].forward_batch(chunk)
+                sp.add_cycles(cost_k.total_cycles)
             outputs.append(q_k)
             shard_cycles[k] = cost_k.total_cycles
             macs += cost_k.macs
@@ -290,6 +301,7 @@ class ShardedBackend(ExecutionBackend):
             backend=self.name, states=n, macs=macs, layer_cycles=layer_cycles,
             shards=self.shards, shard_cycles=tuple(shard_cycles),
             critical_path_cycles=critical, merge_cycles=merge,
+            critical_shard_index=_argmax(shard_cycles),
         )
 
     def _forward_layer_sharded(self, x: np.ndarray) -> tuple[np.ndarray, ShardCost]:
@@ -346,9 +358,13 @@ class ShardedBackend(ExecutionBackend):
                 slice_cycles = []
                 work = 0
                 for k, sliced, _lo, _hi in assignments:
-                    out_k, cycles_k, macs_k = self.children[k].forward_layer(
-                        sliced, x, pe_sim
-                    )
+                    with PROBE.span(
+                        "shard.forward", shard=k, layer=layer.name
+                    ) as sp:
+                        out_k, cycles_k, macs_k = self.children[k].forward_layer(
+                            sliced, x, pe_sim
+                        )
+                        sp.add_cycles(cycles_k)
                     parts.append(out_k)
                     shard_cycles[k] += cycles_k
                     slice_cycles.append(cycles_k)
@@ -366,4 +382,5 @@ class ShardedBackend(ExecutionBackend):
             backend=self.name, states=n, macs=macs, layer_cycles=layer_cycles,
             shards=self.shards, shard_cycles=tuple(shard_cycles),
             critical_path_cycles=critical, merge_cycles=merge,
+            critical_shard_index=_argmax(shard_cycles),
         )

@@ -15,6 +15,9 @@
         --sync-every 4                        # K arrays + async weight bus
     python -m repro fleet --backend systolic --train-on-array \\
                                               # charge training to the array
+    python -m repro fleet --backend sharded --shards 4 \\
+        --trace trace.json --metrics metrics.prom \\
+                                              # span trace + metrics export
     python -m repro systolic-bench            # fast path vs PE oracle
     python -m repro systolic-bench --training # whole-network training step
 
@@ -216,6 +219,61 @@ def _cmd_rl(args) -> None:
     print(format_table(["Config", "Final reward", "SFD (m)", "Crashes"], rows))
 
 
+def _timing_breakdown(tracer, array_config) -> str:
+    """The fleet report's "Timing breakdown" section.
+
+    One row per span name: host wall time next to the modelled array
+    time of the cycles charged while the span was open, and their ratio
+    — >1 means the host is slower than the hardware it simulates, the
+    visibility half of the ROADMAP's wall-clock item.  Phase rows
+    (``phase:*``) additionally render as a bar chart.
+    """
+    summary = tracer.summary()
+    if not summary:
+        return "Timing breakdown: no spans recorded"
+
+    def order(item):
+        name = item[0]
+        if name == "fleet.round":
+            return (0, name)
+        if name.startswith("phase:"):
+            return (1, name)
+        return (2, name)
+
+    rows = []
+    for name, row in sorted(summary.items(), key=order):
+        wall_ms = row["wall_s"] * 1e3
+        modelled_ms = array_config.seconds(row["cycles"]) * 1e3
+        ratio = (
+            f"{wall_ms / modelled_ms:.0f}x" if modelled_ms > 0 else "-"
+        )
+        rows.append(
+            [
+                name,
+                row["count"],
+                round(wall_ms, 2),
+                round(row["cycles"] / 1e6, 3),
+                round(modelled_ms, 3),
+                ratio,
+            ]
+        )
+    table = format_table(
+        ["Span", "Count", "Wall ms", "Mcycles", "Modelled ms", "Wall/modelled"],
+        rows,
+    )
+    phases = [
+        (name, row) for name, row in summary.items()
+        if name.startswith("phase:")
+    ]
+    chart = ascii_bars(
+        [name for name, _ in sorted(phases)],
+        [row["wall_s"] * 1e3 for _, row in sorted(phases)],
+        title="phase wall time",
+        unit=" ms",
+    )
+    return "Timing breakdown:\n" + table + "\n\n" + chart
+
+
 def _cmd_fleet(args) -> None:
     import numpy as np
 
@@ -262,7 +320,21 @@ def _cmd_fleet(args) -> None:
     scheduler = FleetScheduler(
         agent, vec_env, train_every=args.train_every, eval_steps=args.eval_steps
     )
-    report = scheduler.run(rounds=args.rounds, steps_per_round=args.steps)
+    # Any observability output switches the probe seam on for the run —
+    # a fresh tracer and a private registry, so two invocations in one
+    # process never mix telemetry.
+    probing = bool(args.trace or args.metrics or args.json)
+    tracer = registry = None
+    if probing:
+        from repro.obs import PROBE, MetricsRegistry
+
+        registry = MetricsRegistry()
+        tracer = PROBE.activate(registry=registry)
+    try:
+        report = scheduler.run(rounds=args.rounds, steps_per_round=args.steps)
+    finally:
+        if probing:
+            PROBE.deactivate()
     rows = [
         [
             r.round_index,
@@ -284,12 +356,24 @@ def _cmd_fleet(args) -> None:
         ["Environment class", "SFD (m)"],
         [[name, round(v, 2)] for name, v in report.sfd_by_class.items()],
     ))
+    projection = None
     try:
         projection = scheduler.project_load(report)
     except ValueError as exc:
         print()
         print(f"no platform projection: {exc}")
-        return
+    if projection is not None:
+        _print_fleet_projection(args, agent, scheduler, report, projection, np)
+    if probing:
+        _finish_fleet_observability(
+            args, report, projection, scheduler, tracer, registry
+        )
+
+
+def _print_fleet_projection(args, agent, scheduler, report, projection, np):
+    from repro.backend import SystolicBackend
+
+    network = agent.network
     print()
     print(
         f"fleet of {report.num_envs} envs @ {report.steps_per_second:.1f} "
@@ -346,6 +430,12 @@ def _cmd_fleet(args) -> None:
             f"(speedup {projection.sharding_speedup:.2f}x, scaling "
             f"efficiency {projection.scaling_efficiency:.2f})"
         )
+        print(
+            f"critical shard: array {report.critical_shard_index} carried "
+            f"the most cycles in "
+            f"{sum(1 for r in report.rounds if r.shards > 1 and r.critical_shard_index == report.critical_shard_index)}"
+            f"/{sum(1 for r in report.rounds if r.shards > 1)} rounds"
+        )
         if report.total_training_cycles > 0:
             print(
                 f"concurrent rollout+train on {report.shards} arrays: "
@@ -373,6 +463,101 @@ def _cmd_fleet(args) -> None:
             f"{args.backend} policy vs float: {agreement:.3f} action agreement "
             f"over {sample} rollout states"
         )
+
+
+def _round_payload(r) -> dict:
+    """One :class:`~repro.fleet.RoundStats` as a JSON-safe dict."""
+    import math
+
+    return {
+        "round": r.round_index,
+        "env_steps": r.env_steps,
+        "episodes": r.episodes,
+        "train_updates": r.train_updates,
+        "wall_seconds": r.wall_seconds,
+        "steps_per_second": r.steps_per_second,
+        "mean_loss": None if math.isnan(r.mean_loss) else r.mean_loss,
+        "inference_cycles": r.inference_cycles,
+        "critical_path_cycles": r.critical_path_cycles,
+        "critical_shard_index": r.critical_shard_index,
+        "shards": r.shards,
+        "sync_staleness": r.sync_staleness,
+        "training_cycles": r.training_cycles,
+        "eval_sfd_by_class": r.eval_sfd_by_class,
+    }
+
+
+def _finish_fleet_observability(args, report, projection, scheduler, tracer, registry):
+    """Timing breakdown + trace/metrics/json exports of a probed run."""
+    import json
+
+    from repro.systolic.array import PAPER_ARRAY
+
+    array_config = (
+        getattr(scheduler.agent.backend, "config", None) or PAPER_ARRAY
+    )
+    print()
+    print(_timing_breakdown(tracer, array_config))
+    if args.trace:
+        tracer.export_chrome(args.trace)
+        print(f"wrote {args.trace}")
+    if args.metrics:
+        registry.export_prometheus(args.metrics)
+        print(f"wrote {args.metrics}")
+    if args.json:
+        payload = {
+            "fleet": {
+                "num_envs": report.num_envs,
+                "backend": report.backend,
+                "config": report.config_name,
+                "rounds": [_round_payload(r) for r in report.rounds],
+                "totals": {
+                    "env_steps": report.total_env_steps,
+                    "episodes": report.total_episodes,
+                    "train_updates": report.total_train_updates,
+                    "wall_seconds": report.wall_seconds,
+                    "steps_per_second": report.steps_per_second,
+                    "train_iterations_per_second": (
+                        report.train_iterations_per_second
+                    ),
+                    "inference_cycles": report.total_inference_cycles,
+                    "critical_path_cycles": report.total_critical_path_cycles,
+                    "training_cycles": report.total_training_cycles,
+                    "shards": report.shards,
+                    "critical_shard_index": report.critical_shard_index,
+                    "mean_sync_staleness": report.mean_sync_staleness,
+                    "pipeline_overlap_fraction": (
+                        report.pipeline_overlap_fraction
+                    ),
+                },
+                "sfd_by_class": report.sfd_by_class,
+                "crash_counts": report.crash_counts,
+            },
+            "projection": None
+            if projection is None
+            else {
+                "config": projection.config_name,
+                "batch_size": projection.batch_size,
+                "accelerator_fps": projection.accelerator_fps,
+                "utilization": projection.utilization,
+                "realtime_feasible": projection.realtime_feasible,
+                "energy_watts": projection.energy_watts,
+                "nvm_write_bits_per_second": (
+                    projection.nvm_write_bits_per_second
+                ),
+                "endurance_lifetime_years": (
+                    projection.endurance.lifetime_years
+                ),
+                "inference_utilization": projection.inference_utilization,
+                "sharding_speedup": projection.sharding_speedup,
+                "scaling_efficiency": projection.scaling_efficiency,
+            },
+            "phases": tracer.summary(),
+            "metrics": registry.snapshot(),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
 
 
 def _cmd_systolic_bench(args) -> None:
@@ -419,9 +604,43 @@ def _cmd_systolic_bench(args) -> None:
             f"modelled array time {forward.array_seconds() * 1e3:.2f} ms"
         )
     if args.json:
+        payload = bench_payload(result, forward)
+        payload["metrics"] = _bench_metrics_snapshot(
+            {
+                "repro_bench_fast_seconds": result.fast_seconds,
+                "repro_bench_pe_seconds": result.pe_seconds,
+                "repro_bench_speedup": result.speedup,
+            },
+            forward
+            and {
+                "repro_bench_forward_wall_seconds": forward.wall_seconds,
+                "repro_bench_forward_macs": forward.total_macs,
+            },
+        )
         with open(args.json, "w") as fh:
-            json.dump(bench_payload(result, forward), fh, indent=2)
+            json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}")
+
+
+def _bench_metrics_snapshot(*gauge_dicts) -> dict:
+    """A registry snapshot built from bench-result gauges.
+
+    The ``metrics`` block of the ``systolic-bench --json`` payloads:
+    the same ``{"counters", "gauges", "histograms"}`` shape the fleet
+    payload carries, so the future ``repro.tune`` explorer reads one
+    telemetry schema everywhere.
+    """
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for gauges in gauge_dicts:
+        if not gauges:
+            continue
+        for name, value in gauges.items():
+            registry.gauge(
+                name, help="systolic-bench result gauge."
+            ).set(value)
+    return registry.snapshot()
 
 
 def _systolic_training_bench(args) -> None:
@@ -489,6 +708,17 @@ def _systolic_training_bench(args) -> None:
                 "pe_seconds": bench.pe_seconds,
                 "fast_seconds": bench.fast_seconds,
             },
+            "metrics": _bench_metrics_snapshot(
+                {
+                    "repro_training_step_cycles": step.total_cycles,
+                    "repro_training_iterations_per_second": (
+                        step.iterations_per_second()
+                    ),
+                    "repro_bench_training_fast_seconds": bench.fast_seconds,
+                    "repro_bench_training_pe_seconds": bench.pe_seconds,
+                    "repro_bench_training_speedup": bench.speedup,
+                }
+            ),
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
@@ -598,6 +828,21 @@ def build_parser() -> argparse.ArgumentParser:
              "project concurrent rollout+training feasibility",
     )
     p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record spans and write a Chrome trace-event JSON file "
+             "(load in chrome://tracing or ui.perfetto.dev)",
+    )
+    p_fleet.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the run's metrics in Prometheus text exposition "
+             "format to this path",
+    )
+    p_fleet.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write a machine-readable payload (rounds, totals, "
+             "projection, per-phase timings, metrics snapshot)",
+    )
     p_fleet.set_defaults(func=_cmd_fleet)
     p_sys = sub.add_parser(
         "systolic-bench",

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.fleet.runner import scaled_train_batch
 from repro.fleet.vec_env import VecNavigationEnv
+from repro.obs.probes import PROBE
 from repro.perf.traffic import (
     FleetLoadProjection,
     TrafficSimulator,
@@ -87,6 +88,9 @@ class RoundStats:
     shards: int = 1
     #: Wall-clock cycles of the (possibly parallel) backend schedule.
     critical_path_cycles: int = 0
+    #: Index of the array the round's wall clock waited on (0 unless
+    #: sharded; argmax of the merged per-array cycle totals).
+    critical_shard_index: int = 0
     #: Mean weight-snapshot staleness (in updates) of served states.
     sync_staleness: float = 0.0
     #: Fraction of rollout+train wall time a two-stage pipeline hides.
@@ -224,6 +228,23 @@ class FleetReport:
     def total_critical_path_cycles(self) -> int:
         """Wall-clock array cycles across all rounds (max over shards)."""
         return sum(r.critical_path_cycles for r in self.rounds)
+
+    @property
+    def critical_shard_index(self) -> int:
+        """The array most often on the critical path (0 if unsharded).
+
+        The per-round indices vote; ties break toward the lowest index,
+        matching the per-cost ``argmax`` convention.
+        """
+        votes: dict[int, int] = {}
+        for r in self.rounds:
+            if r.shards > 1:
+                votes[r.critical_shard_index] = (
+                    votes.get(r.critical_shard_index, 0) + 1
+                )
+        if not votes:
+            return 0
+        return max(sorted(votes), key=votes.__getitem__)
 
     @property
     def critical_path_cycles_per_env_step(self) -> float:
@@ -394,20 +415,28 @@ class FleetScheduler:
         while done_steps < steps:
             this_chunk = min(self.pipeline_chunk, steps - done_steps)
             start = time.perf_counter()
-            for _ in range(this_chunk):
-                actions = self.agent.act_batch(states)
-                next_states, rewards, dones, infos = self.vec_env.step(actions)
-                self.agent.observe_batch(
-                    self.vec_env.make_transitions(
-                        states, actions, rewards, dones, next_states, infos
+            with PROBE.span("phase:rollout", steps=this_chunk) as sp:
+                before = (
+                    self.agent.pending_inference_cycles() if PROBE.enabled else 0
+                )
+                for _ in range(this_chunk):
+                    actions = self.agent.act_batch(states)
+                    next_states, rewards, dones, infos = self.vec_env.step(actions)
+                    self.agent.observe_batch(
+                        self.vec_env.make_transitions(
+                            states, actions, rewards, dones, next_states, infos
+                        )
                     )
-                )
-                episodes += sum(
-                    1
-                    for i, info in enumerate(infos)
-                    if dones[i] or info["truncated"]
-                )
-                states = next_states
+                    episodes += sum(
+                        1
+                        for i, info in enumerate(infos)
+                        if dones[i] or info["truncated"]
+                    )
+                    states = next_states
+                if PROBE.enabled:
+                    sp.add_cycles(
+                        self.agent.pending_inference_cycles() - before
+                    )
             acted = time.perf_counter()
             # Updates due in this chunk: the train_every cadence points
             # it covered, run back to back at the boundary.
@@ -416,11 +445,19 @@ class FleetScheduler:
                 for s in range(done_steps, done_steps + this_chunk)
                 if s % self.train_every == 0
             )
-            for _ in range(due):
-                if len(self.agent.replay) < self.train_batch:
-                    break
-                losses.append(self.agent.train_step_batch(self.train_batch))
-                updates += 1
+            with PROBE.span("phase:train", due=due) as sp:
+                before = (
+                    self.agent.pending_training_cycles() if PROBE.enabled else 0
+                )
+                for _ in range(due):
+                    if len(self.agent.replay) < self.train_batch:
+                        break
+                    losses.append(self.agent.train_step_batch(self.train_batch))
+                    updates += 1
+                if PROBE.enabled:
+                    sp.add_cycles(
+                        self.agent.pending_training_cycles() - before
+                    )
             trained = time.perf_counter()
             chunk_rollout_walls.append(acted - start)
             chunk_train_walls.append(trained - acted)
@@ -447,11 +484,17 @@ class FleetScheduler:
         losses: list[float] = []
         start = time.perf_counter()
         updates = 0
-        for _ in range(self.extra_train_updates):
-            if len(self.agent.replay) < self.train_batch:
-                break
-            losses.append(self.agent.train_step_batch(self.train_batch))
-            updates += 1
+        with PROBE.span("phase:train", due=self.extra_train_updates) as sp:
+            before = (
+                self.agent.pending_training_cycles() if PROBE.enabled else 0
+            )
+            for _ in range(self.extra_train_updates):
+                if len(self.agent.replay) < self.train_batch:
+                    break
+                losses.append(self.agent.train_step_batch(self.train_batch))
+                updates += 1
+            if PROBE.enabled:
+                sp.add_cycles(self.agent.pending_training_cycles() - before)
         return updates, losses, time.perf_counter() - start
 
     def _evaluate(self) -> tuple[int, int, dict[str, float], float]:
@@ -467,12 +510,18 @@ class FleetScheduler:
         before_crashes = [env.tracker.crash_count for env in self.vec_env.envs]
         episodes = 0
         start = time.perf_counter()
-        for _ in range(self.eval_steps):
-            actions = self.agent.act_batch(states, greedy=True)
-            states, _rewards, dones, infos = self.vec_env.step(actions)
-            episodes += sum(
-                1 for i, info in enumerate(infos) if dones[i] or info["truncated"]
+        with PROBE.span("phase:eval", steps=self.eval_steps) as sp:
+            before = (
+                self.agent.pending_inference_cycles() if PROBE.enabled else 0
             )
+            for _ in range(self.eval_steps):
+                actions = self.agent.act_batch(states, greedy=True)
+                states, _rewards, dones, infos = self.vec_env.step(actions)
+                episodes += sum(
+                    1 for i, info in enumerate(infos) if dones[i] or info["truncated"]
+                )
+            if PROBE.enabled:
+                sp.add_cycles(self.agent.pending_inference_cycles() - before)
         self._states = states
         wall = time.perf_counter() - start
         by_class: dict[str, list[float]] = {}
@@ -502,51 +551,91 @@ class FleetScheduler:
         self.agent.weight_bus.drain_serve_staleness()
         try:
             for index in range(rounds):
-                (
-                    steps, episodes, updates, losses,
-                    roll_wall, pipeline_train_wall, hidden_seconds,
-                ) = self._rollout(steps_per_round)
-                extra_updates, extra_losses, train_wall = self._train()
-                eval_steps, eval_episodes, eval_sfd, eval_wall = self._evaluate()
-                losses = losses + extra_losses
-                # Fraction of the round's rollout+train wall a two-stage
-                # pipeline hides; the denominator matches the
-                # rollout_seconds + train_seconds recorded below, so the
-                # report-level weighted mean is exactly
-                # total-hidden / total-serial.
-                serial = roll_wall + pipeline_train_wall + train_wall
-                overlap = hidden_seconds / serial if serial > 0.0 else 0.0
-                cost = self.agent.drain_inference_cost()
-                train_cost = self.agent.drain_training_cost()
-                staleness = self.agent.weight_bus.drain_serve_staleness()
-                report.rounds.append(
-                    RoundStats(
-                        round_index=index,
-                        env_steps=steps + eval_steps,
-                        episodes=episodes + eval_episodes,
-                        train_updates=updates + extra_updates,
-                        rollout_seconds=roll_wall,
-                        train_seconds=pipeline_train_wall + train_wall,
-                        eval_seconds=eval_wall,
-                        mean_loss=float(np.mean(losses)) if losses else float("nan"),
-                        eval_sfd_by_class=eval_sfd,
-                        backend=cost.backend,
-                        inference_states=cost.states,
-                        inference_macs=cost.macs,
-                        inference_cycles=cost.total_cycles,
-                        inference_array_seconds=cost.array_seconds(self._array_config),
-                        shards=max(cost.shards, train_cost.shards),
-                        critical_path_cycles=cost.critical_path_cycles,
-                        sync_staleness=staleness,
-                        pipeline_overlap_fraction=overlap,
-                        training_cycles=train_cost.total_cycles,
-                        training_macs=train_cost.macs,
-                        training_array_seconds=train_cost.array_seconds(
-                            self._array_config
-                        ),
-                        training_critical_path_cycles=train_cost.critical_path_cycles,
+                with PROBE.span("fleet.round", round=index) as round_span:
+                    (
+                        steps, episodes, updates, losses,
+                        roll_wall, pipeline_train_wall, hidden_seconds,
+                    ) = self._rollout(steps_per_round)
+                    extra_updates, extra_losses, train_wall = self._train()
+                    eval_steps, eval_episodes, eval_sfd, eval_wall = (
+                        self._evaluate()
                     )
+                    losses = losses + extra_losses
+                    # Fraction of the round's rollout+train wall a
+                    # two-stage pipeline hides; the denominator matches
+                    # the rollout_seconds + train_seconds recorded below,
+                    # so the report-level weighted mean is exactly
+                    # total-hidden / total-serial.
+                    serial = roll_wall + pipeline_train_wall + train_wall
+                    overlap = hidden_seconds / serial if serial > 0.0 else 0.0
+                    with PROBE.span("phase:drain"):
+                        cost = self.agent.drain_inference_cost()
+                        train_cost = self.agent.drain_training_cost()
+                        staleness = (
+                            self.agent.weight_bus.drain_serve_staleness()
+                        )
+                    round_span.add_cycles(
+                        cost.total_cycles + train_cost.total_cycles
+                    )
+                    if cost.shards > 1:
+                        round_span.annotate(
+                            shards=cost.shards,
+                            critical_shard=cost.critical_shard_index,
+                        )
+                stats = RoundStats(
+                    round_index=index,
+                    env_steps=steps + eval_steps,
+                    episodes=episodes + eval_episodes,
+                    train_updates=updates + extra_updates,
+                    rollout_seconds=roll_wall,
+                    train_seconds=pipeline_train_wall + train_wall,
+                    eval_seconds=eval_wall,
+                    mean_loss=float(np.mean(losses)) if losses else float("nan"),
+                    eval_sfd_by_class=eval_sfd,
+                    backend=cost.backend,
+                    inference_states=cost.states,
+                    inference_macs=cost.macs,
+                    inference_cycles=cost.total_cycles,
+                    inference_array_seconds=cost.array_seconds(self._array_config),
+                    shards=max(cost.shards, train_cost.shards),
+                    critical_path_cycles=cost.critical_path_cycles,
+                    critical_shard_index=cost.critical_shard_index,
+                    sync_staleness=staleness,
+                    pipeline_overlap_fraction=overlap,
+                    training_cycles=train_cost.total_cycles,
+                    training_macs=train_cost.macs,
+                    training_array_seconds=train_cost.array_seconds(
+                        self._array_config
+                    ),
+                    training_critical_path_cycles=train_cost.critical_path_cycles,
                 )
+                report.rounds.append(stats)
+                if PROBE.enabled:
+                    PROBE.count(
+                        "repro_fleet_env_steps_total",
+                        stats.env_steps,
+                        help="Fleet env steps (rollout + eval).",
+                    )
+                    PROBE.count(
+                        "repro_fleet_episodes_total",
+                        stats.episodes,
+                        help="Episodes completed by the fleet.",
+                    )
+                    PROBE.count(
+                        "repro_fleet_train_updates_total",
+                        stats.train_updates,
+                        help="Training updates applied by the fleet.",
+                    )
+                    PROBE.gauge(
+                        "repro_fleet_sync_staleness_updates",
+                        stats.sync_staleness,
+                        help="Mean served weight-snapshot staleness, last round.",
+                    )
+                    PROBE.observe(
+                        "repro_fleet_round_seconds",
+                        stats.wall_seconds,
+                        help="Host wall time of one scheduler round.",
+                    )
             # Deployment barrier: a completed run leaves no undeployed
             # updates — the bus bounds staleness *during* serving, but
             # the final weights must ship when the run hands back.

@@ -37,6 +37,7 @@ from repro.env.geometry import (
     intersect_segments,
     segment_distances,
 )
+from repro.obs.probes import PROBE
 
 __all__ = ["FleetRenderer", "FleetCollider", "VecNavigationEnv"]
 
@@ -155,6 +156,10 @@ class FleetRenderer:
         """
         if not indices:
             return []
+        with PROBE.span("vec_env.render", envs=len(indices)):
+            return self._render(indices)
+
+    def _render(self, indices: list[int]) -> list[np.ndarray]:
         idx = np.asarray(indices, dtype=np.intp)
         width = self._col_angles.shape[0]
         origins = np.array(
@@ -400,14 +405,15 @@ class VecNavigationEnv:
             raise ValueError(
                 f"expected {self.num_envs} actions, got shape {actions.shape}"
             )
-        physics = [
-            env.advance(int(a)) for env, a in zip(self.envs, actions)
-        ]
-        crashed = self.collider.collisions(
-            np.array([[p["pose"].x, p["pose"].y] for p in physics])
-        )
-        for env, p, c in zip(self.envs, physics, crashed):
-            env.resolve_collision(p, crashed=bool(c))
+        with PROBE.span("vec_env.physics", envs=self.num_envs):
+            physics = [
+                env.advance(int(a)) for env, a in zip(self.envs, actions)
+            ]
+            crashed = self.collider.collisions(
+                np.array([[p["pose"].x, p["pose"].y] for p in physics])
+            )
+            for env, p, c in zip(self.envs, physics, crashed):
+                env.resolve_collision(p, crashed=bool(c))
         # Crashed envs respawn *before* the fleet-wide render, so alive
         # next-states and respawn states come out of one batched call.
         # Per-env RNG stream order matches the sequential flow: a crash
@@ -466,6 +472,26 @@ class VecNavigationEnv:
                 self.envs[i].set_observation(obs)
                 states[i] = obs
         self.total_steps += self.num_envs
+        if PROBE.enabled:
+            PROBE.count(
+                "repro_vecenv_steps_total",
+                self.num_envs,
+                help="Per-env steps taken by the fleet.",
+            )
+            PROBE.count(
+                "repro_vecenv_crashes_total",
+                int(np.count_nonzero(dones)),
+                help="Crashes (done transitions) across the fleet.",
+            )
+            PROBE.count(
+                "repro_vecenv_episodes_total",
+                sum(
+                    1
+                    for i, info in enumerate(infos)
+                    if dones[i] or info["truncated"]
+                ),
+                help="Episodes ended (crash or truncation) across the fleet.",
+            )
         return np.stack(states), rewards, dones, infos
 
     # ------------------------------------------------------------------

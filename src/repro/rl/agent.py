@@ -31,6 +31,7 @@ from repro.env.episode import Transition
 from repro.nn.losses import q_learning_loss
 from repro.nn.network import Network
 from repro.nn.optim import Optimizer, SGD
+from repro.obs.probes import PROBE
 from repro.rl.replay import ReplayBuffer
 from repro.rl.transfer import TransferConfig
 
@@ -205,7 +206,42 @@ class QLearningAgent:
     def _backend_q_values(self, states: np.ndarray) -> np.ndarray:
         """Backend forward pass, recording its step cost in the ledger."""
         self.weight_bus.note_serve(states.shape[0])
-        q_values, cost = self.backend.forward_batch(states)
+        with PROBE.span(
+            "backend.forward_batch",
+            backend=self.backend.name,
+            states=int(states.shape[0]),
+        ) as sp:
+            q_values, cost = self.backend.forward_batch(states)
+            sp.add_cycles(cost.total_cycles)
+            if cost.shards > 1:
+                sp.annotate(
+                    shards=cost.shards,
+                    critical_shard=cost.critical_shard_index,
+                )
+        if PROBE.enabled:
+            PROBE.count(
+                "repro_backend_forwards_total",
+                help="Backend forward_batch calls.",
+                backend=self.backend.name,
+            )
+            PROBE.count(
+                "repro_backend_states_total",
+                states.shape[0],
+                help="States served by the backend.",
+                backend=self.backend.name,
+            )
+            PROBE.count(
+                "repro_backend_cycles_total",
+                cost.total_cycles,
+                help="Modelled array cycles charged for inference.",
+                backend=self.backend.name,
+            )
+            PROBE.observe(
+                "repro_backend_forward_seconds",
+                sp.duration_s,
+                help="Host wall time of one backend forward pass.",
+                backend=self.backend.name,
+            )
         self._pending_costs.append(cost)
         if len(self._pending_costs) >= 1024:
             # Long undrained runs (plain train_agent loops) must not
@@ -214,6 +250,19 @@ class QLearningAgent:
                 merge_step_costs(self._pending_costs, backend=self.backend.name)
             ]
         return q_values
+
+    def pending_inference_cycles(self) -> int:
+        """Cycles in the inference ledger since the last drain.
+
+        A read-only peek (nothing is drained): the fleet scheduler's
+        phase spans difference it around each phase to attribute the
+        modelled cycle budget to rollout vs evaluation.
+        """
+        return sum(cost.total_cycles for cost in self._pending_costs)
+
+    def pending_training_cycles(self) -> int:
+        """Cycles in the training ledger since the last drain (peek)."""
+        return sum(cost.total_cycles for cost in self._pending_train_costs)
 
     def drain_inference_cost(self) -> StepCost:
         """Accumulated backend :class:`StepCost` since the last drain.
@@ -337,45 +386,58 @@ class QLearningAgent:
             raise ValueError("batch_size must be positive")
         if len(self.replay) < batch_size:
             raise RuntimeError("not enough transitions to train")
-        states, actions, rewards, next_states, dones = self.replay.sample(
-            batch_size, self.rng
-        )
-        # Bellman targets (eq. 1); terminal states contribute reward only.
-        bootstrap = self._bootstrap_values(next_states)
-        targets = rewards + self.gamma * (1.0 - dones) * bootstrap
-        q_pred = self.network.forward(states, training=True)
-        loss, grad = q_learning_loss(q_pred, actions, targets)
-        self.network.zero_grad()
-        self.network.backward(grad, first_trainable=self.first_trainable)
-        self._clip_gradients()
-        self.optimizer.step()
-        self.train_count += 1
-        self.last_loss = loss
-        if (
-            self.target_sync_every is not None
-            and self.train_count % self.target_sync_every == 0
-        ):
-            self._target_state = self.network.state_dict()
-        # Publish the update on the weight bus; the deployed datapath
-        # flips to the staged weights every sync_every updates (every
-        # update by default — the synchronous SRAM write-back).
-        self.weight_bus.publish()
-        if self.train_on_array:
-            key = (batch_size, states.shape[1:], self.first_trainable)
-            cost = self._train_cost_cache.get(key)
-            if cost is None:
-                cost = self.backend.train_cost(
-                    batch_size, states.shape[1:],
-                    first_trainable=self.first_trainable,
-                )
-                self._train_cost_cache[key] = cost
-            self._pending_train_costs.append(cost)
-            if len(self._pending_train_costs) >= 1024:
-                self._pending_train_costs = [
-                    merge_step_costs(
-                        self._pending_train_costs, backend=self.backend.name
+        with PROBE.span("agent.train_step", batch=batch_size) as sp:
+            states, actions, rewards, next_states, dones = self.replay.sample(
+                batch_size, self.rng
+            )
+            # Bellman targets (eq. 1); terminal states contribute reward
+            # only.
+            bootstrap = self._bootstrap_values(next_states)
+            targets = rewards + self.gamma * (1.0 - dones) * bootstrap
+            q_pred = self.network.forward(states, training=True)
+            loss, grad = q_learning_loss(q_pred, actions, targets)
+            self.network.zero_grad()
+            self.network.backward(grad, first_trainable=self.first_trainable)
+            self._clip_gradients()
+            self.optimizer.step()
+            self.train_count += 1
+            self.last_loss = loss
+            if (
+                self.target_sync_every is not None
+                and self.train_count % self.target_sync_every == 0
+            ):
+                self._target_state = self.network.state_dict()
+            # Publish the update on the weight bus; the deployed datapath
+            # flips to the staged weights every sync_every updates (every
+            # update by default — the synchronous SRAM write-back).
+            self.weight_bus.publish()
+            if self.train_on_array:
+                key = (batch_size, states.shape[1:], self.first_trainable)
+                cost = self._train_cost_cache.get(key)
+                if cost is None:
+                    cost = self.backend.train_cost(
+                        batch_size, states.shape[1:],
+                        first_trainable=self.first_trainable,
                     )
-                ]
+                    self._train_cost_cache[key] = cost
+                sp.add_cycles(cost.total_cycles)
+                self._pending_train_costs.append(cost)
+                if len(self._pending_train_costs) >= 1024:
+                    self._pending_train_costs = [
+                        merge_step_costs(
+                            self._pending_train_costs, backend=self.backend.name
+                        )
+                    ]
+        if PROBE.enabled:
+            PROBE.count(
+                "repro_agent_train_updates_total",
+                help="Optimizer updates applied by the agent.",
+            )
+            PROBE.observe(
+                "repro_agent_train_step_seconds",
+                sp.duration_s,
+                help="Host wall time of one training iteration.",
+            )
         return loss
 
     def _bootstrap_values(self, next_states: np.ndarray) -> np.ndarray:

@@ -80,6 +80,64 @@ class TestCommands:
         assert payload["training_step"]["iterations_per_second"] > 0
         assert payload["bench_training"]["speedup"] > 1.0
 
+    def test_fleet_trace_metrics_json_smoke(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.prom"
+        payload_path = tmp_path / "fleet.json"
+        assert main([
+            "fleet", "--num-envs", "4", "--rounds", "1", "--steps", "20",
+            "--eval-steps", "8", "--seed", "1",
+            "--envs", "indoor-apartment", "outdoor-forest",
+            "--backend", "sharded", "--shards", "2",
+            "--trace", str(trace), "--metrics", str(metrics),
+            "--json", str(payload_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Timing breakdown:" in out
+        assert "critical shard:" in out
+
+        chrome = json.loads(trace.read_text())
+        names = {e["name"] for e in chrome["traceEvents"]}
+        assert {"fleet.round", "phase:rollout", "shard.forward"} <= names
+        assert all(e["ph"] == "X" for e in chrome["traceEvents"])
+
+        prom = metrics.read_text()
+        assert "# TYPE repro_fleet_env_steps_total counter" in prom
+        assert "repro_backend_forwards_total" in prom
+
+        payload = json.loads(payload_path.read_text())
+        assert set(payload) == {"fleet", "projection", "phases", "metrics"}
+        assert payload["fleet"]["rounds"][0]["env_steps"] > 0
+        assert "critical_shard_index" in payload["fleet"]["totals"]
+        assert "fleet.round" in payload["phases"]
+        assert payload["metrics"]["counters"]["repro_fleet_env_steps_total"] > 0
+
+    def test_fleet_plain_run_has_no_observability_output(self, capsys):
+        assert main([
+            "fleet", "--num-envs", "2", "--rounds", "1", "--steps", "10",
+            "--eval-steps", "0", "--seed", "1",
+            "--envs", "indoor-apartment", "outdoor-forest",
+        ]) == 0
+        assert "Timing breakdown:" not in capsys.readouterr().out
+
+    def test_systolic_bench_json_metrics_block(self, tmp_path):
+        import json
+
+        path = tmp_path / "bench.json"
+        assert main(["systolic-bench", "--skip-alexnet", "--side", "12",
+                     "--filters", "2", "--json", str(path)]) == 0
+        gauges = json.loads(path.read_text())["metrics"]["gauges"]
+        assert gauges["repro_bench_speedup"] > 1.0
+
+        training = tmp_path / "training.json"
+        assert main(["systolic-bench", "--training", "--batch", "2",
+                     "--json", str(training)]) == 0
+        gauges = json.loads(training.read_text())["metrics"]["gauges"]
+        assert gauges["repro_training_step_cycles"] > 0
+        assert gauges["repro_bench_training_speedup"] > 1.0
+
     def test_fleet_train_on_array_smoke(self, capsys):
         assert main([
             "fleet", "--num-envs", "4", "--rounds", "1", "--steps", "30",

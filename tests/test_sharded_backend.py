@@ -227,6 +227,52 @@ class TestShardCost:
         )
         assert cost.critical_path_cycles <= 0.3 * single.total_cycles
 
+    def test_critical_shard_index_is_argmax_of_shard_cycles(self, rng):
+        net = make_net()
+        states = rng.uniform(0, 1, size=(8, 1, SIDE, SIDE))
+        for policy in ("sample", "layer"):
+            _, cost = ShardedBackend(
+                net, shards=4, shard=policy
+            ).forward_batch(states)
+            slowest = max(
+                range(len(cost.shard_cycles)),
+                key=cost.shard_cycles.__getitem__,
+            )
+            assert cost.critical_shard_index == slowest, policy
+
+    def test_critical_shard_index_ties_go_to_lowest(self):
+        cost = ShardCost(
+            backend="sharded", states=4, layer_cycles={"FC1": 60},
+            shards=3, shard_cycles=(20, 25, 25),
+            critical_path_cycles=30, merge_cycles=5,
+            critical_shard_index=1,
+        )
+        merged = merge_step_costs([cost, cost])
+        # (40, 50, 50): arrays 1 and 2 tie; the recompute picks 1.
+        assert merged.critical_shard_index == 1
+
+    def test_merge_recomputes_critical_shard_from_merged_totals(self):
+        a = ShardCost(
+            backend="sharded", states=2, layer_cycles={"FC1": 50},
+            shards=2, shard_cycles=(10, 40),
+            critical_path_cycles=45, merge_cycles=5,
+            critical_shard_index=1,
+        )
+        b = ShardCost(
+            backend="sharded", states=2, layer_cycles={"FC1": 60},
+            shards=2, shard_cycles=(50, 10),
+            critical_path_cycles=55, merge_cycles=5,
+            critical_shard_index=0,
+        )
+        merged = merge_step_costs([a, b])
+        # Merged totals (60, 50): array 0 carried the most overall even
+        # though each input named a different slowest array.
+        assert merged.critical_shard_index == 0
+
+    def test_plain_cost_critical_shard_is_array_zero(self):
+        cost = StepCost(backend="systolic", states=2, layer_cycles={"FC1": 9})
+        assert cost.critical_shard_index == 0
+
     def test_merge_accumulates_critical_paths_serially(self):
         a = ShardCost(
             backend="sharded", states=4, macs=10,
