@@ -61,6 +61,10 @@ def _fingerprint(report):
             r.inference_cycles, r.training_cycles,
             r.critical_path_cycles, r.critical_shard_index,
             r.sync_staleness, tuple(sorted(r.eval_sfd_by_class.items())),
+            # The fault-injection ledger must stay all-zero (and the
+            # shard count intact) when no chaos plan is active.
+            r.faults_injected, r.faults_detected, r.faults_recovered,
+            r.fault_recovery_cycles, r.degraded_states, r.active_shards,
         )
         for r in report.rounds
     ]

@@ -28,10 +28,13 @@ Two further pieces live here because every backend shares them:
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.injector import FAULTS
+from repro.faults.recovery import buffer_checksum
 from repro.nn.network import Network
 from repro.obs.probes import PROBE
 from repro.systolic.array import ArrayConfig, PAPER_ARRAY
@@ -247,6 +250,12 @@ class WeightBus:
         self.flips = 0
         self._serve_staleness_sum = 0
         self._serves = 0
+        # Fault-tolerance state: last checksum-good serving snapshot
+        # (only maintained while the FAULTS seam is active) and the
+        # record of a dropped-but-not-yet-recovered flip.
+        self._good_buffers: dict[str, np.ndarray] | None = None
+        self._good_checksum: int | None = None
+        self._dropped = None
 
     def publish(self) -> bool:
         """Record one completed training update in the staging buffer.
@@ -261,6 +270,8 @@ class WeightBus:
                 "repro_weightbus_publishes_total",
                 help="Training updates published to the staging buffer.",
             )
+        if FAULTS.enabled and self.backend.weight_buffers() is not None:
+            return self._publish_chaos()
         if self.staleness >= self.sync_every:
             self.flip()
             return True
@@ -276,6 +287,8 @@ class WeightBus:
         """Download the staged weights into the serving datapath now."""
         with PROBE.span("weightbus.flip", staleness=self.staleness):
             self.backend.sync()
+        if FAULTS.enabled and self.backend.weight_buffers() is not None:
+            self._flip_chaos()
         self.flips += 1
         self.staleness = 0
         if PROBE.enabled:
@@ -288,6 +301,139 @@ class WeightBus:
                 0,
                 help="Updates the serving snapshot is currently behind.",
             )
+
+    # ------------------------------------------------------------------
+    # Fault injection / detection / recovery (FAULTS seam active only)
+    # ------------------------------------------------------------------
+    def _publish_chaos(self) -> bool:
+        """Chaos-mode :meth:`publish`: verify, recover, inject, flip.
+
+        Order matters for determinism and detectability: first the
+        integrity check of the serving buffer (catching bit flips
+        injected on earlier publishes — checksum mismatch rolls back to
+        the last checksum-good snapshot), then the staleness watchdog
+        (a dropped flip is force-flipped once staleness exceeds the
+        ``sync_every`` bound), then the flip-or-drop decision, and only
+        then a fresh soft-error draw against whatever snapshot is now
+        serving.
+        """
+        inj = FAULTS.injector
+        update = inj.note_update()
+        if self._good_checksum is None:
+            self._capture_good()
+        elif self.backend.weight_checksum() != self._good_checksum:
+            self._rollback(inj)
+        if self._dropped is not None and self.staleness > self.sync_every:
+            rec, self._dropped = self._dropped, None
+            inj.mark_detected(rec)
+            with PROBE.span("recovery", kind="weightbus.watchdog"):
+                self.flip()
+            inj.add_recovery_cycles(inj.plan.retry_timeout_cycles)
+            inj.mark_recovered(rec, detail="staleness watchdog forced flip")
+            return True
+        flipped = False
+        if self.staleness >= self.sync_every:
+            if inj.drop_publish(update):
+                self._dropped = inj.record(
+                    "publish.drop",
+                    target="weightbus",
+                    detail=f"staleness={self.staleness}",
+                )
+            else:
+                self.flip()
+                flipped = True
+        if not flipped and PROBE.enabled:
+            PROBE.gauge(
+                "repro_weightbus_staleness_updates",
+                self.staleness,
+                help="Updates the serving snapshot is currently behind.",
+            )
+        rng = inj.sram_flip_rng(update)
+        if rng is not None and self._good_checksum is not None:
+            name, index, bit = self._pick_bit(rng)
+            self.backend.corrupt_weight_bit(name, index, bit)
+            inj.record("sram.flip", target=name, detail=f"bit={bit}")
+        return flipped
+
+    def _flip_chaos(self) -> None:
+        """Chaos-mode tail of :meth:`flip`: corrupt, verify, re-sync.
+
+        The checksum of the freshly synced buffers is ground truth; an
+        injected download corruption is detected by re-verifying against
+        it and repaired by bounded re-sync retries with exponential
+        backoff, falling back to a rollback onto the last good snapshot
+        when every retry draw stays corrupted.  Ends by capturing the
+        (now good) snapshot as the rollback target for later publishes.
+        """
+        inj = FAULTS.injector
+        plan = inj.plan
+        good = self.backend.weight_checksum()
+        rng = inj.corrupt_rng(self.flips + 1)
+        if rng is not None:
+            name, index, bit = self._pick_bit(rng)
+            self.backend.corrupt_weight_bit(name, index, bit)
+            rec = inj.record(
+                "buffer.corrupt", target=name, detail=f"bit={bit}"
+            )
+            if self.backend.weight_checksum() != good:
+                inj.mark_detected(rec)
+                with PROBE.span("recovery", kind="weightbus.resync"):
+                    attempts = 0
+                    while (
+                        self.backend.weight_checksum() != good
+                        and attempts < plan.max_retries
+                    ):
+                        attempts += 1
+                        inj.add_recovery_cycles(
+                            int(
+                                plan.retry_timeout_cycles
+                                * plan.retry_backoff ** (attempts - 1)
+                            )
+                        )
+                        self.backend.sync()
+                        if rng.random() < plan.buffer_corruption_rate:
+                            # The write glitch persisted into the retry.
+                            name, index, bit = self._pick_bit(rng)
+                            self.backend.corrupt_weight_bit(name, index, bit)
+                    if self.backend.weight_checksum() == good:
+                        inj.mark_recovered(
+                            rec, detail=f"re-synced after {attempts} retries"
+                        )
+                    elif self._good_buffers is not None:
+                        self.backend.restore_weight_buffers(self._good_buffers)
+                        inj.mark_recovered(
+                            rec, detail="rolled back to last good snapshot"
+                        )
+        self._capture_good()
+
+    def _rollback(self, inj) -> None:
+        """Serving-buffer integrity failure: restore the good snapshot."""
+        for rec in inj.undetected(("sram.flip", "buffer.corrupt")):
+            inj.mark_detected(rec)
+        with PROBE.span("recovery", kind="weightbus.rollback"):
+            self.backend.restore_weight_buffers(self._good_buffers)
+        inj.add_recovery_cycles(inj.plan.retry_timeout_cycles)
+        for rec in inj.events:
+            if (
+                rec.kind in ("sram.flip", "buffer.corrupt")
+                and rec.detected
+                and not rec.recovered
+            ):
+                inj.mark_recovered(rec, detail="checksum rollback on publish")
+
+    def _capture_good(self) -> None:
+        self._good_buffers = self.backend.snapshot_weight_buffers()
+        self._good_checksum = self.backend.weight_checksum()
+
+    def _pick_bit(self, rng) -> tuple[str, int, int]:
+        """Draw a (buffer name, flat index, bit) target for a flip."""
+        buffers = self.backend.weight_buffers()
+        names = sorted(buffers)
+        name = names[int(rng.integers(len(names)))]
+        index = int(rng.integers(buffers[name].size))
+        fmt = getattr(self.backend, "weight_format", None)
+        bits = fmt.total_bits if fmt is not None else 16
+        return name, index, int(rng.integers(bits))
 
     def note_serve(self, states: int = 1) -> None:
         """Record that ``states`` states were served at current staleness."""
@@ -363,6 +509,50 @@ class ExecutionBackend:
         snapshot, so the default is a no-op.
         """
 
+    # ------------------------------------------------------------------
+    # Serving-buffer introspection (the fault-injection/detection seam)
+    # ------------------------------------------------------------------
+    def weight_buffers(self) -> dict[str, np.ndarray] | None:
+        """The live serving weight buffers by name, or ``None``.
+
+        Backends that serve from a captured snapshot expose the arrays
+        the datapath actually reads, so the fault layer can checksum
+        them, flip bits in them, and roll them back.  The float path
+        has no serving snapshot distinct from the training weights and
+        returns ``None`` — it is exempt from weight-buffer faults.
+        """
+        return None
+
+    def weight_checksum(self) -> int:
+        """CRC-32 fingerprint of the serving buffers (0 if none)."""
+        return buffer_checksum(self.weight_buffers())
+
+    def snapshot_weight_buffers(self) -> dict[str, np.ndarray] | None:
+        """Deep copies of the serving buffers (a rollback target)."""
+        buffers = self.weight_buffers()
+        if buffers is None:
+            return None
+        return {name: arr.copy() for name, arr in buffers.items()}
+
+    def restore_weight_buffers(self, saved: dict[str, np.ndarray]) -> None:
+        """Write a snapshot back into the live serving buffers."""
+        buffers = self.weight_buffers()
+        if buffers is None:
+            return
+        for name, arr in saved.items():
+            buffers[name][...] = arr
+        self._refresh_weight_values()
+
+    def corrupt_weight_bit(self, name: str, index: int, bit: int) -> None:
+        """Flip one stored bit of serving buffer ``name`` (fault model).
+
+        No-op by default: backends without a serving snapshot have no
+        stored codes to upset.
+        """
+
+    def _refresh_weight_values(self) -> None:
+        """Rebuild any state derived from the raw serving buffers."""
+
     def greedy_actions(self, states: np.ndarray) -> tuple[np.ndarray, StepCost]:
         """Argmax actions (N,) for a state batch, with the step cost."""
         q_values, cost = self.forward_batch(states)
@@ -401,7 +591,9 @@ def register_backend(name: str):
 def make_backend(name: str, network: Network, **kwargs) -> ExecutionBackend:
     """Instantiate a registered backend by name (the CLI entry point)."""
     if name not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {name!r}; registered: {sorted(BACKENDS)}"
-        )
+        message = f"unknown backend {name!r}; registered: {sorted(BACKENDS)}"
+        close = difflib.get_close_matches(name, BACKENDS, n=1)
+        if close:
+            message += f" (did you mean {close[0]!r}?)"
+        raise ValueError(message)
     return BACKENDS[name](network, **kwargs)

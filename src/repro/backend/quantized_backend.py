@@ -41,6 +41,7 @@ class QuantizedBackend(ExecutionBackend):
         activation_format: QFormat = Q8_8,
     ):
         self.network = network
+        self.weight_format = weight_format
         self.quantized = QuantizedNetwork(
             network,
             weight_format=weight_format,
@@ -55,3 +56,25 @@ class QuantizedBackend(ExecutionBackend):
     def sync(self) -> None:
         """Re-quantise after an online weight update (SRAM write-back)."""
         self.quantized.refresh_quantized_state()
+
+    # ------------------------------------------------------------------
+    # Serving-buffer seam (fault injection / detection)
+    # ------------------------------------------------------------------
+    def weight_buffers(self) -> dict[str, np.ndarray]:
+        """The quantised value snapshot ``predict_batch`` reads."""
+        return self.quantized._quantized_state
+
+    def corrupt_weight_bit(self, name: str, index: int, bit: int) -> None:
+        """Flip one stored bit of parameter ``name`` (SRAM soft error).
+
+        The snapshot holds quantised *values*; the upset round-trips
+        the element through its raw code, flips the bit there, and
+        writes the decoded value back — the same code the hardware
+        stores.
+        """
+        from repro.faults.recovery import flip_raw_bit
+
+        fmt = self.weight_format
+        flat = self.quantized._quantized_state[name].reshape(-1)
+        raw = flip_raw_bit(int(fmt.to_raw(flat[index])), bit, fmt)
+        flat[index] = float(fmt.from_raw(raw))

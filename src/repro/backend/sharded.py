@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.backend.base import ExecutionBackend, ShardCost, register_backend
 from repro.backend.systolic_backend import SystolicBackend
+from repro.faults.injector import FAULTS
 from repro.obs.probes import PROBE
 from repro.fixedpoint.qformat import QFormat, Q2_13, Q8_8
 from repro.nn.layers import Conv2D, Dense
@@ -140,6 +141,13 @@ class ShardedBackend(ExecutionBackend):
             config=config, fidelity=fidelity, quantized=quantized,
             weight_format=weight_format, activation_format=activation_format,
         )
+        self._child_kwargs = child_kwargs
+        #: Child position -> original array index (identity until a
+        #: crash failover rebuilds the layer plan over the survivors).
+        self._position_to_shard = list(range(shards))
+        #: Lazily built float fallback for all-arrays-lost degradation.
+        self._fallback = None
+        self._chaos_forward = 0
         if shard == "sample":
             # Data parallelism: every array downloads the full model.
             # All K copies are byte-identical, so one simulated child
@@ -211,6 +219,156 @@ class ShardedBackend(ExecutionBackend):
             child.sync()
 
     # ------------------------------------------------------------------
+    # Serving-buffer seam (fault injection / detection)
+    # ------------------------------------------------------------------
+    @property
+    def weight_format(self):
+        return self.children[0].weight_format
+
+    def weight_buffers(self) -> dict[str, np.ndarray]:
+        """The children's serving buffers (prefixed per array for layer
+        sharding; sample sharding's arrays share one physical copy)."""
+        if self.shard == "sample":
+            return self.children[0].weight_buffers()
+        merged: dict[str, np.ndarray] = {}
+        for k, child in enumerate(self.children):
+            for name, arr in child.weight_buffers().items():
+                merged[f"shard{k}/{name}"] = arr
+        return merged
+
+    def corrupt_weight_bit(self, name: str, index: int, bit: int) -> None:
+        if self.shard == "sample":
+            self.children[0].corrupt_weight_bit(name, index, bit)
+            return
+        prefix, _, rest = name.partition("/")
+        self.children[int(prefix[len("shard"):])].corrupt_weight_bit(
+            rest, index, bit
+        )
+
+    def _refresh_weight_values(self) -> None:
+        if self.shard == "sample":
+            self.children[0]._refresh_weight_values()
+            return
+        for child in self.children:
+            child._refresh_weight_values()
+
+    # ------------------------------------------------------------------
+    # Fault handling (FAULTS seam active only)
+    # ------------------------------------------------------------------
+    def _active_shards(self) -> list[int]:
+        """Alive array indices, processing any newly due crash faults."""
+        if not FAULTS.enabled:
+            return list(range(self.shards))
+        inj = FAULTS.injector
+        for k in inj.due_crashes():
+            if k < self.shards:
+                self._kill_shard(k, inj)
+        return [k for k in range(self.shards) if k not in inj.dead_shards]
+
+    def _kill_shard(self, k: int, inj) -> None:
+        """Process one scheduled crash: detect, then fail over.
+
+        Detection is the per-shard health check — the scheduler notices
+        the array stopped answering after ``health_check_timeout_cycles``
+        (charged as recovery overhead).  Recovery remaps the dead
+        array's work onto the survivors: sample sharding just re-splits
+        the batch; layer sharding rebuilds the slice plan over the
+        surviving arrays and re-broadcasts the weights.  With no
+        survivors the backend degrades to the float numpy fallback.
+        """
+        inj.kill(k)
+        rec = inj.record("shard.crash", target=f"shard{k}", detail="scheduled")
+        inj.add_recovery_cycles(inj.plan.health_check_timeout_cycles)
+        inj.mark_detected(rec)
+        alive = [i for i in range(self.shards) if i not in inj.dead_shards]
+        with PROBE.span("recovery", kind="shard.failover", shard=k):
+            if not alive:
+                degraded = inj.record(
+                    "fleet.degraded",
+                    target=self.name,
+                    detail="all arrays lost",
+                )
+                inj.mark_detected(degraded)
+                inj.mark_recovered(degraded, detail="serving from numpy fallback")
+            elif self.shard == "layer":
+                self._rebuild_layer_shards(alive)
+        inj.mark_recovered(
+            rec,
+            detail=(
+                "degraded to numpy fallback"
+                if not alive
+                else f"failover onto {len(alive)} surviving arrays"
+            ),
+        )
+
+    def _rebuild_layer_shards(self, alive: list[int]) -> None:
+        """Re-slice every layer across the surviving arrays."""
+        self._plan = self._build_layer_plan(self.network, len(alive))
+        self.children = [
+            SystolicBackend(net, **self._child_kwargs)
+            for net in self._shard_networks
+        ]
+        self._position_to_shard = list(alive)
+        self.sync()
+
+    def _forward_degraded(self, x: np.ndarray) -> tuple[np.ndarray, ShardCost]:
+        """All arrays lost: float inference on the host, zero array cost."""
+        if self._fallback is None:
+            from repro.backend.numpy_backend import NumpyBackend
+
+            self._fallback = NumpyBackend(self.network)
+        with PROBE.span("shard.forward", shard=-1, states=x.shape[0]) as sp:
+            q_values, _ = self._fallback.forward_batch(x)
+            sp.add_cycles(0)
+        FAULTS.injector.note_degraded(x.shape[0])
+        return q_values, ShardCost(
+            backend=self.name, states=x.shape[0], macs=0, layer_cycles={},
+            shards=self.shards, shard_cycles=(0,) * self.shards,
+            critical_path_cycles=0, merge_cycles=0, critical_shard_index=0,
+        )
+
+    def _chaos_extra(self, shard: int, base_cycles: int) -> int:
+        """Extra cycles this forward charges shard ``shard`` for faults.
+
+        Transient faults retry with exponential backoff (each failed
+        attempt re-burns the shard's forward plus a timeout); stragglers
+        multiply the (possibly retried) total.  Both are detected and
+        recovered within the same forward — they stretch the critical
+        path rather than corrupting output.
+        """
+        inj = FAULTS.injector
+        plan = inj.plan
+        extra = 0
+        attempts = inj.transient_attempts(self._chaos_forward, shard)
+        if attempts:
+            retry = 0
+            for attempt in range(attempts):
+                retry += base_cycles + int(
+                    plan.retry_timeout_cycles * plan.retry_backoff ** attempt
+                )
+            rec = inj.record(
+                "shard.transient",
+                target=f"shard{shard}",
+                detail=f"failed attempts={attempts}",
+            )
+            inj.mark_detected(rec)
+            inj.mark_recovered(rec, detail=f"retry succeeded after {attempts}")
+            inj.add_recovery_cycles(retry)
+            extra += retry
+        factor = inj.straggler_factor(self._chaos_forward, shard)
+        if factor > 1.0:
+            slow = int((base_cycles + extra) * (factor - 1.0))
+            rec = inj.record(
+                "shard.straggler",
+                target=f"shard{shard}",
+                detail=f"factor={factor:g}",
+            )
+            inj.mark_detected(rec)
+            inj.mark_recovered(rec, detail="absorbed by the schedule")
+            extra += slow
+        return extra
+
+    # ------------------------------------------------------------------
     def train_cost(
         self,
         batch_size: int,
@@ -231,12 +389,27 @@ class ShardedBackend(ExecutionBackend):
         """
         from repro.systolic.training import network_training_step_cost
 
-        sizes = [len(chunk) for chunk in np.array_split(np.arange(batch_size), self.shards)]
+        alive = (
+            [k for k in range(self.shards) if k not in FAULTS.injector.dead_shards]
+            if FAULTS.enabled
+            else list(range(self.shards))
+        )
+        if not alive:
+            # Every array lost: training stays in host float, charging
+            # the (gone) arrays nothing.
+            return ShardCost(
+                backend=self.name, states=batch_size,
+                shards=self.shards, shard_cycles=(0,) * self.shards,
+            )
+        sizes = [
+            len(chunk)
+            for chunk in np.array_split(np.arange(batch_size), len(alive))
+        ]
         shard_cycles = [0] * self.shards
         layer_cycles: dict[str, int] = {}
         macs = 0
         active = 0
-        for k, size in enumerate(sizes):
+        for k, size in zip(alive, sizes):
             if size == 0:
                 continue  # batch narrower than K: array k sits idle
             active += 1
@@ -267,33 +440,47 @@ class ShardedBackend(ExecutionBackend):
         x = np.asarray(states, dtype=np.float64)
         if x.ndim != 4:
             raise ValueError(f"expected an (N, C, H, W) state batch, got {x.shape}")
+        if FAULTS.enabled:
+            self._chaos_forward = FAULTS.injector.note_forward()
         if self.shard == "sample":
             return self._forward_sample(x)
         return self._forward_layer_sharded(x)
 
     def _forward_sample(self, x: np.ndarray) -> tuple[np.ndarray, ShardCost]:
-        """Each array runs the whole network over its batch chunk."""
+        """Each array runs the whole network over its batch chunk.
+
+        The batch splits over the *surviving* arrays — after a crash
+        failover the same work re-splits onto fewer chunks, so each
+        survivor's chunk (and cycle bill) grows by ~K/(K-1).  With every
+        array alive the split is exactly the original one.
+        """
         n = x.shape[0]
-        chunks = np.array_split(x, self.shards)
+        active = self._active_shards()
+        if not active:
+            return self._forward_degraded(x)
+        chunks = np.array_split(x, len(active))
         outputs = []
         shard_cycles = [0] * self.shards
         layer_cycles: dict[str, int] = {}
         macs = 0
         merge = 0
-        for k, chunk in enumerate(chunks):
+        for k, chunk in zip(active, chunks):
             if chunk.shape[0] == 0:
                 continue  # batch narrower than K: array k sits idle
             with PROBE.span("shard.forward", shard=k, states=chunk.shape[0]) as sp:
                 q_k, cost_k = self.children[k].forward_batch(chunk)
                 sp.add_cycles(cost_k.total_cycles)
             outputs.append(q_k)
-            shard_cycles[k] = cost_k.total_cycles
+            cycles_k = cost_k.total_cycles
+            if FAULTS.enabled:
+                cycles_k += self._chaos_extra(k, cycles_k)
+            shard_cycles[k] = cycles_k
             macs += cost_k.macs
             for name, cycles in cost_k.layer_cycles.items():
                 layer_cycles[name] = layer_cycles.get(name, 0) + cycles
-            if k > 0:
+            if k != active[0]:
                 # Gathering array k's Q rows to the root array: one
-                # element per link cycle (array 0's rows stay put).
+                # element per link cycle (the root's rows stay put).
                 merge += q_k.size
         q_values = np.concatenate(outputs, axis=0)
         critical = max(shard_cycles) + merge
@@ -323,6 +510,8 @@ class ShardedBackend(ExecutionBackend):
         per element moved.
         """
         n = x.shape[0]
+        if FAULTS.enabled and not self._active_shards():
+            return self._forward_degraded(x)
         x = self._requantize(x)
         shard_cycles = [0] * self.shards
         layer_cycles: dict[str, int] = {}
@@ -358,15 +547,16 @@ class ShardedBackend(ExecutionBackend):
                 slice_cycles = []
                 work = 0
                 for k, sliced, _lo, _hi in assignments:
+                    orig = self._position_to_shard[k]
                     with PROBE.span(
-                        "shard.forward", shard=k, layer=layer.name
+                        "shard.forward", shard=orig, layer=layer.name
                     ) as sp:
                         out_k, cycles_k, macs_k = self.children[k].forward_layer(
                             sliced, x, pe_sim
                         )
                         sp.add_cycles(cycles_k)
                     parts.append(out_k)
-                    shard_cycles[k] += cycles_k
+                    shard_cycles[orig] += cycles_k
                     slice_cycles.append(cycles_k)
                     work += cycles_k
                     macs += macs_k
@@ -378,6 +568,16 @@ class ShardedBackend(ExecutionBackend):
                 critical += max(slice_cycles)
             x = self._requantize(x)
         critical += merge
+        if FAULTS.enabled:
+            # Transient retries and stragglers stretch each array's
+            # per-layer slices; charged conservatively to the critical
+            # path (every layer barrier waits on its slowest slice).
+            for orig in self._position_to_shard:
+                if shard_cycles[orig] == 0:
+                    continue
+                extra = self._chaos_extra(orig, shard_cycles[orig])
+                shard_cycles[orig] += extra
+                critical += extra
         return x, ShardCost(
             backend=self.name, states=n, macs=macs, layer_cycles=layer_cycles,
             shards=self.shards, shard_cycles=tuple(shard_cycles),

@@ -113,6 +113,40 @@ class SystolicBackend(ExecutionBackend):
                 self._value[p.name] = p.value.copy()
 
     # ------------------------------------------------------------------
+    # Serving-buffer seam (fault injection / detection)
+    # ------------------------------------------------------------------
+    def weight_buffers(self) -> dict[str, np.ndarray]:
+        """The arrays the datapath reads: raw codes (or float values)."""
+        return self._raw if self.quantized else self._value
+
+    def corrupt_weight_bit(self, name: str, index: int, bit: int) -> None:
+        """Flip one stored bit of parameter ``name`` (SRAM soft error).
+
+        The flip happens in the two's-complement raw code; the derived
+        float value is recomputed so the GEMM operands (``_raw``) and
+        the bias/oracle operands (``_value``) stay consistent, exactly
+        as a real upset in the single stored copy would present.
+        """
+        from repro.faults.recovery import flip_raw_bit
+
+        fmt = self.weight_format
+        if self.quantized:
+            flat = self._raw[name].reshape(-1)
+            flat[index] = float(flip_raw_bit(int(flat[index]), bit, fmt))
+            self._value[name] = fmt.from_raw(self._raw[name].astype(np.int64))
+        else:
+            flat = self._value[name].reshape(-1)
+            raw = flip_raw_bit(int(fmt.to_raw(flat[index])), bit, fmt)
+            flat[index] = float(fmt.from_raw(raw))
+
+    def _refresh_weight_values(self) -> None:
+        if self.quantized:
+            for name, raw in self._raw.items():
+                self._value[name] = self.weight_format.from_raw(
+                    raw.astype(np.int64)
+                )
+
+    # ------------------------------------------------------------------
     def _weights(self, layer) -> tuple[np.ndarray, np.ndarray]:
         """(weight values, bias values) the datapath executes with."""
         return self._value[layer.weight.name], self._value[layer.bias.name]

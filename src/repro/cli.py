@@ -18,6 +18,8 @@
     python -m repro fleet --backend sharded --shards 4 \\
         --trace trace.json --metrics metrics.prom \\
                                               # span trace + metrics export
+    python -m repro fleet --backend sharded --shards 4 \\
+        --faults "seed=7,crash=1@30"          # seeded chaos run + failover
     python -m repro systolic-bench            # fast path vs PE oracle
     python -m repro systolic-bench --training # whole-network training step
 
@@ -52,9 +54,15 @@ instead of after every one, and the report carries the measured
 snapshot staleness.  ``--train-on-array`` charges every training update
 the closed-form whole-network training-step cost on the backend's
 array(s) and projects whether rollout and training fit *concurrently*
-(combined utilization, single- and K-array).  A
-fixed-point-vs-float action-agreement check over replayed rollout
-states closes the report.
+(combined utilization, single- and K-array).  ``--pipeline-chunk N``
+sets the rollout chunk size of the interleaved pipeline.  ``--faults
+SPEC`` runs the whole fleet under seeded deterministic fault injection
+(:mod:`repro.faults`: SRAM bit flips, shard crashes/stragglers,
+weight-bus drops and corruption, sensor dropout) and appends a
+fault-tolerance section — injected/detected/recovered counts,
+availability, MTTR in rounds, degraded-mode fraction and recovery
+overhead.  A fixed-point-vs-float action-agreement check over replayed
+rollout states closes the report.
 """
 
 from __future__ import annotations
@@ -84,6 +92,17 @@ from repro.rl import config_by_name, run_transfer_experiment
 from repro.systolic import map_conv_layer
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for flags that must be >= 1 (counts, cadences)."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
 
 
 def _cmd_fig1(_args) -> None:
@@ -318,8 +337,17 @@ def _cmd_fleet(args) -> None:
         train_on_array=args.train_on_array,
     )
     scheduler = FleetScheduler(
-        agent, vec_env, train_every=args.train_every, eval_steps=args.eval_steps
+        agent, vec_env, train_every=args.train_every,
+        eval_steps=args.eval_steps, pipeline_chunk=args.pipeline_chunk,
     )
+    plan = None
+    if args.faults is not None:
+        from repro.faults import FAULTS, parse_fault_spec
+
+        try:
+            plan = parse_fault_spec(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"error: bad --faults spec: {exc}")
     # Any observability output switches the probe seam on for the run —
     # a fresh tracer and a private registry, so two invocations in one
     # process never mix telemetry.
@@ -331,8 +359,12 @@ def _cmd_fleet(args) -> None:
         registry = MetricsRegistry()
         tracer = PROBE.activate(registry=registry)
     try:
+        if plan is not None:
+            FAULTS.activate(plan)
         report = scheduler.run(rounds=args.rounds, steps_per_round=args.steps)
     finally:
+        if plan is not None:
+            FAULTS.deactivate()
         if probing:
             PROBE.deactivate()
     rows = [
@@ -356,6 +388,8 @@ def _cmd_fleet(args) -> None:
         ["Environment class", "SFD (m)"],
         [[name, round(v, 2)] for name, v in report.sfd_by_class.items()],
     ))
+    if plan is not None:
+        _print_fleet_faults(report)
     projection = None
     try:
         projection = scheduler.project_load(report)
@@ -368,6 +402,41 @@ def _cmd_fleet(args) -> None:
         _finish_fleet_observability(
             args, report, projection, scheduler, tracer, registry
         )
+
+
+def _print_fleet_faults(report) -> None:
+    """The fleet report's fault-tolerance section (chaos runs only)."""
+    print()
+    print(
+        f"fault injection: {report.total_faults_injected} injected, "
+        f"{report.total_faults_detected} detected, "
+        f"{report.total_faults_recovered} recovered; "
+        f"availability {report.availability:.3f}, "
+        f"MTTR {report.mttr_rounds:.1f} rounds, "
+        f"degraded-mode fraction {report.degraded_fraction:.3f}"
+    )
+    if report.total_fault_recovery_cycles > 0:
+        print(
+            f"recovery overhead: "
+            f"{report.total_fault_recovery_cycles / 1e3:.1f} kcycles "
+            "charged to retries, rollbacks and failover health checks"
+        )
+    by_kind: dict[str, list[dict]] = {}
+    for event in report.fault_events:
+        by_kind.setdefault(event["kind"], []).append(event)
+    if by_kind:
+        print(format_table(
+            ["Fault kind", "Injected", "Detected", "Recovered"],
+            [
+                [
+                    kind,
+                    len(events),
+                    sum(1 for e in events if e["detected"]),
+                    sum(1 for e in events if e["recovered"]),
+                ]
+                for kind, events in sorted(by_kind.items())
+            ],
+        ))
 
 
 def _print_fleet_projection(args, agent, scheduler, report, projection, np):
@@ -484,6 +553,12 @@ def _round_payload(r) -> dict:
         "sync_staleness": r.sync_staleness,
         "training_cycles": r.training_cycles,
         "eval_sfd_by_class": r.eval_sfd_by_class,
+        "faults_injected": r.faults_injected,
+        "faults_detected": r.faults_detected,
+        "faults_recovered": r.faults_recovered,
+        "fault_recovery_cycles": r.fault_recovery_cycles,
+        "degraded_states": r.degraded_states,
+        "active_shards": r.active_shards,
     }
 
 
@@ -532,6 +607,17 @@ def _finish_fleet_observability(args, report, projection, scheduler, tracer, reg
                 },
                 "sfd_by_class": report.sfd_by_class,
                 "crash_counts": report.crash_counts,
+                "faults": {
+                    "injected": report.total_faults_injected,
+                    "detected": report.total_faults_detected,
+                    "recovered": report.total_faults_recovered,
+                    "recovery_cycles": report.total_fault_recovery_cycles,
+                    "degraded_states": report.total_degraded_states,
+                    "availability": report.availability,
+                    "mttr_rounds": report.mttr_rounds,
+                    "degraded_fraction": report.degraded_fraction,
+                    "events": report.fault_events,
+                },
             },
             "projection": None
             if projection is None
@@ -807,7 +893,7 @@ def build_parser() -> argparse.ArgumentParser:
              "systolic arrays (see --shards/--shard-policy)",
     )
     p_fleet.add_argument(
-        "--shards", type=int, default=4,
+        "--shards", type=_positive_int, default=4,
         help="number of systolic arrays composed by --backend sharded",
     )
     p_fleet.add_argument(
@@ -816,10 +902,23 @@ def build_parser() -> argparse.ArgumentParser:
              "(sample) or each layer's filters/neurons (layer)",
     )
     p_fleet.add_argument(
-        "--sync-every", type=int, default=1,
+        "--sync-every", type=_positive_int, default=1,
         help="weight-bus flip cadence: the deployed datapath refreshes "
              "its quantised snapshot every N training updates "
              "(1 = synchronous write-back)",
+    )
+    p_fleet.add_argument(
+        "--pipeline-chunk", type=_positive_int, default=None,
+        help="rollout chunk size (fleet steps) of the interleaved "
+             "rollout/train pipeline (default: --train-every, the "
+             "finest-grained pipeline the training cadence allows)",
+    )
+    p_fleet.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="run under deterministic fault injection: a bare seed "
+             "(default chaos mix) or key=value tokens, e.g. "
+             "'seed=7,crash=1@30,sram=auto,drop=0.1' "
+             "(see repro.faults.parse_fault_spec)",
     )
     p_fleet.add_argument(
         "--train-on-array", action="store_true",

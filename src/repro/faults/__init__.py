@@ -1,0 +1,46 @@
+"""Deterministic fault injection, detection, and recovery.
+
+The paper's deployment story — a fleet of drones served by shared
+systolic arrays — assumes perfect hardware; this package makes the
+simulator survive imperfect hardware and *prove* it.  A seeded
+:class:`FaultPlan` schedules SRAM bit flips in the serving weight
+buffers, shard crashes/stragglers/transients, weight-bus publish drops
+and corruption, sensor dropout, and mid-round exceptions; the
+process-global :data:`FAULTS` seam (off by default, zero-perturbation
+when off) lets the backend/weight-bus/agent/env/scheduler stack inject
+them deterministically, detect them (checksums, Q-value guards, health
+checks), and recover (bounded retry, shard failover, buffer rollback,
+numpy-fallback degradation).  See ``README.md`` §"Fault tolerance &
+chaos testing".
+"""
+
+from repro.faults.injector import (
+    FAULTS,
+    FaultInjectionError,
+    FaultInjector,
+    FaultRecord,
+    FaultSeam,
+    chaos,
+)
+from repro.faults.plan import (
+    DEFAULT_CHAOS_RATES,
+    FaultPlan,
+    parse_fault_spec,
+    sram_flip_rate_from_technology,
+)
+from repro.faults.recovery import buffer_checksum, flip_raw_bit
+
+__all__ = [
+    "FAULTS",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultSeam",
+    "chaos",
+    "DEFAULT_CHAOS_RATES",
+    "FaultPlan",
+    "parse_fault_spec",
+    "sram_flip_rate_from_technology",
+    "buffer_checksum",
+    "flip_raw_bit",
+]

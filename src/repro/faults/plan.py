@@ -1,0 +1,247 @@
+"""Deterministic fault plans: what goes wrong, when, and how often.
+
+A :class:`FaultPlan` is a frozen, seeded description of every fault a
+chaos run may inject — soft-error bit flips in the serving weight
+buffers, shard crashes and stragglers, weight-bus publish drops and
+flip corruption, sensor dropout, and scheduled mid-round exceptions —
+plus the recovery policy knobs (bounded retry, backoff, health-check
+timeouts).  The plan carries *rates and schedules only*; every draw is
+made by the :class:`~repro.faults.injector.FaultInjector` from
+counter-keyed RNG streams, so the same plan replays the identical
+fault/recovery event log run after run.
+
+The SRAM soft-error rate can be grounded in the memory model:
+:func:`sram_flip_rate_from_technology` converts a
+:class:`~repro.memory.technology.MemoryTechnology`'s per-bit-per-second
+upset rate into a per-update flip probability for a buffer of a given
+size (with an acceleration factor, because realistic sea-level SEU
+rates would never fire inside a simulated run).  ``parse_fault_spec``
+turns a CLI string — a bare seed, or ``key=value`` tokens — into a
+plan, so ``fleet --faults "seed=7,crash=1@30"`` is a complete chaos
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    # repro.memory's package __init__ pulls in the RL stack, which pulls
+    # in repro.backend, which imports this package — so the technology
+    # import happens lazily inside sram_flip_rate_from_technology.
+    from repro.memory.technology import MemoryTechnology
+
+__all__ = [
+    "FaultPlan",
+    "parse_fault_spec",
+    "sram_flip_rate_from_technology",
+    "DEFAULT_CHAOS_RATES",
+]
+
+#: Rates a bare-seed spec (``--faults 7``) turns on: a little of
+#: everything, no scheduled crashes.
+DEFAULT_CHAOS_RATES = {
+    "sram_flip_rate": 0.02,
+    "shard_transient_rate": 0.05,
+    "shard_straggler_rate": 0.05,
+    "publish_drop_rate": 0.05,
+    "buffer_corruption_rate": 0.02,
+    "sensor_dropout_rate": 0.01,
+}
+
+
+def sram_flip_rate_from_technology(
+    technology: "MemoryTechnology | None" = None,
+    bits: int = 1 << 20,
+    interval_s: float = 1.0,
+    acceleration: float = 1e9,
+) -> float:
+    """Per-update probability of one bit flip in a serving buffer.
+
+    ``technology.soft_error_rate_per_bit_s`` is the physical per-bit
+    upset rate; a buffer of ``bits`` exposed for ``interval_s`` between
+    weight-bus publishes accumulates ``rate * bits * interval`` expected
+    upsets.  ``acceleration`` scales that into chaos-testing territory
+    (realistic sea-level rates are ~1e-17/bit-s — nothing would ever
+    fire in a simulated run); the result is clamped to a probability.
+    """
+    if technology is None:
+        from repro.memory.technology import ON_DIE_SRAM
+
+        technology = ON_DIE_SRAM
+    if bits <= 0 or interval_s <= 0 or acceleration <= 0:
+        raise ValueError("bits, interval_s and acceleration must be positive")
+    expected = (
+        technology.soft_error_rate_per_bit_s * bits * interval_s * acceleration
+    )
+    return min(expected, 1.0)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic description of a chaos experiment.
+
+    Rates are probabilities per opportunity (per published update for
+    the weight-bus faults, per sharded forward per array for the shard
+    faults, per fleet step per env for sensor dropout).  Schedules are
+    absolute counters: ``shard_crashes`` kills array ``shard``
+    permanently once the fleet-step counter reaches ``step`` (1-based);
+    ``raise_at_steps`` raises a
+    :class:`~repro.faults.injector.FaultInjectionError` out of
+    ``VecNavigationEnv.step`` at those fleet steps (crash-path testing).
+
+    Recovery policy: transient shard faults retry up to ``max_retries``
+    times, each attempt charging the shard its forward cycles again
+    plus ``retry_timeout_cycles * retry_backoff**attempt`` of modelled
+    timeout; a crashed shard is declared dead after
+    ``health_check_timeout_cycles`` and its work fails over onto the
+    survivors.
+    """
+
+    seed: int = 0
+    # --- weight-path faults -------------------------------------------
+    #: P(one bit flips in the serving weight buffer) per published update.
+    sram_flip_rate: float = 0.0
+    #: P(a due weight-bus flip is dropped) per publish.
+    publish_drop_rate: float = 0.0
+    #: P(a flip corrupts the freshly synced buffer) per flip.
+    buffer_corruption_rate: float = 0.0
+    # --- shard faults -------------------------------------------------
+    #: P(a transient fault aborts one array's forward) per forward per shard.
+    shard_transient_rate: float = 0.0
+    #: P(one array runs slow) per forward per shard.
+    shard_straggler_rate: float = 0.0
+    #: Cycle multiplier a straggling array runs at.
+    straggler_factor: float = 4.0
+    #: Permanent kills: ``(fleet_step, shard_index)`` pairs.
+    shard_crashes: tuple[tuple[int, int], ...] = ()
+    # --- environment faults -------------------------------------------
+    #: P(an env's sensor frame drops) per fleet step per env.
+    sensor_dropout_rate: float = 0.0
+    #: Fleet steps (1-based) at which ``VecNavigationEnv.step`` raises.
+    raise_at_steps: tuple[int, ...] = ()
+    # --- recovery policy ----------------------------------------------
+    max_retries: int = 3
+    retry_timeout_cycles: int = 2048
+    retry_backoff: float = 2.0
+    health_check_timeout_cycles: int = 4096
+
+    def __post_init__(self) -> None:
+        for name in (
+            "sram_flip_rate", "publish_drop_rate", "buffer_corruption_rate",
+            "shard_transient_rate", "shard_straggler_rate",
+            "sensor_dropout_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {rate}")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.retry_timeout_cycles < 0 or self.health_check_timeout_cycles < 0:
+            raise ValueError("timeout cycles cannot be negative")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+        for step, shard in self.shard_crashes:
+            if step < 1 or shard < 0:
+                raise ValueError(
+                    f"bad crash schedule ({step}, {shard}): steps are "
+                    "1-based, shard indices non-negative"
+                )
+        for step in self.raise_at_steps:
+            if step < 1:
+                raise ValueError("raise_at_steps entries are 1-based")
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether this plan can inject anything at all."""
+        return bool(
+            self.sram_flip_rate or self.publish_drop_rate
+            or self.buffer_corruption_rate or self.shard_transient_rate
+            or self.shard_straggler_rate or self.sensor_dropout_rate
+            or self.shard_crashes or self.raise_at_steps
+        )
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse a CLI fault spec into a :class:`FaultPlan`.
+
+    Two forms:
+
+    * a bare integer — the seed of a default chaos mix
+      (:data:`DEFAULT_CHAOS_RATES`, no scheduled crashes);
+    * comma-separated ``key=value`` tokens::
+
+          seed=7             RNG seed (default 0)
+          sram=0.05|auto     bit-flip rate; ``auto`` derives it from the
+                             on-die SRAM soft-error rate
+          drop=0.1           publish-drop rate
+          corrupt=0.05       flip-corruption rate
+          transient=0.1      transient shard-fault rate
+          straggler=0.1      straggler rate
+          straggler-factor=8 straggler slowdown
+          sensor=0.02        sensor-dropout rate
+          crash=1@30         kill shard 1 at fleet step 30 (repeatable)
+          raise=12           raise out of step 12 (repeatable)
+          retries=3 timeout=2048 backoff=2.0 health-timeout=4096
+    """
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty fault spec")
+    try:
+        return FaultPlan(seed=int(spec), **DEFAULT_CHAOS_RATES)
+    except ValueError as exc:
+        if "invalid literal" not in str(exc):
+            raise
+    kwargs: dict = {}
+    crashes: list[tuple[int, int]] = []
+    raises: list[int] = []
+    scalar = {
+        "seed": ("seed", int),
+        "sram": ("sram_flip_rate", float),
+        "drop": ("publish_drop_rate", float),
+        "corrupt": ("buffer_corruption_rate", float),
+        "transient": ("shard_transient_rate", float),
+        "straggler": ("shard_straggler_rate", float),
+        "straggler-factor": ("straggler_factor", float),
+        "sensor": ("sensor_dropout_rate", float),
+        "retries": ("max_retries", int),
+        "timeout": ("retry_timeout_cycles", int),
+        "backoff": ("retry_backoff", float),
+        "health-timeout": ("health_check_timeout_cycles", int),
+    }
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        key, sep, value = token.partition("=")
+        if not sep:
+            raise ValueError(f"bad fault-spec token {token!r}: expected key=value")
+        key = key.strip()
+        value = value.strip()
+        if key == "crash":
+            shard_s, sep, step_s = value.partition("@")
+            if not sep:
+                raise ValueError(
+                    f"bad crash spec {value!r}: expected SHARD@STEP"
+                )
+            crashes.append((int(step_s), int(shard_s)))
+        elif key == "raise":
+            raises.append(int(value))
+        elif key == "sram" and value == "auto":
+            kwargs["sram_flip_rate"] = sram_flip_rate_from_technology()
+        elif key in scalar:
+            field_name, cast = scalar[key]
+            kwargs[field_name] = cast(value)
+        else:
+            raise ValueError(
+                f"unknown fault-spec key {key!r}; known: "
+                f"{sorted(scalar) + ['crash', 'raise']}"
+            )
+    if crashes:
+        kwargs["shard_crashes"] = tuple(sorted(crashes))
+    if raises:
+        kwargs["raise_at_steps"] = tuple(sorted(raises))
+    return FaultPlan(**kwargs)

@@ -1,0 +1,52 @@
+"""Low-level detection/recovery primitives: checksums and bit surgery.
+
+These are the mechanisms the detection seams are built from:
+:func:`buffer_checksum` fingerprints a set of named weight buffers (the
+``WeightBus`` verifies it on publish/flip and rolls back on mismatch),
+and :func:`flip_raw_bit` flips one bit of a two's-complement fixed-point
+code — the physical model of an SRAM soft error in a quantized weight.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat
+
+__all__ = ["buffer_checksum", "flip_raw_bit"]
+
+
+def buffer_checksum(buffers: dict[str, np.ndarray] | None) -> int:
+    """CRC-32 over a name-sorted set of weight buffers.
+
+    Order-independent of dict insertion (names are sorted) and cheap
+    enough to run on every weight-bus publish; any single bit flip in
+    any buffer changes the value.
+    """
+    if not buffers:
+        return 0
+    crc = 0
+    for name in sorted(buffers):
+        crc = zlib.crc32(name.encode("utf-8"), crc)
+        crc = zlib.crc32(np.ascontiguousarray(buffers[name]).tobytes(), crc)
+    return crc
+
+
+def flip_raw_bit(raw: int, bit: int, fmt: QFormat) -> int:
+    """Flip one bit of a two's-complement raw code, staying in range.
+
+    The flip happens in the ``fmt.total_bits``-wide unsigned image of
+    the code, so flipping the top bit of a signed format toggles the
+    sign — exactly what a physical upset in the stored word does — and
+    the result always decodes to a representable value.
+    """
+    width = fmt.total_bits
+    if not 0 <= bit < width:
+        raise ValueError(f"bit {bit} out of range for {width}-bit format")
+    mask = (1 << width) - 1
+    unsigned = (int(raw) & mask) ^ (1 << bit)
+    if fmt.signed and unsigned >= 1 << (width - 1):
+        return unsigned - (1 << width)
+    return unsigned

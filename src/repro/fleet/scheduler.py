@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.injector import FAULTS
 from repro.fleet.runner import scaled_train_batch
 from repro.fleet.vec_env import VecNavigationEnv
 from repro.obs.probes import PROBE
@@ -102,6 +103,19 @@ class RoundStats:
     training_array_seconds: float = 0.0
     #: Wall-clock cycles of the (possibly sharded) training schedule.
     training_critical_path_cycles: int = 0
+    # --- fault-injection ledger (all zero unless a chaos run) ---------
+    #: Faults injected / detected / recovered during this round.
+    faults_injected: int = 0
+    faults_detected: int = 0
+    faults_recovered: int = 0
+    #: Modelled array cycles spent on recovery (retries, health-check
+    #: timeouts, rollbacks, guard recomputes) this round.
+    fault_recovery_cycles: int = 0
+    #: States served by the degraded numpy fallback this round.
+    degraded_states: int = 0
+    #: Arrays still alive at the end of the round (== ``shards`` unless
+    #: a chaos run killed some).
+    active_shards: int = 0
 
     @property
     def wall_seconds(self) -> float:
@@ -155,6 +169,9 @@ class FleetReport:
     rounds: list[RoundStats] = field(default_factory=list)
     sfd_by_class: dict[str, float] = field(default_factory=dict)
     crash_counts: list[int] = field(default_factory=list)
+    #: Full fault/recovery event log of a chaos run (empty otherwise);
+    #: each entry is a :meth:`~repro.faults.injector.FaultRecord.as_dict`.
+    fault_events: list[dict] = field(default_factory=list)
 
     @property
     def total_env_steps(self) -> int:
@@ -307,6 +324,66 @@ class FleetReport:
             for r in self.rounds
         )
         return weighted / wall
+
+    # --- fault-tolerance outcomes (all trivial unless a chaos run) ----
+    @property
+    def total_faults_injected(self) -> int:
+        """Faults injected across all rounds."""
+        return sum(r.faults_injected for r in self.rounds)
+
+    @property
+    def total_faults_detected(self) -> int:
+        """Faults detected across all rounds."""
+        return sum(r.faults_detected for r in self.rounds)
+
+    @property
+    def total_faults_recovered(self) -> int:
+        """Faults recovered across all rounds."""
+        return sum(r.faults_recovered for r in self.rounds)
+
+    @property
+    def total_fault_recovery_cycles(self) -> int:
+        """Modelled array cycles spent on recovery across all rounds."""
+        return sum(r.fault_recovery_cycles for r in self.rounds)
+
+    @property
+    def total_degraded_states(self) -> int:
+        """States served by the degraded numpy fallback."""
+        return sum(r.degraded_states for r in self.rounds)
+
+    @property
+    def availability(self) -> float:
+        """Mean fraction of configured arrays alive, round-weighted.
+
+        1.0 for a fault-free run; a chaos run that kills 1 of 4 arrays
+        halfway through K rounds reports ``1 - (K/2)/(4K)``.
+        """
+        total = sum(r.shards for r in self.rounds)
+        if total == 0:
+            return 1.0
+        return sum(r.active_shards for r in self.rounds) / total
+
+    @property
+    def mttr_rounds(self) -> float:
+        """Mean time to recovery, in scheduler rounds.
+
+        Averaged over recovered faults; a fault detected and recovered
+        within the same round counts 1 round.  0.0 when nothing was
+        recovered (including fault-free runs).
+        """
+        times = [
+            e["recovered_round"] - e["round"] + 1
+            for e in self.fault_events
+            if e.get("recovered") and e.get("recovered_round") is not None
+        ]
+        return float(np.mean(times)) if times else 0.0
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of served states that fell back to degraded numpy."""
+        if self.total_inference_states == 0:
+            return 0.0
+        return self.total_degraded_states / self.total_inference_states
 
 
 class FleetScheduler:
@@ -551,6 +628,8 @@ class FleetScheduler:
         self.agent.weight_bus.drain_serve_staleness()
         try:
             for index in range(rounds):
+                if FAULTS.enabled:
+                    FAULTS.injector.note_round(index)
                 with PROBE.span("fleet.round", round=index) as round_span:
                     (
                         steps, episodes, updates, losses,
@@ -574,6 +653,12 @@ class FleetScheduler:
                         staleness = (
                             self.agent.weight_bus.drain_serve_staleness()
                         )
+                        if FAULTS.enabled:
+                            fault = FAULTS.injector.drain_round()
+                            dead = len(FAULTS.injector.dead_shards)
+                        else:
+                            fault = None
+                            dead = 0
                     round_span.add_cycles(
                         cost.total_cycles + train_cost.total_cycles
                     )
@@ -608,6 +693,14 @@ class FleetScheduler:
                         self._array_config
                     ),
                     training_critical_path_cycles=train_cost.critical_path_cycles,
+                    faults_injected=fault["injected"] if fault else 0,
+                    faults_detected=fault["detected"] if fault else 0,
+                    faults_recovered=fault["recovered"] if fault else 0,
+                    fault_recovery_cycles=(
+                        fault["recovery_cycles"] if fault else 0
+                    ),
+                    degraded_states=fault["degraded_states"] if fault else 0,
+                    active_shards=max(cost.shards, train_cost.shards) - dead,
                 )
                 report.rounds.append(stats)
                 if PROBE.enabled:
@@ -643,16 +736,20 @@ class FleetScheduler:
                 self.agent.weight_bus.flip()
         finally:
             # A mid-round exception must not leak this round's partial
-            # costs (inference *or* training, or staleness) into the
-            # next run's first round.
+            # costs (inference *or* training, or staleness — or fault
+            # ledgers) into the next run's first round.
             self.agent.drain_inference_cost()
             self.agent.drain_training_cost()
             self.agent.weight_bus.drain_serve_staleness()
+            if FAULTS.enabled:
+                FAULTS.injector.drain_round()
         # Close every env's final crash-free segment so it counts.
         for env in self.vec_env.envs:
             env.tracker.flush()
         report.sfd_by_class = self.vec_env.sfd_by_class()
         report.crash_counts = [int(v) for v in self.vec_env.crash_counts]
+        if FAULTS.enabled:
+            report.fault_events = FAULTS.injector.event_log()
         return report
 
     def project_load(
@@ -700,4 +797,6 @@ class FleetScheduler:
             training_critical_path_cycles_per_update=(
                 report.training_critical_path_cycles_per_update
             ),
+            availability=report.availability,
+            degraded_fraction=report.degraded_fraction,
         )

@@ -37,6 +37,7 @@ from repro.env.geometry import (
     intersect_segments,
     segment_distances,
 )
+from repro.faults.injector import FAULTS, FaultInjectionError
 from repro.obs.probes import PROBE
 
 __all__ = ["FleetRenderer", "FleetCollider", "VecNavigationEnv"]
@@ -334,6 +335,9 @@ class VecNavigationEnv:
             ww = max(int(round(w * config.window_fraction)), 1)
             top, left = (h - wh) // 2, (w - ww) // 2
             self._window = (slice(top, top + wh), slice(left, left + ww))
+        # Last served frame per env — the hold-last-frame recovery
+        # target for injected sensor dropout (chaos runs only).
+        self._last_frames: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -405,6 +409,18 @@ class VecNavigationEnv:
             raise ValueError(
                 f"expected {self.num_envs} actions, got shape {actions.shape}"
             )
+        if FAULTS.enabled:
+            inj = FAULTS.injector
+            inj.note_step()
+            if inj.raise_now():
+                inj.record(
+                    "env.exception",
+                    target="vec_env",
+                    detail=f"scheduled raise at fleet step {inj.steps}",
+                )
+                raise FaultInjectionError(
+                    f"injected environment fault at fleet step {inj.steps}"
+                )
         with PROBE.span("vec_env.physics", envs=self.num_envs):
             physics = [
                 env.advance(int(a)) for env, a in zip(self.envs, actions)
@@ -492,7 +508,41 @@ class VecNavigationEnv:
                 ),
                 help="Episodes ended (crash or truncation) across the fleet.",
             )
-        return np.stack(states), rewards, dones, infos
+        batch = np.stack(states)
+        if FAULTS.enabled:
+            batch = self._chaos_sensors(batch)
+        return batch, rewards, dones, infos
+
+    def _chaos_sensors(self, batch: np.ndarray) -> np.ndarray:
+        """Inject sensor dropout, detect dead frames, hold last good.
+
+        A dropped sensor serves an all-zero frame.  Detection is the
+        dead-frame check a flight stack would run (an all-zero camera
+        frame is physically implausible — the renderer always emits
+        noise); recovery holds the env's last good frame so the policy
+        acts on stale-but-sane input.  The first step has no history,
+        so the dead frame is served as-is (injected, detected, not
+        recovered).
+        """
+        inj = FAULTS.injector
+        if inj.plan.sensor_dropout_rate > 0.0:
+            batch = batch.copy()
+            for i in range(self.num_envs):
+                if not inj.sensor_dropout(i):
+                    continue
+                record = inj.record(
+                    "sensor.dropout",
+                    target=f"env{i}",
+                    detail=f"fleet step {inj.steps}",
+                )
+                batch[i] = 0.0
+                if not np.any(batch[i]):  # dead-frame check
+                    inj.mark_detected(record)
+                    if self._last_frames is not None:
+                        batch[i] = self._last_frames[i]
+                        inj.mark_recovered(record, "hold-last-frame")
+        self._last_frames = batch.copy()
+        return batch
 
     # ------------------------------------------------------------------
     # Fleet-level metrics

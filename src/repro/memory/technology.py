@@ -39,12 +39,21 @@ class MemoryTechnology:
     read_energy_per_bit_j: float
     write_energy_per_bit_j: float
     non_volatile: bool
+    #: Soft-error (single-event upset) rate per stored bit per second at
+    #: sea level.  SRAM charge-storage cells are the radiation-sensitive
+    #: outlier; magnetic (STT-MRAM) and resistance-based (PCM/RRAM)
+    #: storage is orders of magnitude harder, limited by its CMOS
+    #: periphery.  Feeds the fault injector's SRAM bit-flip rate via
+    #: :func:`repro.faults.plan.sram_flip_rate_from_technology`.
+    soft_error_rate_per_bit_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.read_latency_s <= 0 or self.write_latency_s <= 0:
             raise ValueError("latencies must be positive")
         if self.read_energy_per_bit_j < 0 or self.write_energy_per_bit_j < 0:
             raise ValueError("energies must be non-negative")
+        if self.soft_error_rate_per_bit_s < 0:
+            raise ValueError("soft error rate must be non-negative")
 
     @property
     def write_read_latency_ratio(self) -> float:
@@ -67,6 +76,7 @@ STT_MRAM = MemoryTechnology(
     read_energy_per_bit_j=0.7e-12,
     write_energy_per_bit_j=4.5e-12,
     non_volatile=True,
+    soft_error_rate_per_bit_s=1e-19,  # magnetic storage is SEU-immune; periphery only
 )
 
 #: On-die SRAM global buffer (15 nm class; not published in the paper).
@@ -77,6 +87,7 @@ ON_DIE_SRAM = MemoryTechnology(
     read_energy_per_bit_j=0.06e-12,
     write_energy_per_bit_j=0.06e-12,
     non_volatile=False,
+    soft_error_rate_per_bit_s=3e-17,  # ~1e-13 upsets/bit-hour, sea-level neutron flux
 )
 
 #: Off-chip camera-buffer DRAM behind the DDR6 link.
@@ -87,6 +98,7 @@ DDR_DRAM = MemoryTechnology(
     read_energy_per_bit_j=4.0e-12,
     write_energy_per_bit_j=4.0e-12,
     non_volatile=False,
+    soft_error_rate_per_bit_s=5e-18,  # larger cell capacitance than SRAM
 )
 
 #: Phase-change-memory-like corner for the NVM ablation (slower, far
@@ -98,6 +110,7 @@ PCM_LIKE = MemoryTechnology(
     read_energy_per_bit_j=2.0e-12,
     write_energy_per_bit_j=15.0e-12,
     non_volatile=True,
+    soft_error_rate_per_bit_s=1e-19,  # resistance storage; periphery only
 )
 
 #: Resistive-RAM-like corner (moderate speed, high write energy and
@@ -109,6 +122,7 @@ RRAM_LIKE = MemoryTechnology(
     read_energy_per_bit_j=1.0e-12,
     write_energy_per_bit_j=10.0e-12,
     non_volatile=True,
+    soft_error_rate_per_bit_s=1e-19,  # resistance storage; periphery only
 )
 
 #: NVM candidates for the technology-sweep ablation.

@@ -250,6 +250,12 @@ class FleetLoadProjection:
     training_update_latency_s: float = 0.0
     training_critical_path_cycles_per_update: float = 0.0
     training_critical_path_latency_s: float = 0.0
+    #: Mean fraction of configured arrays alive during the measured run
+    #: (1.0 unless a chaos run killed shards).
+    availability: float = 1.0
+    #: Fraction of served states that fell back to the degraded float
+    #: path (0.0 unless a chaos run lost every array).
+    degraded_fraction: float = 0.0
 
     @property
     def utilization(self) -> float:
@@ -314,6 +320,21 @@ class FleetLoadProjection:
     def sharded_utilization(self) -> float:
         """Demanded step rate / K-array sustainable step rate."""
         return self.steps_per_second * self.critical_path_step_latency_s
+
+    @property
+    def available_sustainable_steps_per_second(self) -> float:
+        """K-array sustainable step rate, derated by availability.
+
+        What the platform sustains *on average* across a run in which
+        only ``availability`` of its arrays were alive — the headline
+        capacity number a fault-tolerance SLO compares against.  Equals
+        the sharded rate for a fault-free run; ``inf`` stays ``inf``
+        (no measured bound is still no bound, dead shards or not).
+        """
+        rate = self.sharded_sustainable_steps_per_second
+        if rate == float("inf"):
+            return rate
+        return rate * self.availability
 
     @property
     def training_sustainable_updates_per_second(self) -> float:
@@ -391,6 +412,8 @@ def project_fleet_load(
     critical_path_cycles_per_step: float = 0.0,
     training_cycles_per_update: float = 0.0,
     training_critical_path_cycles_per_update: float = 0.0,
+    availability: float = 1.0,
+    degraded_fraction: float = 0.0,
 ) -> FleetLoadProjection:
     """Map a measured fleet workload onto the accelerator's cost model.
 
@@ -406,9 +429,12 @@ def project_fleet_load(
     derive.  ``training_cycles_per_update`` (and its critical-path
     counterpart for sharded training) carries the measured on-array cost
     of one training update, from which the combined rollout+training
-    utilizations derive.  Combines the Fig. 13 iteration-cost model with
-    the traffic simulator's per-device bit counts and the NVM endurance
-    estimate.
+    utilizations derive.  ``availability`` and ``degraded_fraction``
+    carry a chaos run's fault-tolerance outcomes (fraction of arrays
+    alive, fraction of states served by the degraded float fallback),
+    from which the availability-derated sustainable step rate derives.
+    Combines the Fig. 13 iteration-cost model with the traffic
+    simulator's per-device bit counts and the NVM endurance estimate.
     """
     if num_envs <= 0:
         raise ValueError("num_envs must be positive")
@@ -422,6 +448,10 @@ def project_fleet_load(
         raise ValueError("critical_path_cycles_per_step cannot be negative")
     if training_cycles_per_update < 0 or training_critical_path_cycles_per_update < 0:
         raise ValueError("training cycle budgets cannot be negative")
+    if not 0.0 <= availability <= 1.0:
+        raise ValueError("availability must be a fraction in [0, 1]")
+    if not 0.0 <= degraded_fraction <= 1.0:
+        raise ValueError("degraded_fraction must be a fraction in [0, 1]")
     from repro.perf.training import TrainingIterationModel
 
     cost = TrainingIterationModel(simulator.cost_model).iteration_cost(batch_size)
@@ -453,4 +483,6 @@ def project_fleet_load(
         training_critical_path_latency_s=array.seconds(
             training_critical_path_cycles_per_update
         ),
+        availability=availability,
+        degraded_fraction=degraded_fraction,
     )

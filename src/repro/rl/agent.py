@@ -28,6 +28,7 @@ from repro.backend import (
     merge_step_costs,
 )
 from repro.env.episode import Transition
+from repro.faults.injector import FAULTS
 from repro.nn.losses import q_learning_loss
 from repro.nn.network import Network
 from repro.nn.optim import Optimizer, SGD
@@ -242,6 +243,8 @@ class QLearningAgent:
                 help="Host wall time of one backend forward pass.",
                 backend=self.backend.name,
             )
+        if FAULTS.enabled:
+            q_values, cost = self._guard_q_values(states, q_values, cost)
         self._pending_costs.append(cost)
         if len(self._pending_costs) >= 1024:
             # Long undrained runs (plain train_agent loops) must not
@@ -250,6 +253,61 @@ class QLearningAgent:
                 merge_step_costs(self._pending_costs, backend=self.backend.name)
             ]
         return q_values
+
+    def _guard_q_values(
+        self, states: np.ndarray, q_values: np.ndarray, cost: StepCost
+    ) -> tuple[np.ndarray, StepCost]:
+        """NaN/range guard on served Q values, with flip-and-recompute.
+
+        A bit flip in the serving weight buffer presents as non-finite
+        Q values (float path) or values pinned to the activation
+        format's saturation rails (the quantised datapath clamps, so a
+        blown-up weight rails the output instead of producing NaN).
+        On detection the agent forces a weight-bus flip — a fresh
+        download from the float staging weights — and recomputes; the
+        recompute's cycles are charged as recovery overhead and merged
+        into the step's cost.
+        """
+        fmt = getattr(self.backend, "activation_format", None)
+        bad = not bool(np.all(np.isfinite(q_values)))
+        if (
+            not bad
+            and fmt is not None
+            and getattr(self.backend, "quantized", False)
+        ):
+            bad = bool(
+                np.any(q_values >= fmt.max_value)
+                or np.any(q_values <= fmt.min_value)
+            )
+        if not bad:
+            return q_values, cost
+        inj = FAULTS.injector
+        suspects = inj.undetected(("sram.flip", "buffer.corrupt"))
+        if suspects:
+            for rec in suspects:
+                inj.mark_detected(rec)
+        else:
+            rec = inj.record(
+                "qvalue.anomaly", target=self.backend.name,
+                detail="non-finite or rail-pinned Q values",
+            )
+            inj.mark_detected(rec)
+            suspects = [rec]
+        with PROBE.span("recovery", kind="qvalue.guard"):
+            self.weight_bus.flip()
+            q_values, recompute = self.backend.forward_batch(states)
+        inj.add_recovery_cycles(recompute.total_cycles)
+        cost = merge_step_costs([cost, recompute], backend=self.backend.name)
+        recovered = bool(np.all(np.isfinite(q_values)))
+        if recovered and fmt is not None and getattr(self.backend, "quantized", False):
+            recovered = not bool(
+                np.any(q_values >= fmt.max_value)
+                or np.any(q_values <= fmt.min_value)
+            )
+        if recovered:
+            for rec in suspects:
+                inj.mark_recovered(rec, detail="forced flip + recompute")
+        return q_values, cost
 
     def pending_inference_cycles(self) -> int:
         """Cycles in the inference ledger since the last drain.
@@ -412,14 +470,23 @@ class QLearningAgent:
             # update by default — the synchronous SRAM write-back).
             self.weight_bus.publish()
             if self.train_on_array:
-                key = (batch_size, states.shape[1:], self.first_trainable)
-                cost = self._train_cost_cache.get(key)
-                if cost is None:
+                if FAULTS.enabled:
+                    # A crash failover changes how many arrays the batch
+                    # splits over; the geometry-keyed memo would serve a
+                    # stale split, so chaos runs recompute every time.
                     cost = self.backend.train_cost(
                         batch_size, states.shape[1:],
                         first_trainable=self.first_trainable,
                     )
-                    self._train_cost_cache[key] = cost
+                else:
+                    key = (batch_size, states.shape[1:], self.first_trainable)
+                    cost = self._train_cost_cache.get(key)
+                    if cost is None:
+                        cost = self.backend.train_cost(
+                            batch_size, states.shape[1:],
+                            first_trainable=self.first_trainable,
+                        )
+                        self._train_cost_cache[key] = cost
                 sp.add_cycles(cost.total_cycles)
                 self._pending_train_costs.append(cost)
                 if len(self._pending_train_costs) >= 1024:

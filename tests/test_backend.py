@@ -77,6 +77,16 @@ class TestRegistry:
         with pytest.raises(ValueError, match="unknown backend"):
             make_backend("tpu", make_net())
 
+    def test_unknown_backend_lists_registered(self):
+        with pytest.raises(ValueError, match="registered:"):
+            make_backend("tpu", make_net())
+
+    def test_near_miss_gets_a_suggestion(self):
+        with pytest.raises(ValueError, match="did you mean 'sharded'"):
+            make_backend("shraded", make_net())
+        with pytest.raises(ValueError, match="did you mean 'systolic'"):
+            make_backend("systollic", make_net())
+
 
 class TestStepCost:
     def test_totals_and_merge(self):
@@ -95,6 +105,40 @@ class TestStepCost:
     def test_empty_merge_is_zero(self):
         zero = merge_step_costs([], backend="numpy")
         assert zero.total_cycles == 0 and zero.states == 0
+
+    def test_empty_merge_is_plain_stepcost(self):
+        # No records means nothing sharded: the zero cost is a plain
+        # StepCost with no shard geometry to mislead downstream code.
+        zero = merge_step_costs([])
+        assert type(zero) is StepCost
+        assert zero.backend == "" and zero.macs == 0
+        assert zero.layer_cycles == {}
+
+    def test_singleton_merge_preserves_the_record(self):
+        cost = StepCost(backend="systolic", states=4, macs=10,
+                        layer_cycles={"CONV1": 100, "FC1": 50})
+        merged = merge_step_costs([cost])
+        assert type(merged) is StepCost
+        assert merged.total_cycles == cost.total_cycles
+        assert merged.states == cost.states
+        assert merged.macs == cost.macs
+        assert merged.layer_cycles == cost.layer_cycles
+        assert merged.backend == cost.backend
+
+    def test_singleton_shardcost_merge_preserves_geometry(self):
+        from repro.backend import ShardCost
+
+        cost = ShardCost(backend="sharded", states=4, macs=10,
+                         layer_cycles={"CONV1": 90, "FC1": 30},
+                         shards=3, shard_cycles=(60, 40, 20),
+                         merge_cycles=7)
+        merged = merge_step_costs([cost])
+        assert isinstance(merged, ShardCost)
+        assert merged.shards == 3
+        assert merged.shard_cycles == (60, 40, 20)
+        assert merged.merge_cycles == 7
+        assert merged.critical_path_cycles == cost.critical_path_cycles
+        assert merged.critical_shard_index == cost.critical_shard_index
 
 
 class TestNumpyBackend:

@@ -204,6 +204,48 @@ class TestFleetScheduler:
             ).total_cycles
         )
 
+    def test_injected_exception_cannot_leak_costs_or_ledgers(self):
+        """The same try/finally guarantee, driven by the fault injector
+        instead of a monkeypatched env: a scheduled FaultInjectionError
+        out of ``vec_env.step`` drains this round's partial costs *and*
+        the injector's round bucket, and a clean re-run still starts
+        from zero."""
+        from repro.backend import SystolicBackend
+        from repro.faults import FAULTS, FaultInjectionError, FaultPlan
+
+        network = build_network(scaled_drone_net_spec(input_side=SIDE), seed=0)
+        agent = QLearningAgent(
+            network,
+            config=config_by_name("L4"),
+            epsilon=EpsilonSchedule(0.0, 0.0, 1),  # greedy: every step
+            seed=0,                                # records a cost
+            batch_size=4,
+            backend=SystolicBackend(network),
+            train_on_array=True,
+        )
+        scheduler = FleetScheduler(agent, make_fleet(4), train_every=2)
+        injector = FAULTS.activate(FaultPlan(seed=0, raise_at_steps=(8,)))
+        try:
+            with pytest.raises(FaultInjectionError, match="fleet step 8"):
+                scheduler.run(rounds=2, steps_per_round=10)
+            # The crash itself was recorded before the raise...
+            events = injector.event_log()
+            assert [e["kind"] for e in events] == ["env.exception"]
+            # ... and the finally drain left no partial ledgers behind:
+            # neither agent costs nor an injector round bucket.
+            assert agent.drain_inference_cost().states == 0
+            assert agent.drain_training_cost().total_cycles == 0
+            assert agent.weight_bus.drain_serve_staleness() == 0.0
+            drained = injector.drain_round()
+            assert drained["injected"] == 0 and drained["detected"] == 0
+        finally:
+            FAULTS.deactivate()
+        report = scheduler.run(rounds=1, steps_per_round=10)
+        # Round 0 of the clean re-run carries exactly its own states.
+        assert report.rounds[0].inference_states == 10 * 4
+        assert report.rounds[0].faults_injected == 0
+        assert report.fault_events == []
+
     def test_train_on_array_rounds_carry_training_budget(self):
         """--train-on-array threading: rounds report training cycles,
         the report aggregates them, and the projection derives the
