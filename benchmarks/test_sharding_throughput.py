@@ -46,7 +46,7 @@ def _make_fleet(num_envs=4):
     )
 
 
-def _scaling_rows(network, states, single_cycles):
+def _scaling_rows(network, states, single_cycles, single_seconds):
     out = {}
     for policy in ("sample", "layer"):
         for shards in SHARD_COUNTS:
@@ -55,6 +55,11 @@ def _scaling_rows(network, states, single_cycles):
             start = time.perf_counter()
             _, cost = backend.forward_batch(states)
             seconds = time.perf_counter() - start
+            # Wall-seconds efficiency rides along with the modelled
+            # one: this serial-host measurement is the workers=1
+            # baseline the wall-clock scaling benchmark's process pool
+            # is judged against (see test_wallclock_scaling.py).
+            wall_speedup = single_seconds / seconds if seconds else 0.0
             out[f"{policy}-{shards}"] = {
                 "policy": policy,
                 "shards": shards,
@@ -66,6 +71,8 @@ def _scaling_rows(network, states, single_cycles):
                 "scaling_efficiency": (
                     single_cycles / cost.critical_path_cycles / shards
                 ),
+                "wall_speedup": wall_speedup,
+                "wall_scaling_efficiency": wall_speedup / shards,
             }
     return out
 
@@ -105,7 +112,9 @@ def test_sharding_throughput(benchmark, results_dir):
         start = time.perf_counter()
         _, single_cost = single.forward_batch(states)
         single_seconds = time.perf_counter() - start
-        scaling = _scaling_rows(network, states, single_cost.total_cycles)
+        scaling = _scaling_rows(
+            network, states, single_cost.total_cycles, single_seconds
+        )
 
         # Pipelined sharded fleet with an async weight bus.
         fleet_net = build_network(scaled_drone_net_spec(input_side=SIDE), seed=0)
@@ -172,11 +181,16 @@ def test_sharding_throughput(benchmark, results_dir):
             round(r["merge_cycles"] / 1e3, 1),
             round(r["cycle_speedup"], 2),
             round(r["scaling_efficiency"], 2),
+            round(r["wall_speedup"], 2),
+            round(r["wall_scaling_efficiency"], 2),
         ]
         for r in results["scaling"].values()
     ]
     table = format_table(
-        ["Policy", "K", "Critical kcyc", "Merge kcyc", "Speedup", "Efficiency"],
+        [
+            "Policy", "K", "Critical kcyc", "Merge kcyc",
+            "Cycle speedup", "Cycle eff", "Wall speedup", "Wall eff",
+        ],
         scaling_rows,
     )
     fleet = results["fleet"]

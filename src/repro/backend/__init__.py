@@ -34,6 +34,7 @@ from repro.backend.base import (
     ExecutionBackend,
     ShardCost,
     StepCost,
+    StepCostAccumulator,
     WeightBus,
     make_backend,
     merge_step_costs,
@@ -49,6 +50,7 @@ __all__ = [
     "ExecutionBackend",
     "StepCost",
     "ShardCost",
+    "StepCostAccumulator",
     "WeightBus",
     "make_backend",
     "merge_step_costs",

@@ -42,6 +42,7 @@ from repro.systolic.array import ArrayConfig, PAPER_ARRAY
 __all__ = [
     "StepCost",
     "ShardCost",
+    "StepCostAccumulator",
     "merge_step_costs",
     "WeightBus",
     "ExecutionBackend",
@@ -152,6 +153,112 @@ class ShardCost(StepCost):
         return config.seconds(self.critical_path_cycles)
 
 
+class StepCostAccumulator:
+    """Streaming, in-place equivalent of :func:`merge_step_costs`.
+
+    The agent's pending-cost ledgers and the scheduler's per-phase cycle
+    peeks used to rebuild a merged record from the full list on every
+    update — O(K²) in the number of accumulated records.  The
+    accumulator folds each record in once (O(layers + shards) per
+    :meth:`add`), keeps a running ``total_cycles`` readable in O(1), and
+    materialises the same :class:`StepCost`/:class:`ShardCost` a list
+    merge would have produced only when :meth:`merge` is called.
+
+    Sharded-vs-plain is decided at merge time, not add time: per-array
+    totals accumulate unconditionally (a plain record charges array 0),
+    so plain records arriving before the first :class:`ShardCost` fold
+    identically to :func:`merge_step_costs`'s two-pass behaviour.
+    """
+
+    __slots__ = (
+        "_backend", "_states", "_macs", "_layer_cycles", "_total",
+        "_count", "_sharded", "_shards", "_critical", "_merge",
+        "_shard_cycles",
+    )
+
+    def __init__(self, backend: str = ""):
+        self._backend = backend
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every tally (the bound backend name survives)."""
+        self._states = 0
+        self._macs = 0
+        self._layer_cycles: dict[str, int] = {}
+        self._total = 0
+        self._count = 0
+        self._sharded = False
+        self._shards = 0
+        self._critical = 0
+        self._merge = 0
+        self._shard_cycles: list[int] = []
+
+    def add(self, cost: StepCost) -> None:
+        """Fold one record into the running totals."""
+        self._count += 1
+        self._states += cost.states
+        self._macs += cost.macs
+        layer_cycles = self._layer_cycles
+        for name, cycles in cost.layer_cycles.items():
+            layer_cycles[name] = layer_cycles.get(name, 0) + cycles
+            self._total += cycles
+        if not self._backend:
+            self._backend = cost.backend
+        if isinstance(cost, ShardCost):
+            self._sharded = True
+            per_array = cost.shard_cycles
+        else:
+            per_array = (cost.total_cycles,)
+        self._shards = max(self._shards, cost.shards)
+        self._critical += cost.critical_path_cycles
+        self._merge += cost.merge_cycles
+        shard_cycles = self._shard_cycles
+        if len(per_array) > len(shard_cycles):
+            shard_cycles.extend([0] * (len(per_array) - len(shard_cycles)))
+        for i, cycles in enumerate(per_array):
+            shard_cycles[i] += cycles
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def total_cycles(self) -> int:
+        """Running work-cycle total, O(1) — the hot scheduler peek."""
+        return self._total
+
+    def merge(self) -> StepCost:
+        """The merged record so far (does not reset the accumulator)."""
+        if self._sharded:
+            # The critical shard is recomputed from the merged per-array
+            # totals: the array that burned the most cycles over the
+            # whole run, not whichever array happened to be slow in the
+            # last constituent record.
+            shard_cycles = self._shard_cycles
+            critical_index = (
+                max(range(len(shard_cycles)), key=shard_cycles.__getitem__)
+                if shard_cycles
+                else 0
+            )
+            return ShardCost(
+                backend=self._backend, states=self._states, macs=self._macs,
+                layer_cycles=dict(self._layer_cycles), shards=self._shards,
+                shard_cycles=tuple(shard_cycles),
+                critical_path_cycles=self._critical,
+                merge_cycles=self._merge,
+                critical_shard_index=critical_index,
+            )
+        return StepCost(
+            backend=self._backend, states=self._states, macs=self._macs,
+            layer_cycles=dict(self._layer_cycles),
+        )
+
+    def drain(self) -> StepCost:
+        """:meth:`merge`, then reset — the per-round ledger handoff."""
+        merged = self.merge()
+        self.reset()
+        return merged
+
+
 def merge_step_costs(costs: list[StepCost], backend: str = "") -> StepCost:
     """Sum a sequence of :class:`StepCost` records into one total.
 
@@ -162,52 +269,14 @@ def merge_step_costs(costs: list[StepCost], backend: str = "") -> StepCost:
     single-array record charges array 0), critical paths add — the
     forwards ran one after another — and the result is a
     :class:`ShardCost` over the widest shard count seen.
+
+    One-shot wrapper over :class:`StepCostAccumulator`; callers merging
+    incrementally in a loop should hold an accumulator instead.
     """
-    layer_cycles: dict[str, int] = {}
-    states = macs = 0
-    sharded = any(isinstance(cost, ShardCost) for cost in costs)
-    shards = critical = merge = 0
-    shard_cycles: list[int] = []
+    acc = StepCostAccumulator(backend)
     for cost in costs:
-        states += cost.states
-        macs += cost.macs
-        for name, cycles in cost.layer_cycles.items():
-            layer_cycles[name] = layer_cycles.get(name, 0) + cycles
-        if not backend:
-            backend = cost.backend
-        if sharded:
-            shards = max(shards, cost.shards)
-            critical += cost.critical_path_cycles
-            merge += cost.merge_cycles
-            per_array = (
-                cost.shard_cycles
-                if isinstance(cost, ShardCost)
-                else (cost.total_cycles,)
-            )
-            if len(per_array) > len(shard_cycles):
-                shard_cycles.extend([0] * (len(per_array) - len(shard_cycles)))
-            for i, cycles in enumerate(per_array):
-                shard_cycles[i] += cycles
-    if sharded:
-        # The critical shard of the merged record is recomputed from the
-        # merged per-array totals: the array that burned the most cycles
-        # over the whole run, not whichever array happened to be slow in
-        # the last constituent record.
-        critical_index = (
-            max(range(len(shard_cycles)), key=shard_cycles.__getitem__)
-            if shard_cycles
-            else 0
-        )
-        return ShardCost(
-            backend=backend, states=states, macs=macs,
-            layer_cycles=layer_cycles, shards=shards,
-            shard_cycles=tuple(shard_cycles),
-            critical_path_cycles=critical, merge_cycles=merge,
-            critical_shard_index=critical_index,
-        )
-    return StepCost(
-        backend=backend, states=states, macs=macs, layer_cycles=layer_cycles
-    )
+        acc.add(cost)
+    return acc.merge()
 
 
 class WeightBus:

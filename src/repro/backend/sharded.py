@@ -41,6 +41,8 @@ inter-array link (gathers, and layer-sharding's re-broadcasts).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.backend.base import ExecutionBackend, ShardCost, register_backend
@@ -50,6 +52,7 @@ from repro.obs.probes import PROBE
 from repro.fixedpoint.qformat import QFormat, Q2_13, Q8_8
 from repro.nn.layers import Conv2D, Dense
 from repro.nn.network import Network
+from repro.parallel.pool import resolve_workers
 from repro.systolic.array import ArrayConfig
 from repro.systolic.functional import FunctionalSystolicArray
 
@@ -112,6 +115,16 @@ class ShardedBackend(ExecutionBackend):
     config / fidelity / quantized / weight_format / activation_format:
         Passed through to every child :class:`SystolicBackend` — each
         array runs the same datapath the single-array backend models.
+    workers:
+        Host process-pool size for sample-policy child forwards
+        (``"auto"`` = one per CPU, capped at K).  ``1`` (default) is
+        the serial path, byte-for-byte today's behaviour.  Parallel
+        dispatch sends the *same* chunks to the same pure child code
+        in pool workers and replays the accounting in shard order, so
+        results and cost records are bitwise identical at any worker
+        count.  The layer policy always runs serially — its layers
+        chain through a gather/broadcast data dependency, so there is
+        no host-side parallelism to harvest.
     """
 
     def __init__(
@@ -124,6 +137,7 @@ class ShardedBackend(ExecutionBackend):
         quantized: bool = True,
         weight_format: QFormat = Q2_13,
         activation_format: QFormat = Q8_8,
+        workers: int | str = 1,
     ):
         if shards <= 0:
             raise ValueError("shards must be positive")
@@ -148,6 +162,12 @@ class ShardedBackend(ExecutionBackend):
         #: Lazily built float fallback for all-arrays-lost degradation.
         self._fallback = None
         self._chaos_forward = 0
+        self.workers = resolve_workers(workers, tasks=shards)
+        #: Bumped whenever the serving weights change (sync, chaos bit
+        #: flips, buffer restore); the pool executor ships weight deltas
+        #: to workers only when its shipped version falls behind.
+        self._weights_version = 0
+        self._executor = None
         if shard == "sample":
             # Data parallelism: every array downloads the full model.
             # All K copies are byte-identical, so one simulated child
@@ -208,6 +228,7 @@ class ShardedBackend(ExecutionBackend):
         out of the live network first (the sliced sub-networks own
         their parameters), then re-quantises it.
         """
+        self._weights_version += 1
         if self.shard == "sample":
             self.children[0].sync()
             return
@@ -237,6 +258,7 @@ class ShardedBackend(ExecutionBackend):
         return merged
 
     def corrupt_weight_bit(self, name: str, index: int, bit: int) -> None:
+        self._weights_version += 1
         if self.shard == "sample":
             self.children[0].corrupt_weight_bit(name, index, bit)
             return
@@ -246,6 +268,7 @@ class ShardedBackend(ExecutionBackend):
         )
 
     def _refresh_weight_values(self) -> None:
+        self._weights_version += 1
         if self.shard == "sample":
             self.children[0]._refresh_weight_values()
             return
@@ -436,6 +459,15 @@ class ShardedBackend(ExecutionBackend):
     def _requantize(self, x: np.ndarray) -> np.ndarray:
         return self.activation_format.quantize(x) if self.quantized else x
 
+    def _shard_executor(self):
+        """The pool executor for sample-policy forwards, built on first
+        parallel dispatch (workers spawn only when actually used)."""
+        if self._executor is None:
+            from repro.parallel.dispatch import ShardExecutor
+
+            self._executor = ShardExecutor(self, self.workers)
+        return self._executor
+
     def forward_batch(self, states: np.ndarray) -> tuple[np.ndarray, ShardCost]:
         x = np.asarray(states, dtype=np.float64)
         if x.ndim != 4:
@@ -459,17 +491,44 @@ class ShardedBackend(ExecutionBackend):
         if not active:
             return self._forward_degraded(x)
         chunks = np.array_split(x, len(active))
+        jobs = [
+            (k, chunk)
+            for k, chunk in zip(active, chunks)
+            if chunk.shape[0] > 0  # batch narrower than K: array k idles
+        ]
+        if self.workers > 1 and len(jobs) > 1:
+            # Parallel path: pure child forwards run in pool workers
+            # (PROBE/FAULTS permanently off there); the workers time
+            # themselves and the spans/chaos accounting replay below in
+            # shard order, so both the numerics and every ledger match
+            # the serial loop bitwise.
+            results = self._shard_executor().forward_chunks(
+                [chunk for _k, chunk in jobs]
+            )
+            forwards = [
+                (k, chunk, q_k, cost_k, wall_ns, worker)
+                for (k, chunk), (q_k, cost_k, wall_ns, worker)
+                in zip(jobs, results)
+            ]
+        else:
+            forwards = []
+            for k, chunk in jobs:
+                start = time.perf_counter_ns()
+                q_k, cost_k = self.children[k].forward_batch(chunk)
+                forwards.append(
+                    (k, chunk, q_k, cost_k,
+                     time.perf_counter_ns() - start, None)
+                )
         outputs = []
         shard_cycles = [0] * self.shards
         layer_cycles: dict[str, int] = {}
         macs = 0
         merge = 0
-        for k, chunk in zip(active, chunks):
-            if chunk.shape[0] == 0:
-                continue  # batch narrower than K: array k sits idle
-            with PROBE.span("shard.forward", shard=k, states=chunk.shape[0]) as sp:
-                q_k, cost_k = self.children[k].forward_batch(chunk)
-                sp.add_cycles(cost_k.total_cycles)
+        for k, chunk, q_k, cost_k, wall_ns, worker in forwards:
+            PROBE.record_span(
+                "shard.forward", wall_ns, cycles=cost_k.total_cycles,
+                worker=worker, shard=k, states=chunk.shape[0],
+            )
             outputs.append(q_k)
             cycles_k = cost_k.total_cycles
             if FAULTS.enabled:

@@ -105,6 +105,14 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _workers_spec(value: str) -> str:
+    """argparse type for --workers: 'auto' or a positive integer."""
+    if value == "auto":
+        return value
+    _positive_int(value)
+    return value
+
+
 def _cmd_fig1(_args) -> None:
     table = fps_requirement_table()
     rows = [
@@ -313,6 +321,7 @@ def _cmd_fleet(args) -> None:
         seeds=[args.seed + i for i in range(args.num_envs)],
         image_side=args.image_side,
         max_episode_steps=400,
+        workers=args.workers,
     )
     network = build_network(
         scaled_drone_net_spec(input_side=args.image_side), seed=args.seed
@@ -323,7 +332,11 @@ def _cmd_fleet(args) -> None:
         args.num_envs * (args.steps + args.eval_steps) * args.rounds
     )
     backend_kwargs = (
-        {"shards": args.shards, "shard": args.shard_policy}
+        {
+            "shards": args.shards,
+            "shard": args.shard_policy,
+            "workers": args.workers,
+        }
         if args.backend == "sharded"
         else {}
     )
@@ -900,6 +913,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-policy", default="sample", choices=["sample", "layer"],
         help="sharded backend policy: split the observation batch "
              "(sample) or each layer's filters/neurons (layer)",
+    )
+    p_fleet.add_argument(
+        "--workers", default="1", type=_workers_spec, metavar="N|auto",
+        help="process-pool width for sharded child forwards and env "
+             "group raycasts ('auto' = one per CPU core); workers=1 "
+             "is the serial path and stays bitwise-identical to the "
+             "parallel one",
     )
     p_fleet.add_argument(
         "--sync-every", type=_positive_int, default=1,

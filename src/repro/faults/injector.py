@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.faults.plan import FaultPlan
 from repro.obs.probes import PROBE
+from repro.parallel.procstate import in_worker
 
 __all__ = [
     "FaultInjectionError",
@@ -290,7 +291,22 @@ class FaultSeam:
         self.injector: FaultInjector | None = None
 
     def activate(self, plan: FaultPlan | FaultInjector) -> FaultInjector:
-        """Switch chaos on; returns the live injector."""
+        """Switch chaos on; returns the live injector.
+
+        The fault seam is **process-local**: the coordinator owns the
+        one live injector (counters, RNG draws, event ledger) and
+        ``repro.parallel`` pool workers run pure forwards with chaos
+        permanently off — every fault decision is made, and every event
+        logged, in the coordinator, which is what keeps a chaos run's
+        event log identical at any worker count.
+        """
+        if in_worker():
+            raise RuntimeError(
+                "FAULTS is process-local: pool workers must not activate "
+                "fault injection — all chaos decisions happen in the "
+                "coordinator so ledgers replay identically at any "
+                "worker count"
+            )
         if isinstance(plan, FaultInjector):
             self.injector = plan
         else:

@@ -46,6 +46,7 @@ from repro.faults.injector import FAULTS
 from repro.fleet.runner import scaled_train_batch
 from repro.fleet.vec_env import VecNavigationEnv
 from repro.obs.probes import PROBE
+from repro.parallel.memo import publish_memo_metrics
 from repro.perf.traffic import (
     FleetLoadProjection,
     TrafficSimulator,
@@ -659,6 +660,11 @@ class FleetScheduler:
                         else:
                             fault = None
                             dead = 0
+                        if PROBE.enabled:
+                            # Refresh the cost-oracle memo gauges so the
+                            # run's metrics snapshot carries end-of-round
+                            # hit rates.
+                            publish_memo_metrics(PROBE)
                     round_span.add_cycles(
                         cost.total_cycles + train_cost.total_cycles
                     )

@@ -39,8 +39,14 @@ from repro.env.geometry import (
 )
 from repro.faults.injector import FAULTS, FaultInjectionError
 from repro.obs.probes import PROBE
+from repro.parallel.pool import resolve_workers
 
-__all__ = ["FleetRenderer", "FleetCollider", "VecNavigationEnv"]
+__all__ = [
+    "FleetRenderer",
+    "FleetCollider",
+    "VecNavigationEnv",
+    "group_horizontal",
+]
 
 
 def _pad_stack(arrays: list[np.ndarray], width: int) -> tuple[np.ndarray, np.ndarray]:
@@ -111,6 +117,48 @@ def _build_groups(
     return groups, group_id, group_row
 
 
+def group_horizontal(
+    group: _WorldGroup,
+    origins: np.ndarray,
+    dirs: np.ndarray,
+    rows: np.ndarray,
+) -> np.ndarray:
+    """Ray-intersection distances for one world group's members.
+
+    The renderer's heaviest kernel, extracted as a pure function of the
+    group's static padded geometry plus the member poses so the serial
+    loop and the process-pool path run the *same* code on the *same*
+    inputs — which is what makes parallel rendering bitwise identical.
+    ``origins``/``dirs`` are the (M, 2)/(M, W, 2) rows for the group's
+    members, ``rows`` their rows within the group's padded arrays.
+    """
+    width = dirs.shape[1]
+    max_range = group.max_range[rows]
+    best = np.broadcast_to(max_range[:, None], (len(origins), width)).copy()
+    best = np.minimum(
+        best,
+        intersect_segments(
+            origins,
+            dirs,
+            group.seg_a[rows],
+            group.seg_d[rows],
+            group.seg_mask[rows],
+        ),
+    )
+    if group.circ_c is not None:
+        best = np.minimum(
+            best,
+            intersect_circles(
+                origins,
+                dirs,
+                group.circ_c[rows],
+                group.circ_r[rows],
+                group.circ_mask[rows],
+            ),
+        )
+    return np.clip(best, 1e-9, max_range[:, None])
+
+
 class FleetRenderer:
     """Batched depth-camera rendering across many worlds.
 
@@ -119,6 +167,13 @@ class FleetRenderer:
     noise *draws* stay in a small loop so every env consumes its RNG
     stream exactly as the sequential renderer would; all the remaining
     arithmetic is batched and bitwise-identical.
+
+    With a :class:`~repro.parallel.dispatch.GroupExecutor` attached
+    (``VecNavigationEnv(workers=...)``), multi-group intersection
+    kernels run on the process pool — the geometry ships to workers
+    once, only poses travel per call, and the per-env noise draws stay
+    in the coordinator in index order, so parallel rendering consumes
+    every RNG stream exactly as the serial path does.
     """
 
     def __init__(
@@ -148,6 +203,11 @@ class FleetRenderer:
             [camera.plane_depths(env.world.is_indoor) for env in envs]
         )  # (N, H, 1)
         self._col_angles = camera.column_angles()
+        self._executor = None
+
+    def attach_executor(self, executor) -> None:
+        """Route multi-group intersection kernels through a pool executor."""
+        self._executor = executor
 
     def render(self, indices: list[int]) -> list[np.ndarray]:
         """Render the current pose of each env in ``indices``.
@@ -178,37 +238,29 @@ class FleetRenderer:
         for k, i in enumerate(indices):
             by_group.setdefault(int(self._group_id[i]), []).append(k)
         horizontal = np.empty((len(indices), width))
-        for gid, ks in by_group.items():
-            group = self._groups[gid]
-            rows = np.array(
-                [self._group_row[indices[k]] for k in ks], dtype=np.intp
+        items = [
+            (
+                gid,
+                ks,
+                np.array([self._group_row[indices[k]] for k in ks], dtype=np.intp),
             )
-            max_range = group.max_range[rows]
-            best = np.broadcast_to(
-                max_range[:, None], (len(ks), width)
-            ).copy()
-            best = np.minimum(
-                best,
-                intersect_segments(
-                    origins[ks],
-                    dirs[ks],
-                    group.seg_a[rows],
-                    group.seg_d[rows],
-                    group.seg_mask[rows],
-                ),
-            )
-            if group.circ_c is not None:
-                best = np.minimum(
-                    best,
-                    intersect_circles(
-                        origins[ks],
-                        dirs[ks],
-                        group.circ_c[rows],
-                        group.circ_r[rows],
-                        group.circ_mask[rows],
-                    ),
+            for gid, ks in by_group.items()
+        ]
+        if self._executor is not None and len(items) > 1:
+            # Pool path: one task per group, same kernel on the same
+            # inputs — only the process it runs in changes.
+            tasks = [
+                (gid, origins[ks], dirs[ks], rows) for gid, ks, rows in items
+            ]
+            for (gid, ks, rows), result in zip(
+                items, self._executor.render(tasks)
+            ):
+                horizontal[ks] = result
+        else:
+            for gid, ks, rows in items:
+                horizontal[ks] = group_horizontal(
+                    self._groups[gid], origins[ks], dirs[ks], rows
                 )
-            horizontal[ks] = np.clip(best, 1e-9, max_range[:, None])
         max_range = self._max_range[idx]
         depth = self.camera.project(
             horizontal, self._planes[idx], max_range[:, None, None]
@@ -300,6 +352,13 @@ class VecNavigationEnv:
     auto_reset:
         Respawn crashed/truncated envs inside :meth:`step` so the
         returned batch is always ready for the next action.
+    workers:
+        Process-pool size for the renderer's per-group intersection
+        kernels (``"auto"`` = one per CPU, capped at the number of
+        world groups).  ``1`` (default) keeps rendering serial; any
+        setting is bitwise-identical — the pool runs the same kernel
+        on the same inputs, and every RNG draw stays in the
+        coordinator in env-index order.
     """
 
     def __init__(
@@ -307,6 +366,7 @@ class VecNavigationEnv:
         envs: list[NavigationEnv],
         max_episode_steps: int | None = None,
         auto_reset: bool = True,
+        workers: int | str = 1,
     ):
         if not envs:
             raise ValueError("need at least one environment")
@@ -320,6 +380,11 @@ class VecNavigationEnv:
         groups, group_id, group_row = _build_groups(envs)
         self.renderer = FleetRenderer(envs, groups, group_id, group_row)
         self.collider = FleetCollider(envs, groups)
+        self.workers = resolve_workers(workers, tasks=len(groups))
+        if self.workers > 1 and len(groups) > 1:
+            from repro.parallel.dispatch import GroupExecutor
+
+            self.renderer.attach_executor(GroupExecutor(groups, self.workers))
         self.episode_steps = np.zeros(self.num_envs, dtype=np.int64)
         self.episode_counts = np.zeros(self.num_envs, dtype=np.int64)
         self.total_steps = 0
@@ -349,6 +414,7 @@ class VecNavigationEnv:
         noise: bool = True,
         max_episode_steps: int | None = None,
         auto_reset: bool = True,
+        workers: int | str = 1,
     ) -> "VecNavigationEnv":
         """Build a fleet from environment names (cycled) and seeds."""
         if not names:
@@ -365,7 +431,8 @@ class VecNavigationEnv:
             )
             envs.append(NavigationEnv(world, camera=camera, seed=seed + 7))
         return cls(
-            envs, max_episode_steps=max_episode_steps, auto_reset=auto_reset
+            envs, max_episode_steps=max_episode_steps, auto_reset=auto_reset,
+            workers=workers,
         )
 
     @property

@@ -33,6 +33,7 @@ from contextlib import contextmanager
 
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.trace import NULL_SPAN, Tracer
+from repro.parallel.procstate import in_worker
 
 __all__ = ["Probe", "PROBE", "observed"]
 
@@ -55,7 +56,19 @@ class Probe:
 
         ``tracer``/``registry`` default to a fresh :class:`Tracer` and
         the process-global :data:`~repro.obs.metrics.REGISTRY`.
+
+        The probe seam is **process-local**: only the coordinator owns
+        a live tracer/registry, and ``repro.parallel`` pool workers run
+        with it permanently off (their spans would accumulate in a
+        process nobody drains).  Executors re-emit worker-measured
+        intervals through :meth:`record_span` instead.
         """
+        if in_worker():
+            raise RuntimeError(
+                "PROBE is process-local: pool workers must not activate "
+                "instrumentation — record spans in the coordinator via "
+                "Probe.record_span instead"
+            )
         self.tracer = tracer if tracer is not None else Tracer(enabled=True)
         self.tracer.enabled = True
         if registry is not None:
@@ -80,6 +93,31 @@ class Probe:
         """Attach cycles to the innermost open span, if tracing."""
         if self.enabled:
             self.tracer.add_cycles(cycles)
+
+    def record_span(
+        self,
+        name: str,
+        duration_ns: int,
+        cycles: int = 0,
+        worker: int | None = None,
+        **args,
+    ) -> None:
+        """Re-emit a span measured elsewhere (a pool worker, typically).
+
+        ``worker`` tags the span and routes it to a synthetic negative
+        thread lane so worker intervals overlap visibly in the Chrome
+        export while :meth:`~repro.obs.trace.Tracer.summary` still
+        aggregates them with the serial path's live spans by name.
+        """
+        if not self.enabled:
+            return
+        thread_id = None
+        if worker is not None:
+            thread_id = -(int(worker) + 1)
+            args.setdefault("worker", int(worker))
+        self.tracer.record(
+            name, duration_ns, cycles=cycles, thread_id=thread_id, **args
+        )
 
     # ------------------------------------------------------------------
     def count(

@@ -178,6 +178,42 @@ class Tracer:
 
         return decorator
 
+    def record(
+        self,
+        name: str,
+        duration_ns: int,
+        cycles: int = 0,
+        category: str = "",
+        thread_id: int | None = None,
+        **args,
+    ) -> None:
+        """Append an already-measured span ending now.
+
+        For work timed elsewhere — a pool worker measures its own wall
+        time and the coordinator re-emits the interval here so
+        :meth:`summary` aggregates it under the same name as the serial
+        path's live spans.  ``thread_id`` lets callers give off-process
+        work a synthetic lane (executors use ``-(worker+1)``) so Chrome
+        exports show worker overlap instead of stacking everything on
+        the coordinator thread.
+        """
+        if not self.enabled:
+            return
+        span = Span(self, name, category, args)
+        now = time.perf_counter_ns()
+        span.start_ns = now - max(int(duration_ns), 0)
+        span.end_ns = now
+        span.cycles = int(cycles)
+        span.thread_id = (
+            thread_id if thread_id is not None else threading.get_ident()
+        )
+        parent = self.current()
+        if parent is not None:
+            span.parent_name = parent.name
+            span.depth = parent.depth + 1
+        with self._lock:
+            self._spans.append(span)
+
     def current(self) -> Span | None:
         """The calling thread's innermost open span, if any."""
         stack = self._stack()

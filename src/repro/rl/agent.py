@@ -24,6 +24,7 @@ from repro.backend import (
     ExecutionBackend,
     NumpyBackend,
     StepCost,
+    StepCostAccumulator,
     WeightBus,
     merge_step_costs,
 )
@@ -184,9 +185,12 @@ class QLearningAgent:
             raise ValueError("backend must wrap the agent's own network")
         self.backend = backend or NumpyBackend(network)
         self.weight_bus = WeightBus(self.backend, sync_every=sync_every)
-        self._pending_costs: list[StepCost] = []
+        # Streaming ledgers: each record folds in once and the
+        # scheduler's per-phase cycle peeks read a running total in
+        # O(1), instead of re-merging an ever-growing record list.
+        self._pending_costs = StepCostAccumulator(self.backend.name)
         self.train_on_array = train_on_array
-        self._pending_train_costs: list[StepCost] = []
+        self._pending_train_costs = StepCostAccumulator(self.backend.name)
         # The closed-form training cost is a pure function of
         # (batch, state shape, boundary) — memoise it per geometry so
         # charging every update costs a dict lookup, not a layer walk.
@@ -245,13 +249,7 @@ class QLearningAgent:
             )
         if FAULTS.enabled:
             q_values, cost = self._guard_q_values(states, q_values, cost)
-        self._pending_costs.append(cost)
-        if len(self._pending_costs) >= 1024:
-            # Long undrained runs (plain train_agent loops) must not
-            # accumulate one record per step — compact in place.
-            self._pending_costs = [
-                merge_step_costs(self._pending_costs, backend=self.backend.name)
-            ]
+        self._pending_costs.add(cost)
         return q_values
 
     def _guard_q_values(
@@ -314,13 +312,14 @@ class QLearningAgent:
 
         A read-only peek (nothing is drained): the fleet scheduler's
         phase spans difference it around each phase to attribute the
-        modelled cycle budget to rollout vs evaluation.
+        modelled cycle budget to rollout vs evaluation.  O(1) — the
+        accumulator keeps a running total.
         """
-        return sum(cost.total_cycles for cost in self._pending_costs)
+        return self._pending_costs.total_cycles
 
     def pending_training_cycles(self) -> int:
         """Cycles in the training ledger since the last drain (peek)."""
-        return sum(cost.total_cycles for cost in self._pending_train_costs)
+        return self._pending_train_costs.total_cycles
 
     def drain_inference_cost(self) -> StepCost:
         """Accumulated backend :class:`StepCost` since the last drain.
@@ -328,9 +327,7 @@ class QLearningAgent:
         Clears the ledger; the fleet scheduler calls this once per round
         to thread per-round cycle budgets into its report.
         """
-        cost = merge_step_costs(self._pending_costs, backend=self.backend.name)
-        self._pending_costs.clear()
-        return cost
+        return self._pending_costs.drain()
 
     def drain_training_cost(self) -> StepCost:
         """Accumulated on-array training :class:`StepCost` since last drain.
@@ -339,11 +336,7 @@ class QLearningAgent:
         ``train_on_array=True`` and has trained; the fleet scheduler
         drains it per round alongside the inference ledger.
         """
-        cost = merge_step_costs(
-            self._pending_train_costs, backend=self.backend.name
-        )
-        self._pending_train_costs.clear()
-        return cost
+        return self._pending_train_costs.drain()
 
     def select_action(self, state: np.ndarray, greedy: bool = False) -> int:
         """Epsilon-greedy action selection (greedy leg via the backend)."""
@@ -488,13 +481,7 @@ class QLearningAgent:
                         )
                         self._train_cost_cache[key] = cost
                 sp.add_cycles(cost.total_cycles)
-                self._pending_train_costs.append(cost)
-                if len(self._pending_train_costs) >= 1024:
-                    self._pending_train_costs = [
-                        merge_step_costs(
-                            self._pending_train_costs, backend=self.backend.name
-                        )
-                    ]
+                self._pending_train_costs.add(cost)
         if PROBE.enabled:
             PROBE.count(
                 "repro_agent_train_updates_total",

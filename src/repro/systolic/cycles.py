@@ -51,6 +51,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.parallel.memo import memoised
 from repro.systolic.array import ArrayConfig, PAPER_ARRAY
 
 __all__ = [
@@ -106,6 +107,7 @@ class FCScheduleStats:
         return self.load_cycles + self.mac_cycles + self.drain_cycles
 
 
+@memoised("conv_rowstationary_stats")
 def conv_rowstationary_stats(
     channels: int,
     height: int,
@@ -122,6 +124,10 @@ def conv_rowstationary_stats(
     ``height``/``width`` are the *padded* input extents (pad before
     calling, exactly as the oracle does).  Equal, field for field, to
     the counters the PE-loop oracle accumulates for the same geometry.
+
+    Memoised on the full geometry signature (every argument is
+    hashable, the result is frozen): hot loops ask for the same layer
+    at the same batch size every update.
     """
     oh = (height - kh) // stride + 1
     ow = (width - kw) // stride + 1
@@ -147,6 +153,7 @@ def conv_rowstationary_stats(
     )
 
 
+@memoised("fc_tile_stats")
 def fc_tile_stats(
     in_features: int,
     out_features: int,
@@ -154,6 +161,9 @@ def fc_tile_stats(
     batch: int = 1,
 ) -> FCScheduleStats:
     """Closed-form counters for the Fig. 7/8 FC tile schedule.
+
+    Memoised on the geometry signature (the backward variants delegate
+    here, so they share the table).
 
     Both directions stream the same (in_features x out_features) tile
     grid, so forward and transposed-backward share these numbers.  Each

@@ -341,6 +341,35 @@ def training_step_stats(
     )
 
 
+def _network_cost_signature(network, first_trainable: int) -> tuple:
+    """Hashable geometry signature of everything the cost walk reads.
+
+    Per layer: the class kind plus exactly the attributes
+    :func:`network_training_step_cost` consumes (names included — they
+    appear in the returned per-layer records).  Two networks with equal
+    signatures get byte-identical cost records, so the signature is a
+    safe memo key where the ``Network`` object itself (mutable weights,
+    unhashable) is not.
+    """
+    from repro.nn.layers import Conv2D, Dense, MaxPool2D
+
+    rows: list[tuple] = [(network.name, int(first_trainable))]
+    for layer in network.layers:
+        if isinstance(layer, Conv2D):
+            rows.append(
+                ("conv", layer.name, layer.out_channels, layer.kernel_size,
+                 layer.stride, layer.pad)
+            )
+        elif isinstance(layer, MaxPool2D):
+            rows.append(("pool", layer.pool_size, layer.stride))
+        elif isinstance(layer, Dense):
+            rows.append(
+                ("fc", layer.name, layer.in_features, layer.out_features)
+            )
+        # Other layer kinds contribute no cost and no shape change.
+    return tuple(rows)
+
+
 def network_training_step_cost(
     network,
     state_shape: tuple[int, ...],
@@ -355,7 +384,41 @@ def network_training_step_cost(
     the built stack, exactly as :class:`~repro.rl.agent.QLearningAgent`
     holds it.  This is the per-update charge of
     ``ExecutionBackend.train_cost``.
+
+    Memoised on the network's geometry signature
+    (:func:`_network_cost_signature`) plus the call arguments — the
+    scheduler re-derives this cost every train step for an unchanging
+    stack, so steady-state calls are a dict lookup.
     """
+    from repro.parallel import memo as _memo
+
+    if _memo.memo_enabled():
+        key = (
+            _network_cost_signature(network, first_trainable),
+            tuple(int(v) for v in state_shape), int(batch), config,
+        )
+        table = _memo.cache("network_training_step_cost")
+        cost = table.get(key)
+        if cost is not _memo._MISS:
+            return cost
+        return table.put(
+            key,
+            _network_training_step_cost(
+                network, state_shape, batch, config, first_trainable
+            ),
+        )
+    return _network_training_step_cost(
+        network, state_shape, batch, config, first_trainable
+    )
+
+
+def _network_training_step_cost(
+    network,
+    state_shape: tuple[int, ...],
+    batch: int,
+    config: ArrayConfig,
+    first_trainable: int,
+) -> TrainingStepCost:
     from repro.nn.layers import Conv2D, Dense, MaxPool2D
 
     if batch <= 0:
