@@ -106,8 +106,9 @@ def test_obs_overhead(benchmark, results_dir):
     overhead = probed_s / plain_s - 1.0
 
     # Sample artifacts: the probed run's trace + metrics, as a CI-visible
-    # exemplar of both export formats.
-    tracer.export_chrome(str(results_dir / "trace.json"))
+    # exemplar of both export formats.  Deterministic export (rank
+    # timestamps, no wall_ms, sorted keys) keeps re-run diffs minimal.
+    tracer.export_chrome(str(results_dir / "trace.json"), deterministic=True)
     registry.export_prometheus(str(results_dir / "metrics.prom"))
     span_count = len(tracer.spans)
     write_artifacts(

@@ -99,6 +99,21 @@ class StepCost:
         return 0
 
     @property
+    def merge_hops(self) -> int:
+        """Element-hops of inter-array traffic (none on one array)."""
+        return 0
+
+    @property
+    def fill_drain_cycles(self) -> int:
+        """Pipeline fill/drain bubble cycles (none on one array)."""
+        return 0
+
+    @property
+    def noc(self) -> str:
+        """Inter-array NoC topology the merge was costed on."""
+        return "flat"
+
+    @property
     def critical_shard_index(self) -> int:
         """Index of the array on the critical path (0: only one array)."""
         return 0
@@ -123,7 +138,15 @@ class ShardCost(StepCost):
       loop even when each one is internally parallel;
     * ``merge_cycles`` — the inter-array traffic charged for gathering
       shard outputs (and, under layer sharding, re-broadcasting the
-      merged activation), one element per link cycle;
+      merged activation), costed on the backend's
+      :class:`~repro.systolic.noc.NocModel` (the default ``flat``
+      topology is exactly the legacy one-element-per-link-cycle model);
+    * ``merge_hops`` — element-hops of that traffic (== the element
+      count under ``flat``'s single hop; larger on ring/mesh hauls);
+    * ``fill_drain_cycles`` — schedule bubbles: cycles the critical
+      path spent waiting on pipeline fill/drain (``shard="pipeline"``
+      only; zero for the barrier policies);
+    * ``noc`` — the topology name the merge was costed on;
     * ``critical_shard_index`` — which array burned the most cycles,
       i.e. the one the wall clock waited on.  The fleet report and the
       obs layer use it to label the slow span; ties break toward the
@@ -135,6 +158,9 @@ class ShardCost(StepCost):
     critical_path_cycles: int = 0
     merge_cycles: int = 0
     critical_shard_index: int = 0
+    merge_hops: int = 0
+    fill_drain_cycles: int = 0
+    noc: str = "flat"
 
     @property
     def parallel_speedup(self) -> float:
@@ -173,7 +199,7 @@ class StepCostAccumulator:
     __slots__ = (
         "_backend", "_states", "_macs", "_layer_cycles", "_total",
         "_count", "_sharded", "_shards", "_critical", "_merge",
-        "_shard_cycles",
+        "_shard_cycles", "_merge_hops", "_fill_drain", "_noc",
     )
 
     def __init__(self, backend: str = ""):
@@ -192,6 +218,9 @@ class StepCostAccumulator:
         self._critical = 0
         self._merge = 0
         self._shard_cycles: list[int] = []
+        self._merge_hops = 0
+        self._fill_drain = 0
+        self._noc = "flat"
 
     def add(self, cost: StepCost) -> None:
         """Fold one record into the running totals."""
@@ -212,6 +241,10 @@ class StepCostAccumulator:
         self._shards = max(self._shards, cost.shards)
         self._critical += cost.critical_path_cycles
         self._merge += cost.merge_cycles
+        self._merge_hops += cost.merge_hops
+        self._fill_drain += cost.fill_drain_cycles
+        if cost.noc != "flat":
+            self._noc = cost.noc
         shard_cycles = self._shard_cycles
         if len(per_array) > len(shard_cycles):
             shard_cycles.extend([0] * (len(per_array) - len(shard_cycles)))
@@ -246,6 +279,9 @@ class StepCostAccumulator:
                 critical_path_cycles=self._critical,
                 merge_cycles=self._merge,
                 critical_shard_index=critical_index,
+                merge_hops=self._merge_hops,
+                fill_drain_cycles=self._fill_drain,
+                noc=self._noc,
             )
         return StepCost(
             backend=self._backend, states=self._states, macs=self._macs,

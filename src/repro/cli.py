@@ -89,7 +89,7 @@ from repro.perf import (
     savings_vs_e2e,
 )
 from repro.rl import config_by_name, run_transfer_experiment
-from repro.systolic import map_conv_layer
+from repro.systolic import NOC_TOPOLOGIES, map_conv_layer
 
 __all__ = ["main", "build_parser"]
 
@@ -336,6 +336,7 @@ def _cmd_fleet(args) -> None:
             "shards": args.shards,
             "shard": args.shard_policy,
             "workers": args.workers,
+            "noc": args.noc,
         }
         if args.backend == "sharded"
         else {}
@@ -518,6 +519,21 @@ def _print_fleet_projection(args, agent, scheduler, report, projection, np):
             f"{sum(1 for r in report.rounds if r.shards > 1 and r.critical_shard_index == report.critical_shard_index)}"
             f"/{sum(1 for r in report.rounds if r.shards > 1)} rounds"
         )
+        if report.total_merge_cycles > 0:
+            line = (
+                f"interconnect ({args.noc} NoC): "
+                f"{report.merge_cycles_per_env_step / 1e3:.2f} "
+                f"kcycles/env-step on inter-array links "
+                f"({projection.interconnect_fraction:.1%} of the "
+                f"critical path)"
+            )
+            if report.total_fill_drain_cycles > 0:
+                line += (
+                    f"; pipeline fill/drain "
+                    f"{report.fill_drain_cycles_per_env_step / 1e3:.2f} "
+                    f"kcycles/env-step"
+                )
+            print(line)
         if report.total_training_cycles > 0:
             print(
                 f"concurrent rollout+train on {report.shards} arrays: "
@@ -910,9 +926,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of systolic arrays composed by --backend sharded",
     )
     p_fleet.add_argument(
-        "--shard-policy", default="sample", choices=["sample", "layer"],
+        "--shard-policy", default="sample",
+        choices=["sample", "layer", "pipeline"],
         help="sharded backend policy: split the observation batch "
-             "(sample) or each layer's filters/neurons (layer)",
+             "(sample), each layer's filters/neurons (layer), or "
+             "stage the layers across arrays and stream the batch "
+             "through in micro-batches (pipeline)",
+    )
+    p_fleet.add_argument(
+        "--noc", default="flat", choices=list(NOC_TOPOLOGIES),
+        help="inter-array interconnect model for --backend sharded: "
+             "the legacy 1-cycle-per-element single-hop model (flat, "
+             "default — reproduces all pinned sharding numbers), a "
+             "bidirectional ring, or a 2D mesh, both over 128-bit "
+             "links at the quantised word width",
     )
     p_fleet.add_argument(
         "--workers", default="1", type=_workers_spec, metavar="N|auto",

@@ -104,6 +104,12 @@ class RoundStats:
     training_array_seconds: float = 0.0
     #: Wall-clock cycles of the (possibly sharded) training schedule.
     training_critical_path_cycles: int = 0
+    #: Inter-array NoC cycles (gathers, broadcasts, stage hand-offs,
+    #: gradient reductions) this round, inference + training.
+    merge_cycles: int = 0
+    #: Pipeline fill/drain bubble cycles this round (pipeline policy
+    #: only; zero elsewhere).
+    fill_drain_cycles: int = 0
     # --- fault-injection ledger (all zero unless a chaos run) ---------
     #: Faults injected / detected / recovered during this round.
     faults_injected: int = 0
@@ -269,6 +275,34 @@ class FleetReport:
         """Average wall-clock array cycles per env step."""
         return (
             self.total_critical_path_cycles / self.total_env_steps
+            if self.total_env_steps
+            else 0.0
+        )
+
+    @property
+    def total_merge_cycles(self) -> int:
+        """Inter-array NoC cycles across all rounds."""
+        return sum(r.merge_cycles for r in self.rounds)
+
+    @property
+    def total_fill_drain_cycles(self) -> int:
+        """Pipeline fill/drain bubble cycles across all rounds."""
+        return sum(r.fill_drain_cycles for r in self.rounds)
+
+    @property
+    def merge_cycles_per_env_step(self) -> float:
+        """Average NoC cycles per env step served."""
+        return (
+            self.total_merge_cycles / self.total_env_steps
+            if self.total_env_steps
+            else 0.0
+        )
+
+    @property
+    def fill_drain_cycles_per_env_step(self) -> float:
+        """Average pipeline bubble cycles per env step served."""
+        return (
+            self.total_fill_drain_cycles / self.total_env_steps
             if self.total_env_steps
             else 0.0
         )
@@ -699,6 +733,10 @@ class FleetScheduler:
                         self._array_config
                     ),
                     training_critical_path_cycles=train_cost.critical_path_cycles,
+                    merge_cycles=cost.merge_cycles + train_cost.merge_cycles,
+                    fill_drain_cycles=(
+                        cost.fill_drain_cycles + train_cost.fill_drain_cycles
+                    ),
                     faults_injected=fault["injected"] if fault else 0,
                     faults_detected=fault["detected"] if fault else 0,
                     faults_recovered=fault["recovered"] if fault else 0,
@@ -805,4 +843,6 @@ class FleetScheduler:
             ),
             availability=report.availability,
             degraded_fraction=report.degraded_fraction,
+            interconnect_cycles_per_step=report.merge_cycles_per_env_step,
+            fill_drain_cycles_per_step=report.fill_drain_cycles_per_env_step,
         )

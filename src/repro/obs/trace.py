@@ -285,29 +285,54 @@ class Tracer:
         return out
 
     # ------------------------------------------------------------------
-    def to_chrome(self) -> dict:
+    def to_chrome(self, deterministic: bool = False) -> dict:
         """The trace as a Chrome trace-event JSON object.
 
         Complete events (``ph="X"``) with microsecond timestamps
         relative to tracer construction; thread idents map to small
-        integers in order of first appearance so the export is
-        deterministic across runs.  Load the written file in
-        ``chrome://tracing`` or https://ui.perfetto.dev.
+        integers in order of first appearance so lanes are stable
+        across runs.  Load the written file in ``chrome://tracing`` or
+        https://ui.perfetto.dev.
+
+        With ``deterministic=True`` the wall-clock measurements leave
+        the export entirely: timestamps become *virtual* integer
+        ``ts``/``dur`` derived from the recorded structure alone
+        (completion order + nesting depth, never the clock — so timing
+        jitter that reorders real span boundaries between otherwise
+        identical runs cannot perturb the bytes) and the ``wall_ms``
+        arg is dropped.  Re-running the same single-threaded workload
+        rewrites the file with an empty diff — the committed
+        sample-trace artifact stays reviewable.
         """
+        if deterministic:
+            times = self._deterministic_times()
+            spans = sorted(self.spans, key=lambda s: times[id(s)][0])
+        else:
+            spans = sorted(
+                self.spans,
+                key=lambda s: (s.start_ns, s.end_ns, s.depth, s.name),
+            )
         events = []
         tids: dict[int, int] = {}
-        for span in sorted(self.spans, key=lambda s: s.start_ns):
+        for span in spans:
             tid = tids.setdefault(span.thread_id, len(tids))
             args = dict(span.args)
             args["cycles"] = span.cycles
-            args["wall_ms"] = round(span.duration_ms, 6)
+            if deterministic:
+                ts: float | int
+                dur: float | int
+                ts, dur = times[id(span)]
+            else:
+                args["wall_ms"] = round(span.duration_ms, 6)
+                ts = (span.start_ns - self._origin_ns) / 1e3
+                dur = span.duration_ns / 1e3
             events.append(
                 {
                     "name": span.name,
                     "cat": span.category or "repro",
                     "ph": "X",
-                    "ts": (span.start_ns - self._origin_ns) / 1e3,
-                    "dur": span.duration_ns / 1e3,
+                    "ts": ts,
+                    "dur": dur,
                     "pid": 1,
                     "tid": tid,
                     "args": args,
@@ -315,8 +340,59 @@ class Tracer:
             )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
-    def export_chrome(self, path: str) -> str:
-        """Write the Chrome trace-event JSON to ``path``; returns it."""
+    def _deterministic_times(self) -> dict[int, tuple[int, int]]:
+        """Virtual ``(ts, dur)`` per span id — no wall clock involved.
+
+        The finished-span list is a per-thread postorder walk (children
+        complete before parents; :meth:`record` appends at call time),
+        so completion order + depth reconstructs each thread's span
+        forest exactly.  A DFS over that forest then hands out integer
+        enter/exit ticks from one global counter: siblings keep their
+        execution (completion) order, nesting is preserved, and none of
+        it depends on measured durations — identical serial workloads
+        map to identical times even when real timing jitter would have
+        reordered back-dated :meth:`record` span boundaries.
+        """
+        by_thread: dict[int, list[Span]] = {}
+        for span in self.spans:
+            by_thread.setdefault(span.thread_id, []).append(span)
+        times: dict[int, tuple[int, int]] = {}
+        counter = 0
+
+        def assign(span: Span, children: list) -> None:
+            nonlocal counter
+            start = counter
+            counter += 1
+            for child, grandchildren in children:
+                assign(child, grandchildren)
+            counter += 1
+            times[id(span)] = (start, counter - start)
+
+        for thread_spans in by_thread.values():
+            # Postorder rebuild: when a span at depth d completes, the
+            # pending spans one level deeper are exactly its children,
+            # already in execution order.
+            pending: dict[int, list] = {}
+            for span in thread_spans:
+                children = pending.pop(span.depth + 1, [])
+                pending.setdefault(span.depth, []).append((span, children))
+            for depth in sorted(pending):
+                for span, children in pending[depth]:
+                    assign(span, children)
+        return times
+
+    def export_chrome(self, path: str, deterministic: bool = False) -> str:
+        """Write the Chrome trace-event JSON to ``path``; returns it.
+
+        ``deterministic=True`` additionally sorts the JSON keys — with
+        the rank timestamps of :meth:`to_chrome` the written bytes are
+        then a pure function of the recorded workload.
+        """
         with open(path, "w") as fh:
-            json.dump(self.to_chrome(), fh, indent=1)
+            json.dump(
+                self.to_chrome(deterministic=deterministic),
+                fh,
+                indent=1,
+                sort_keys=deterministic,
+            )
         return path

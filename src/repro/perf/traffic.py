@@ -256,6 +256,20 @@ class FleetLoadProjection:
     #: Fraction of served states that fell back to the degraded float
     #: path (0.0 unless a chaos run lost every array).
     degraded_fraction: float = 0.0
+    #: Measured inter-array NoC cycles per env step (gathers,
+    #: broadcasts, pipeline hand-offs, gradient reductions; 0 when the
+    #: backend runs on one array).
+    interconnect_cycles_per_step: float = 0.0
+    #: Measured pipeline fill/drain bubble cycles per env step (0
+    #: unless the backend runs the pipeline shard policy).
+    fill_drain_cycles_per_step: float = 0.0
+
+    @property
+    def interconnect_fraction(self) -> float:
+        """NoC share of the sharded wall-clock budget per env step."""
+        if self.critical_path_cycles_per_step <= 0.0:
+            return 0.0
+        return self.interconnect_cycles_per_step / self.critical_path_cycles_per_step
 
     @property
     def utilization(self) -> float:
@@ -414,6 +428,8 @@ def project_fleet_load(
     training_critical_path_cycles_per_update: float = 0.0,
     availability: float = 1.0,
     degraded_fraction: float = 0.0,
+    interconnect_cycles_per_step: float = 0.0,
+    fill_drain_cycles_per_step: float = 0.0,
 ) -> FleetLoadProjection:
     """Map a measured fleet workload onto the accelerator's cost model.
 
@@ -452,6 +468,8 @@ def project_fleet_load(
         raise ValueError("availability must be a fraction in [0, 1]")
     if not 0.0 <= degraded_fraction <= 1.0:
         raise ValueError("degraded_fraction must be a fraction in [0, 1]")
+    if interconnect_cycles_per_step < 0 or fill_drain_cycles_per_step < 0:
+        raise ValueError("interconnect cycle budgets cannot be negative")
     from repro.perf.training import TrainingIterationModel
 
     cost = TrainingIterationModel(simulator.cost_model).iteration_cost(batch_size)
@@ -485,4 +503,6 @@ def project_fleet_load(
         ),
         availability=availability,
         degraded_fraction=degraded_fraction,
+        interconnect_cycles_per_step=interconnect_cycles_per_step,
+        fill_drain_cycles_per_step=fill_drain_cycles_per_step,
     )

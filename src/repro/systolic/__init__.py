@@ -59,7 +59,12 @@ from repro.systolic.fc_functional import (
 )
 from repro.systolic.gemm_backward import GemmBackwardResult, conv_backward_gemm
 from repro.systolic.schedule import ArrayPass, ConvSchedule, build_conv_schedule
-from repro.systolic.noc import CommunicationCost, analyze_conv_communication
+from repro.systolic.noc import (
+    NOC_TOPOLOGIES,
+    CommunicationCost,
+    NocModel,
+    analyze_conv_communication,
+)
 from repro.systolic.bench import (
     ConvBenchResult,
     NetworkForwardResult,
@@ -107,6 +112,8 @@ __all__ = [
     "ConvSchedule",
     "build_conv_schedule",
     "CommunicationCost",
+    "NocModel",
+    "NOC_TOPOLOGIES",
     "analyze_conv_communication",
     "ConvBenchResult",
     "NetworkForwardResult",

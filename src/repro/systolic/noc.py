@@ -1,4 +1,21 @@
-"""Inter-PE interconnect (NoC) data-movement accounting.
+"""Interconnect (NoC) data-movement accounting, intra- and inter-array.
+
+Two levels of network live here:
+
+* **intra-array** (:class:`CommunicationCost` /
+  :func:`analyze_conv_communication`) — the word-hop counts of one conv
+  layer's execution over the PE mesh, bounding the interconnect's share
+  of layer energy;
+* **inter-array** (:class:`NocModel`) — the cycle cost of moving
+  activations, Q gathers and gradients between the K arrays a
+  :class:`~repro.backend.sharded.ShardedBackend` composes.  The model
+  is parameterised on the link bit-width (128-bit links, Fig. 4b), the
+  quantised word width, and a topology: ``flat`` (the legacy
+  1-cycle-per-element single-hop model — the degenerate case every
+  pinned sharding number was measured under), ``ring`` (K arrays on a
+  bidirectional ring, shortest-way hop counts) or ``mesh`` (K arrays on
+  a near-square 2D grid, Manhattan hop counts).  Transfers are
+  store-and-forward: ``ceil(elements / words_per_cycle) * hops``.
 
 Each PE has 128-bit links to its four neighbours plus a diagonal link
 (Fig. 4b).  The row-stationary mappings move partial sums and outputs
@@ -29,10 +46,120 @@ from repro.nn.specs import ConvSpec
 from repro.systolic.array import ArrayConfig, PAPER_ARRAY
 from repro.systolic.conv_mapping import ConvMapping, MappingType, map_conv_layer
 
-__all__ = ["CommunicationCost", "analyze_conv_communication"]
+__all__ = [
+    "CommunicationCost",
+    "analyze_conv_communication",
+    "NocModel",
+    "NOC_TOPOLOGIES",
+    "DEFAULT_LINK_BITS",
+]
 
 #: Energy to move one 16-bit word one PE hop (short 15 nm link + FIFO).
 DEFAULT_HOP_ENERGY_J = 0.1e-12
+
+#: Supported inter-array topologies.
+NOC_TOPOLOGIES = ("flat", "ring", "mesh")
+
+#: Inter-array link width — the same 128-bit links the PEs use (Fig. 4b).
+DEFAULT_LINK_BITS = 128
+
+
+@dataclass(frozen=True)
+class NocModel:
+    """Cycle model of the inter-array interconnect.
+
+    ``flat`` reproduces the legacy merge accounting *exactly*: every
+    link is one hop wide and moves one word per cycle, so
+    ``transfer_cycles(n, src, dst) == n`` whenever ``src != dst`` —
+    the 1-cycle-per-element model all pinned sharding numbers were
+    measured under.  ``ring`` and ``mesh`` pay real hop counts but move
+    ``link_bits // word_bits`` words per beat, so short hauls on wide
+    links can beat the flat model while long hauls cost more.
+
+    Parameters
+    ----------
+    topology:
+        One of :data:`NOC_TOPOLOGIES`.
+    nodes:
+        Number of arrays on the network (node ids are array indices).
+    link_bits:
+        Physical link width in bits (128, Fig. 4b).
+    word_bits:
+        Width of one transferred element — the quantised activation /
+        gradient word (16 for Q8.8).
+    """
+
+    topology: str = "flat"
+    nodes: int = 1
+    link_bits: int = DEFAULT_LINK_BITS
+    word_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.topology not in NOC_TOPOLOGIES:
+            raise ValueError(
+                f"unknown NoC topology {self.topology!r}; "
+                f"expected one of {NOC_TOPOLOGIES}"
+            )
+        if self.nodes <= 0:
+            raise ValueError("nodes must be positive")
+        if self.link_bits <= 0 or self.word_bits <= 0:
+            raise ValueError("link_bits and word_bits must be positive")
+        if self.topology != "flat" and self.link_bits < self.word_bits:
+            raise ValueError(
+                "link narrower than one word: a beat cannot carry a "
+                f"{self.word_bits}-bit element over {self.link_bits}-bit links"
+            )
+
+    @property
+    def words_per_cycle(self) -> int:
+        """Elements one link moves per cycle (1 on the flat model)."""
+        if self.topology == "flat":
+            return 1
+        return self.link_bits // self.word_bits
+
+    @property
+    def _mesh_cols(self) -> int:
+        rows = max(1, int(self.nodes ** 0.5))
+        return -(-self.nodes // rows)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Link hops between two arrays (0 when ``src == dst``)."""
+        for node in (src, dst):
+            if not 0 <= node < self.nodes:
+                raise ValueError(
+                    f"node {node} outside the {self.nodes}-array network"
+                )
+        if src == dst:
+            return 0
+        if self.topology == "ring":
+            around = abs(src - dst)
+            return min(around, self.nodes - around)
+        if self.topology == "mesh":
+            cols = self._mesh_cols
+            return abs(src // cols - dst // cols) + abs(src % cols - dst % cols)
+        return 1  # flat: every array one hop from every other
+
+    def transfer_cycles(self, elements: int, src: int, dst: int) -> int:
+        """Cycles to move ``elements`` words from array src to dst.
+
+        Store-and-forward: each of the ``hops`` links serialises the
+        whole payload at ``words_per_cycle``.  Zero for empty payloads
+        and for same-array "transfers" (nothing crosses a link).
+        """
+        if elements < 0:
+            raise ValueError("elements must be non-negative")
+        if elements == 0:
+            return 0
+        hops = self.hops(src, dst)
+        if hops == 0:
+            return 0
+        return -(-elements // self.words_per_cycle) * hops
+
+    def element_hops(self, elements: int, src: int, dst: int) -> int:
+        """Total element-hops of the transfer (the traffic volume)."""
+        if elements < 0:
+            raise ValueError("elements must be non-negative")
+        return elements * self.hops(src, dst)
 
 
 @dataclass(frozen=True)

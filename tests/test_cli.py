@@ -114,6 +114,31 @@ class TestCommands:
         assert "fleet.round" in payload["phases"]
         assert payload["metrics"]["counters"]["repro_fleet_env_steps_total"] > 0
 
+    def test_fleet_pipeline_policy_noc_smoke(self, capsys):
+        assert main([
+            "fleet", "--num-envs", "4", "--rounds", "1", "--steps", "20",
+            "--eval-steps", "0", "--seed", "1",
+            "--envs", "indoor-apartment", "outdoor-forest",
+            "--backend", "sharded", "--shards", "2",
+            "--shard-policy", "pipeline", "--noc", "ring",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "interconnect (ring NoC):" in out
+        assert "pipeline fill/drain" in out
+
+    def test_fleet_noc_and_policy_flags_validated(self):
+        parser = build_parser()
+        args = parser.parse_args(["fleet", "--noc", "mesh"])
+        assert args.noc == "mesh"
+        assert parser.parse_args(["fleet"]).noc == "flat"
+        assert parser.parse_args(
+            ["fleet", "--shard-policy", "pipeline"]
+        ).shard_policy == "pipeline"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fleet", "--noc", "torus"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fleet", "--shard-policy", "column"])
+
     def test_fleet_plain_run_has_no_observability_output(self, capsys):
         assert main([
             "fleet", "--num-envs", "2", "--rounds", "1", "--steps", "10",

@@ -301,6 +301,67 @@ class TestChromeExport:
         assert events[1]["args"]["cycles"] == 123
         assert events[0]["args"]["round"] == 0
 
+    def test_deterministic_export_is_a_pure_function_of_the_workload(
+        self, tmp_path
+    ):
+        """Two separate runs of the same span structure write identical
+        bytes: rank timestamps, no wall_ms, sorted keys."""
+
+        def run(path):
+            tracer = Tracer()
+            with tracer.span("fleet.round", round=0):
+                with tracer.span("phase:rollout") as sp:
+                    sp.add_cycles(123)
+                with tracer.span("phase:train") as sp:
+                    sp.add_cycles(77)
+            tracer.export_chrome(str(path), deterministic=True)
+            return path.read_bytes()
+
+        first = run(tmp_path / "a.json")
+        second = run(tmp_path / "b.json")
+        assert first == second
+        trace = json.loads(first)
+        for event in trace["traceEvents"]:
+            assert isinstance(event["ts"], int)
+            assert isinstance(event["dur"], int)
+            assert "wall_ms" not in event["args"]
+        # Rank timestamps keep the nesting topology: the parent starts
+        # first and outlasts both children.
+        parent = trace["traceEvents"][0]
+        children = trace["traceEvents"][1:]
+        assert parent["name"] == "fleet.round"
+        for child in children:
+            assert parent["ts"] <= child["ts"]
+            assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+
+    def test_deterministic_export_immune_to_record_jitter(self, tmp_path):
+        """Back-dated ``record()`` spans carry measured wall times whose
+        jitter can reorder raw span boundaries between runs; the
+        deterministic export must order them by call, not the clock."""
+
+        def run(path, durations):
+            tracer = Tracer()
+            with tracer.span("fleet.round"):
+                for shard, duration_ns in enumerate(durations):
+                    tracer.record(
+                        "shard.forward", duration_ns, cycles=100, shard=shard
+                    )
+            tracer.export_chrome(str(path), deterministic=True)
+            return path.read_bytes()
+
+        # Same call sequence, wildly different measured durations: the
+        # second run's first record outlasts the gap to the next one,
+        # which under raw-timestamp ranking would swap their order.
+        first = run(tmp_path / "a.json", [10, 2_000_000, 30])
+        second = run(tmp_path / "b.json", [5_000_000, 20, 1_000_000])
+        assert first == second
+        shards = [
+            e["args"]["shard"]
+            for e in json.loads(first)["traceEvents"]
+            if e["name"] == "shard.forward"
+        ]
+        assert shards == [0, 1, 2]  # call order, not duration order
+
 
 def _run_fleet(seed: int = 0):
     """One tiny sharded fleet run; returns (agent, report)."""

@@ -84,7 +84,16 @@ class TestRegistryAndValidation:
         with pytest.raises(ValueError, match="shards"):
             ShardedBackend(make_net(), shards=0)
         with pytest.raises(ValueError, match="shard policy"):
-            ShardedBackend(make_net(), shards=2, shard="pipeline")
+            ShardedBackend(make_net(), shards=2, shard="column")
+        with pytest.raises(ValueError, match="topology"):
+            ShardedBackend(make_net(), shards=2, noc="torus")
+        with pytest.raises(ValueError, match="pipeline_chunk"):
+            ShardedBackend(make_net(), shards=2, shard="pipeline", pipeline_chunk=0)
+
+    def test_pipeline_policy_accepted(self):
+        backend = ShardedBackend(make_net(), shards=2, shard="pipeline")
+        assert backend.shard == "pipeline"
+        assert backend.noc == "flat"
 
     def test_state_batch_shape_validated(self):
         with pytest.raises(ValueError, match="state batch"):
@@ -92,7 +101,7 @@ class TestRegistryAndValidation:
 
 
 class TestBitwiseEquivalence:
-    @pytest.mark.parametrize("policy", ["sample", "layer"])
+    @pytest.mark.parametrize("policy", ["sample", "layer", "pipeline"])
     @pytest.mark.parametrize("shards", [1, 2, 4])
     @pytest.mark.parametrize("batch", [1, 5, 8])
     def test_matches_single_array(self, policy, shards, batch):
@@ -159,7 +168,7 @@ class TestBitwiseEquivalence:
 
     def test_sync_broadcasts_updates_to_all_arrays(self, rng):
         states = rng.uniform(0, 1, size=(4, 1, SIDE, SIDE))
-        for policy in ("sample", "layer"):
+        for policy in ("sample", "layer", "pipeline"):
             net = make_net()
             backend = ShardedBackend(net, shards=3, shard=policy)
             stale_q = backend.forward_batch(states)[0]
@@ -230,7 +239,7 @@ class TestShardCost:
     def test_critical_shard_index_is_argmax_of_shard_cycles(self, rng):
         net = make_net()
         states = rng.uniform(0, 1, size=(8, 1, SIDE, SIDE))
-        for policy in ("sample", "layer"):
+        for policy in ("sample", "layer", "pipeline"):
             _, cost = ShardedBackend(
                 net, shards=4, shard=policy
             ).forward_batch(states)
@@ -363,6 +372,314 @@ class TestWeightBus:
     def test_agent_default_is_synchronous(self):
         agent = QLearningAgent(make_net(), config=config_by_name("L4"), seed=0)
         assert agent.weight_bus.sync_every == 1
+
+
+class TestNocModel:
+    def test_flat_reduces_to_one_cycle_per_element(self):
+        from repro.systolic.noc import NocModel
+
+        noc = NocModel(topology="flat", nodes=8)
+        for src, dst in ((0, 1), (0, 7), (3, 5)):
+            assert noc.hops(src, dst) == 1
+            # The degenerate model: n elements, n cycles, regardless of
+            # distance — exactly the legacy merge charge.
+            assert noc.transfer_cycles(123, src, dst) == 123
+        assert noc.transfer_cycles(9, 2, 2) == 0
+        assert noc.transfer_cycles(0, 0, 1) == 0
+        assert noc.words_per_cycle == 1
+
+    def test_ring_takes_the_short_way_around(self):
+        from repro.systolic.noc import NocModel
+
+        noc = NocModel(topology="ring", nodes=8, link_bits=128, word_bits=16)
+        assert noc.hops(0, 1) == 1
+        assert noc.hops(0, 4) == 4
+        assert noc.hops(0, 5) == 3  # backwards: 0 -> 7 -> 6 -> 5
+        assert noc.words_per_cycle == 8
+        # 17 elements = 3 beats, times 3 hops, store-and-forward.
+        assert noc.transfer_cycles(17, 0, 5) == 9
+        assert noc.element_hops(17, 0, 5) == 51
+
+    def test_mesh_pays_manhattan_distance(self):
+        from repro.systolic.noc import NocModel
+
+        noc = NocModel(topology="mesh", nodes=8)  # 2 rows x 4 cols
+        assert noc.hops(0, 3) == 3
+        assert noc.hops(0, 7) == 4  # (0,0) -> (1,3)
+        assert noc.transfer_cycles(17, 0, 7) == 12  # ceil(17/8) * 4
+
+    def test_validation(self):
+        from repro.systolic.noc import NocModel
+
+        with pytest.raises(ValueError, match="topology"):
+            NocModel(topology="torus", nodes=4)
+        with pytest.raises(ValueError, match="nodes"):
+            NocModel(topology="ring", nodes=0)
+        with pytest.raises(ValueError, match="narrower"):
+            NocModel(topology="ring", nodes=4, link_bits=8, word_bits=16)
+        with pytest.raises(ValueError, match="outside"):
+            NocModel(topology="ring", nodes=4).hops(0, 4)
+
+    def test_flat_merge_equals_hops_on_every_policy(self, rng):
+        """Flat: 1 hop, 1 word/cycle, so merge cycles == element-hops —
+        the exact-reduction invariant the pinned numbers rely on."""
+        net = make_net()
+        states = rng.uniform(0, 1, size=(8, 1, SIDE, SIDE))
+        for policy in ("sample", "layer", "pipeline"):
+            backend = ShardedBackend(net, shards=4, shard=policy, noc="flat")
+            _, cost = backend.forward_batch(states)
+            assert cost.merge_cycles == cost.merge_hops, policy
+            assert cost.noc == "flat"
+
+    def test_topology_changes_cost_but_not_bits(self, rng):
+        net = make_net()
+        states = rng.uniform(0, 1, size=(8, 1, SIDE, SIDE))
+        ref_q, flat = ShardedBackend(
+            net, shards=4, shard="layer", noc="flat"
+        ).forward_batch(states)
+        for topo in ("ring", "mesh"):
+            q, cost = ShardedBackend(
+                net, shards=4, shard="layer", noc=topo
+            ).forward_batch(states)
+            assert np.array_equal(q, ref_q), topo
+            assert cost.noc == topo
+            assert cost.merge_cycles != flat.merge_cycles
+            # Wide links: a beat moves 8 words, so hop-priced cycles
+            # sit below the element-hop traffic volume.
+            assert cost.merge_cycles < cost.merge_hops
+
+
+class TestPipelineSchedule:
+    def test_uniform_width1_matches_hand_count(self):
+        """4 chunks through 3 width-1 stages at 10 cycles each:
+        makespan (4 + 3 - 1) * 10, fill/drain (3 - 1) * 10."""
+        from repro.backend.sharded import _pipeline_schedule
+
+        times = [[10] * 4 for _ in range(3)]
+        critical, busy, assign = _pipeline_schedule(times, [1, 1, 1])
+        assert critical == (4 + 3 - 1) * 10
+        assert busy == [[40], [40], [40]]
+        assert critical - max(max(b) for b in busy) == (3 - 1) * 10
+        assert all(stage == [0, 0, 0, 0] for stage in assign)
+
+    def test_replicated_stage_takes_chunks_round_robin(self):
+        from repro.backend.sharded import _pipeline_schedule
+
+        critical, busy, assign = _pipeline_schedule([[10] * 4], [2])
+        # Two arrays drain four chunks in two waves.
+        assert critical == 20
+        assert busy == [[20, 20]]
+        assert assign == [[0, 1, 0, 1]]
+
+    def test_backend_fill_drain_matches_schedule_decomposition(self, rng):
+        """critical == bottleneck busy + fill/drain + merge, and the
+        fill/drain bubble is non-negative by construction."""
+        net = make_net()
+        states = rng.uniform(0, 1, size=(16, 1, SIDE, SIDE))
+        for shards in (2, 4):
+            _, cost = ShardedBackend(
+                net, shards=shards, shard="pipeline"
+            ).forward_batch(states)
+            assert cost.fill_drain_cycles >= 0
+            assert cost.critical_path_cycles == (
+                max(cost.shard_cycles) + cost.fill_drain_cycles + cost.merge_cycles
+            )
+
+    def test_explicit_chunk_hand_count(self, rng):
+        """pipeline_chunk=4 on a 16-row batch: 4 equal chunks, so each
+        stage's per-chunk time is busy/4 and the measured fill/drain
+        must reproduce from the schedule recurrence by hand."""
+        from repro.backend.sharded import _pipeline_schedule
+
+        net = make_net()
+        states = rng.uniform(0, 1, size=(16, 1, SIDE, SIDE))
+        backend = ShardedBackend(
+            net, shards=2, shard="pipeline", pipeline_chunk=4
+        )
+        _, cost = backend.forward_batch(states)
+        plan = next(iter(backend._pipeline_plans.values()))
+        assert plan.widths == (1, 1)
+        times = [
+            [cost.shard_cycles[arrays[0]] // 4] * 4
+            for arrays in plan.stage_arrays
+        ]
+        critical, _busy, _assign = _pipeline_schedule(times, [1, 1])
+        assert cost.fill_drain_cycles == critical - max(cost.shard_cycles)
+
+    def test_pipeline_beats_layer_sharding_at_k8(self, rng):
+        """The tentpole claim: where layer sharding collapses (0.59
+        efficiency at K=8), the pipeline stays >= 0.75."""
+        net = make_net()
+        states = rng.uniform(0, 1, size=(64, 1, SIDE, SIDE))
+        _, single = SystolicBackend(net).forward_batch(states)
+        _, layer = ShardedBackend(net, shards=8, shard="layer").forward_batch(states)
+        _, pipe = ShardedBackend(net, shards=8, shard="pipeline").forward_batch(states)
+        assert pipe.critical_path_cycles < layer.critical_path_cycles
+        eff = single.total_cycles / pipe.critical_path_cycles / 8
+        assert eff >= 0.75
+
+    def test_stage_plan_partitions_model_not_batch(self, rng):
+        net = make_net()
+        backend = ShardedBackend(net, shards=4, shard="pipeline")
+        backend.forward_batch(rng.uniform(0, 1, size=(8, 1, SIDE, SIDE)))
+        plan = next(iter(backend._pipeline_plans.values()))
+        assert plan.stages >= 2  # never degenerates to data parallelism
+        assert sum(plan.widths) == 4
+        flat_arrays = [a for arrays in plan.stage_arrays for a in arrays]
+        assert sorted(flat_arrays) == [0, 1, 2, 3]  # disjoint coverage
+        # Stage ranges tile the layer stack contiguously.
+        assert plan.layer_ranges[0][0] == 0
+        assert plan.layer_ranges[-1][1] == len(net.layers)
+        for (lo, hi), (nlo, _nhi) in zip(plan.layer_ranges, plan.layer_ranges[1:]):
+            assert hi == nlo > lo
+
+
+class TestShardEdgeCases:
+    def test_zero_row_chunks_after_crash_failover(self):
+        """batch=1 over K=4 with one array crashed: the three surviving
+        arrays would get 1/0/0 rows — the empty chunks must neither
+        dispatch nor charge merge traffic."""
+        from repro.faults.injector import FAULTS, FaultPlan, chaos
+
+        net = make_net()
+        states = np.random.default_rng(3).uniform(0, 1, size=(1, 1, SIDE, SIDE))
+        ref_q, _ = SystolicBackend(net).forward_batch(states)
+        for policy in ("sample", "pipeline"):
+            backend = ShardedBackend(net, shards=4, shard=policy)
+            with chaos(FaultPlan(seed=0, shard_crashes=((1, 2),))) as inj:
+                inj.note_step()
+                q, cost = backend.forward_batch(states)
+            assert np.array_equal(q, ref_q), policy
+            # One row of work exists; idle and dead arrays charge zero.
+            assert cost.shard_cycles[2] == 0, policy
+            assert sum(1 for c in cost.shard_cycles if c > 0) >= 1
+            # No gather traffic for rows that never moved: the single
+            # chunk lives on one array end to end under sample; under
+            # pipeline only real stage hand-offs charge.
+            if policy == "sample":
+                assert cost.merge_cycles == 0
+            assert cost.merge_cycles == cost.merge_hops  # flat
+
+    def test_consumer_accounting_matches_plan_walk(self, rng):
+        """Pin the layer-policy all-gather charge: replay the plan and
+        charge ``(consumers - hub) * activation + gather`` by hand; the
+        backend's flat-NoC merge must agree exactly.  K=8 makes FC5
+        (5 outputs) narrower than the array count, so consumer sets
+        shrink and shift between layers — the case the charge could
+        double- or under-count."""
+        net = make_net()
+        states = rng.uniform(0, 1, size=(3, 1, SIDE, SIDE))
+        backend = ShardedBackend(net, shards=8, shard="layer")
+        _, cost = backend.forward_batch(states)
+
+        x = backend._requantize(np.asarray(states, dtype=np.float64))
+        expected = 0
+        hub = None
+        narrow_seen = False
+        for index, layer in enumerate(net.layers):
+            assignments = backend._plan.get(index)
+            if not assignments:
+                x = layer.forward(x, training=False)
+            else:
+                consumers = {k for k, *_rest in assignments}
+                if len(consumers) < 8:
+                    narrow_seen = True
+                if hub is not None:
+                    # Hub consumes its own copy free; every other
+                    # consumer's link carries the full activation once.
+                    expected += len(consumers - {hub}) * x.size
+                widths = [hi - lo for _k, _s, lo, hi in assignments]
+                x = layer.forward(x, training=False)
+                hub = assignments[0][0]
+                expected += x.size - x.size * widths[0] // sum(widths)
+            x = backend._requantize(x)
+        assert narrow_seen  # FC5's 5 outputs over 8 arrays
+        assert cost.merge_cycles == expected
+
+    def test_idle_arrays_receive_no_broadcast(self, rng):
+        """An array with no slice of a narrow layer is not a consumer —
+        it must not appear in that layer's plan at all."""
+        net = make_net()
+        backend = ShardedBackend(net, shards=8, shard="layer")
+        narrow = [
+            assignments
+            for assignments in backend._plan.values()
+            if len(assignments) < 8
+        ]
+        assert narrow  # FC5 is narrower than K=8
+        for assignments in narrow:
+            ks = [k for k, *_rest in assignments]
+            assert len(set(ks)) == len(ks)
+
+
+class TestModelParallelTraining:
+    def test_layer_policy_no_longer_falls_back_to_data_parallel(self):
+        net = make_net()
+        sample = ShardedBackend(net, shards=4, shard="sample")
+        layer = ShardedBackend(net, shards=4, shard="layer")
+        tc_sample = sample.train_cost(16, (1, SIDE, SIDE), first_trainable=0)
+        tc_layer = layer.train_cost(16, (1, SIDE, SIDE), first_trainable=0)
+        # Distinct cost structure: model-parallel slices, not K copies
+        # of the whole network over batch chunks.
+        assert tc_layer.shard_cycles != tc_sample.shard_cycles
+        assert tc_layer.merge_cycles != tc_sample.merge_cycles
+        grad_elements = sum(p.size for p in net.parameters(0))
+        # The data-parallel signature charge — (K-1) full weight
+        # gradients — is gone: dW stays on the array that applies it.
+        assert tc_sample.merge_cycles == 3 * grad_elements
+
+    def test_frozen_prefix_training_merge_equals_inference_merge(self, rng):
+        """With only the last parametric layer trainable there is no
+        dX to reduce below it, so the layer policy's training traffic
+        is exactly the forward broadcast/gather inference pays."""
+        net = make_net()
+        backend = ShardedBackend(net, shards=4, shard="layer")
+        batch = 6
+        states = rng.uniform(0, 1, size=(batch, 1, SIDE, SIDE))
+        _, inf = backend.forward_batch(states)
+        last_param = max(i for i, _l in net.parametric_layers())
+        tc = backend.train_cost(batch, (1, SIDE, SIDE), first_trainable=last_param)
+        assert tc.merge_cycles == inf.merge_cycles
+
+    def test_full_training_adds_backward_traffic(self, rng):
+        net = make_net()
+        backend = ShardedBackend(net, shards=4, shard="layer")
+        last_param = max(i for i, _l in net.parametric_layers())
+        frozen = backend.train_cost(8, (1, SIDE, SIDE), first_trainable=last_param)
+        full = backend.train_cost(8, (1, SIDE, SIDE), first_trainable=0)
+        assert full.merge_cycles > frozen.merge_cycles
+        assert full.critical_path_cycles > frozen.critical_path_cycles
+        assert max(full.shard_cycles) > 0
+        assert full.critical_path_cycles >= max(full.shard_cycles)
+
+    def test_pipeline_training_charges_bubbles_and_boundaries(self):
+        net = make_net()
+        backend = ShardedBackend(net, shards=4, shard="pipeline")
+        tc = backend.train_cost(32, (1, SIDE, SIDE), first_trainable=0)
+        assert tc.fill_drain_cycles > 0
+        assert tc.merge_cycles > 0
+        assert tc.critical_path_cycles == (
+            max(tc.shard_cycles) + tc.fill_drain_cycles + tc.merge_cycles
+        )
+        # Pipelined training beats the naive serial sum of its stages.
+        assert tc.critical_path_cycles < sum(tc.shard_cycles)
+
+    def test_train_cost_merge_survives_accumulation(self):
+        """The new ShardCost fields flow through merge_step_costs."""
+        a = ShardCost(
+            backend="sharded", states=4, layer_cycles={"FC1": 100},
+            shards=2, shard_cycles=(60, 40), critical_path_cycles=70,
+            merge_cycles=10, merge_hops=30, fill_drain_cycles=5, noc="ring",
+        )
+        b = ShardCost(
+            backend="sharded", states=4, layer_cycles={"FC1": 80},
+            shards=2, shard_cycles=(40, 40), critical_path_cycles=50,
+            merge_cycles=10, merge_hops=30, fill_drain_cycles=3, noc="ring",
+        )
+        merged = merge_step_costs([a, b])
+        assert merged.merge_hops == 60
+        assert merged.fill_drain_cycles == 8
+        assert merged.noc == "ring"
 
 
 class TestStalenessRegression:
